@@ -1,0 +1,110 @@
+//! Criterion benches: whole-select costs per adaptive-indexing strategy.
+//!
+//! Two views of every engine: the cost of the *first* query on a cold
+//! column (the paper's "initialization cost") and the cost of a full short
+//! query sequence (adaptation included).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scrack_bench::{bench_data, bench_queries};
+use scrack_core::Engine;
+use scrack_core::{build_engine, CrackConfig, EngineKind};
+use scrack_hybrids::{HybridEngine, HybridKind};
+use scrack_workloads::WorkloadKind;
+
+const N: u64 = 262_144;
+
+fn kinds() -> Vec<EngineKind> {
+    vec![
+        EngineKind::Scan,
+        EngineKind::Sort,
+        EngineKind::Crack,
+        EngineKind::Ddc,
+        EngineKind::Ddr,
+        EngineKind::Dd1c,
+        EngineKind::Dd1r,
+        EngineKind::Mdd1r,
+        EngineKind::Progressive { swap_pct: 10 },
+        EngineKind::EveryX { x: 2 },
+        EngineKind::FlipCoin,
+        EngineKind::Monitor { threshold: 10 },
+        EngineKind::RandomInject { every: 2 },
+    ]
+}
+
+fn bench_first_query(c: &mut Criterion) {
+    let data = bench_data(N);
+    let queries = bench_queries(WorkloadKind::Random, N, 1);
+    let mut g = c.benchmark_group("first_query_cold");
+    g.sample_size(10);
+    for kind in kinds() {
+        g.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || build_engine(kind, data.clone(), CrackConfig::default(), 7),
+                |mut eng| eng.select(queries[0]).len(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_sequence(c: &mut Criterion) {
+    let data = bench_data(N);
+    let mut g = c.benchmark_group("sequence_64_queries");
+    g.sample_size(10);
+    for wk in [WorkloadKind::Random, WorkloadKind::Sequential] {
+        let queries = bench_queries(wk, N, 64);
+        for kind in [EngineKind::Crack, EngineKind::Dd1r, EngineKind::Mdd1r] {
+            g.bench_function(format!("{}/{}", wk.label(), kind.label()), |b| {
+                b.iter_batched(
+                    || build_engine(kind, data.clone(), CrackConfig::default(), 7),
+                    |mut eng| {
+                        let mut acc = 0usize;
+                        for q in &queries {
+                            acc += eng.select(*q).len();
+                        }
+                        acc
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_hybrids(c: &mut Criterion) {
+    let data = bench_data(N);
+    let queries = bench_queries(WorkloadKind::Random, N, 64);
+    let mut g = c.benchmark_group("hybrids_64_queries");
+    g.sample_size(10);
+    for kind in [
+        HybridKind::CrackCrack,
+        HybridKind::CrackSort,
+        HybridKind::CrackCrack1R,
+        HybridKind::CrackSort1R,
+    ] {
+        g.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || HybridEngine::new(kind, data.clone(), CrackConfig::default(), 7),
+                |mut eng| {
+                    let mut acc = 0usize;
+                    for q in &queries {
+                        acc += eng.select(*q).len();
+                    }
+                    acc
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_first_query,
+    bench_query_sequence,
+    bench_hybrids
+);
+criterion_main!(benches);

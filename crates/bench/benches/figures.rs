@@ -1,0 +1,67 @@
+//! Criterion benches regenerating each paper figure at smoke scale.
+//!
+//! One bench per table/figure of the evaluation; each runs the full
+//! experiment pipeline (data generation, workload, engines, reporting) at
+//! a small N/Q so `cargo bench` exercises every reproduction path. The
+//! full-scale numbers come from the `experiments` binary (see
+//! EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrack_experiments::figures;
+use scrack_experiments::ExpConfig;
+
+fn smoke_cfg() -> ExpConfig {
+    ExpConfig {
+        n: 20_000,
+        queries: 100,
+        seed: 7,
+        out_dir: None,
+        verify: false,
+    }
+}
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $module:ident, $label:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            let cfg = smoke_cfg();
+            let mut g = c.benchmark_group("figures");
+            g.sample_size(10);
+            g.bench_function($label, |b| b.iter(|| figures::$module::run(&cfg).len()));
+            g.finish();
+        }
+    };
+}
+
+fig_bench!(bench_fig02, fig02, "fig02_basic_cracking");
+fig_bench!(bench_fig08, fig08, "fig08_ddc_threshold");
+fig_bench!(bench_fig09, fig09, "fig09_sequential_stochastic");
+fig_bench!(bench_fig10, fig10, "fig10_random");
+fig_bench!(bench_fig11, fig11, "fig11_selectivity");
+fig_bench!(bench_fig12, fig12, "fig12_naive");
+fig_bench!(bench_fig13, fig13, "fig13_various_workloads");
+fig_bench!(bench_fig14, fig14, "fig14_hybrids");
+fig_bench!(bench_fig15, fig15, "fig15_updates");
+fig_bench!(bench_fig16, fig16, "fig16_skyserver");
+fig_bench!(bench_fig17, fig17, "fig17_all_workloads");
+fig_bench!(bench_fig18, fig18, "fig18_every_x");
+fig_bench!(bench_fig19, fig19, "fig19_monitor");
+fig_bench!(bench_fig20, fig20, "fig20_summary");
+
+criterion_group!(
+    benches,
+    bench_fig02,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17,
+    bench_fig18,
+    bench_fig19,
+    bench_fig20
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for the cracker index (AVL tree).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scrack_index::{AvlTree, CrackerIndex};
+
+fn crack_positions(n: usize) -> Vec<(u64, usize)> {
+    // Pseudo-random insertion order of n cracks over a 10^8 key space.
+    (0..n)
+        .map(|i| {
+            let k = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) % 100_000_000;
+            (k, (k / 2) as usize)
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let cracks = crack_positions(10_000);
+    c.bench_function("avl/insert_10k", |b| {
+        b.iter_batched_ref(
+            AvlTree::<()>::new,
+            |t| {
+                for (k, p) in &cracks {
+                    t.insert(*k, *p, ());
+                }
+                t.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_piece_lookup(c: &mut Criterion) {
+    let cracks = crack_positions(10_000);
+    let mut idx: CrackerIndex<()> = CrackerIndex::new(50_000_000);
+    let mut sorted = cracks.clone();
+    sorted.sort_unstable();
+    sorted.dedup_by_key(|(k, _)| *k);
+    let mut floor = 0usize;
+    for (k, p) in &sorted {
+        let p = (*p).max(floor);
+        floor = p;
+        idx.add_crack(*k, p);
+    }
+    let probes: Vec<u64> = (0..1024u64).map(|i| (i * 97_657) % 100_000_000).collect();
+    c.bench_function("cracker_index/piece_containing_x1024", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &probes {
+                acc ^= idx.piece_containing(*p).start;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_neighbor_queries(c: &mut Criterion) {
+    let cracks = crack_positions(10_000);
+    let mut t: AvlTree<()> = AvlTree::new();
+    for (k, p) in &cracks {
+        t.insert(*k, *p, ());
+    }
+    let probes: Vec<u64> = (0..1024u64).map(|i| (i * 31_337) % 100_000_000).collect();
+    c.bench_function("avl/pred_succ_x1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &probes {
+                if let Some(id) = t.predecessor_or_equal(*p) {
+                    acc ^= t.key(id);
+                }
+                if let Some(id) = t.successor_strict(*p) {
+                    acc ^= t.key(id);
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_piece_lookup,
+    bench_neighbor_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion benches for the physical reorganization kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use scrack_bench::bench_data;
+use scrack_partition::{
+    crack_in_three, crack_in_two, introsort, median_partition, split_and_materialize, Fringe,
+};
+use scrack_types::{QueryRange, Stats};
+
+const SIZES: [u64; 2] = [65_536, 1_048_576];
+
+fn bench_crack_in_two(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crack_in_two");
+    for n in SIZES {
+        let data = bench_data(n);
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter_batched_ref(
+                || data.clone(),
+                |d| {
+                    let mut stats = Stats::new();
+                    crack_in_two(d, n / 2, &mut stats)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_crack_in_three(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crack_in_three");
+    for n in SIZES {
+        let data = bench_data(n);
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter_batched_ref(
+                || data.clone(),
+                |d| {
+                    let mut stats = Stats::new();
+                    crack_in_three(d, n / 3, 2 * n / 3, &mut stats)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_split_and_materialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("split_and_materialize");
+    for n in SIZES {
+        let data = bench_data(n);
+        let q = QueryRange::new(n / 4, n / 4 + 10);
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter_batched_ref(
+                || (data.clone(), Vec::with_capacity(64)),
+                |(d, out)| {
+                    let mut stats = Stats::new();
+                    split_and_materialize(d, n / 2, Fringe::Both(q), out, &mut stats)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_median_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("median_partition_introselect");
+    for n in SIZES {
+        let data = bench_data(n);
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter_batched_ref(
+                || data.clone(),
+                |d| {
+                    let mut stats = Stats::new();
+                    median_partition(d, &mut stats)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_introsort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("introsort");
+    g.sample_size(20);
+    for n in SIZES {
+        let data = bench_data(n);
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter_batched_ref(
+                || data.clone(),
+                |d| {
+                    let mut stats = Stats::new();
+                    introsort(d, &mut stats)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crack_in_two,
+    bench_crack_in_three,
+    bench_split_and_materialize,
+    bench_median_partition,
+    bench_introsort
+);
+criterion_main!(benches);

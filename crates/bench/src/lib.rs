@@ -1,0 +1,24 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `partition` — the reorganization kernel primitives;
+//! * `index` — cracker-index (AVL) operations;
+//! * `engines` — whole-select costs per strategy;
+//! * `figures` — scaled-down regenerations of the paper's figures, so
+//!   `cargo bench` exercises every experiment path end to end.
+
+#![forbid(unsafe_code)]
+
+use scrack_types::QueryRange;
+use scrack_workloads::{WorkloadKind, WorkloadSpec};
+
+/// Deterministic data for benches: a permutation of `0..n`.
+pub fn bench_data(n: u64) -> Vec<u64> {
+    scrack_workloads::data::unique_permutation(n, 0xBE7C)
+}
+
+/// A standard query set for engine benches.
+pub fn bench_queries(kind: WorkloadKind, n: u64, q: usize) -> Vec<QueryRange> {
+    WorkloadSpec::new(kind, n, q, 0xBE7C).generate()
+}

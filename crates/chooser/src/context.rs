@@ -1,0 +1,54 @@
+//! What a policy is allowed to see before choosing an action.
+
+/// A per-query snapshot of the column state relevant to action choice.
+///
+/// Policies receive the same information a cracking select computes anyway
+/// (the pieces the query bounds fall into), so consulting a policy adds two
+/// `O(log pieces)` index probes and nothing else — the chooser preserves
+/// the lightweight character §4 demands of any cracking component.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryContext {
+    /// Total number of elements in the column.
+    pub column_len: usize,
+    /// Size of the piece containing the query's low bound.
+    pub piece_low_len: usize,
+    /// Size of the piece containing the query's high bound.
+    pub piece_high_len: usize,
+    /// Number of cracks currently in the index.
+    pub crack_count: usize,
+    /// 0-based sequence number of the query within this engine's life.
+    pub query_no: u64,
+    /// L1 piece-size threshold (elements), from the engine's `CrackConfig`.
+    pub l1_elems: usize,
+    /// L2 piece-size threshold (elements), from the engine's `CrackConfig`.
+    pub l2_elems: usize,
+}
+
+impl QueryContext {
+    /// The larger of the two end-piece sizes — the quantity that bounds
+    /// this query's reorganization cost (§3: cracking analyzes at most the
+    /// two pieces intersecting the query's bounds).
+    #[inline]
+    pub fn max_piece_len(&self) -> usize {
+        self.piece_low_len.max(self.piece_high_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_piece_len_picks_larger_side() {
+        let ctx = QueryContext {
+            column_len: 100,
+            piece_low_len: 10,
+            piece_high_len: 90,
+            crack_count: 1,
+            query_no: 0,
+            l1_elems: 4096,
+            l2_elems: 32768,
+        };
+        assert_eq!(ctx.max_piece_len(), 90);
+    }
+}

@@ -1,0 +1,250 @@
+//! The chooser engine: one column, a menu of actions, a policy.
+
+use crate::action::Action;
+use crate::bandit::{EpsilonGreedy, Ucb1};
+use crate::context::QueryContext;
+use crate::policy::{ChoicePolicy, Fixed, PieceAware};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scrack_columnstore::QueryOutput;
+use scrack_core::{CrackConfig, CrackedColumn, Engine};
+use scrack_types::{Element, QueryRange, Stats};
+
+/// Ready-made policy configurations, mirroring [`scrack_core`]'s
+/// `EngineKind` style so experiments can sweep policies by name.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PolicyKind {
+    /// Always the given arm of [`Action::default_menu`].
+    Fixed(usize),
+    /// Deterministic piece-size cost model.
+    PieceAware,
+    /// ε-greedy bandit with the default schedule.
+    EpsilonGreedy,
+    /// UCB1 bandit with the classical constant.
+    Ucb1,
+    /// Contextual ε-greedy: per piece-size-bucket estimates.
+    Contextual,
+}
+
+impl PolicyKind {
+    /// Builds the boxed policy.
+    pub fn build(self) -> Box<dyn ChoicePolicy> {
+        match self {
+            PolicyKind::Fixed(arm) => Box::new(Fixed(arm)),
+            PolicyKind::PieceAware => Box::new(PieceAware::default()),
+            PolicyKind::EpsilonGreedy => Box::new(EpsilonGreedy::new()),
+            PolicyKind::Ucb1 => Box::new(Ucb1::new()),
+            PolicyKind::Contextual => Box::new(crate::contextual::ContextualEpsGreedy::new()),
+        }
+    }
+
+    /// All sweepable kinds (Fixed baselines use arm 0 = Crack and arm 2 =
+    /// MDD1R).
+    pub fn sweep() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Fixed(0),
+            PolicyKind::Fixed(2),
+            PolicyKind::PieceAware,
+            PolicyKind::EpsilonGreedy,
+            PolicyKind::Ucb1,
+            PolicyKind::Contextual,
+        ]
+    }
+}
+
+/// An adaptive-indexing engine that picks, per query, which cracking
+/// algorithm answers it (§6's dynamic component).
+///
+/// All actions share one [`CrackedColumn`], so every piece of indexing
+/// knowledge is common property: a random crack added by an MDD1R query
+/// narrows the pieces later original-cracking queries must scan, and vice
+/// versa. The policy closes the loop by observing each action's realized
+/// cost on this column under this workload.
+#[derive(Debug)]
+pub struct ChooserEngine<E: Element> {
+    col: CrackedColumn<E>,
+    rng: SmallRng,
+    policy: Box<dyn ChoicePolicy>,
+    menu: Vec<Action>,
+    pulls: Vec<u64>,
+    query_no: u64,
+}
+
+impl<E: Element> ChooserEngine<E> {
+    /// Builds the engine with the default action menu.
+    pub fn new(
+        data: Vec<E>,
+        config: CrackConfig,
+        seed: u64,
+        policy: Box<dyn ChoicePolicy>,
+    ) -> Self {
+        Self::with_menu(data, config, seed, policy, Action::default_menu())
+    }
+
+    /// Builds the engine from a [`PolicyKind`] description.
+    pub fn from_kind(data: Vec<E>, config: CrackConfig, seed: u64, kind: PolicyKind) -> Self {
+        Self::new(data, config, seed, kind.build())
+    }
+
+    /// Builds the engine with a custom action menu.
+    ///
+    /// # Panics
+    /// If `menu` is empty.
+    pub fn with_menu(
+        data: Vec<E>,
+        config: CrackConfig,
+        seed: u64,
+        policy: Box<dyn ChoicePolicy>,
+        menu: Vec<Action>,
+    ) -> Self {
+        assert!(!menu.is_empty(), "the action menu cannot be empty");
+        let pulls = vec![0; menu.len()];
+        Self {
+            col: CrackedColumn::new(data, config),
+            rng: SmallRng::seed_from_u64(seed),
+            policy,
+            menu,
+            pulls,
+            query_no: 0,
+        }
+    }
+
+    /// The action menu.
+    pub fn menu(&self) -> &[Action] {
+        &self.menu
+    }
+
+    /// How many times each arm has been pulled, aligned with [`menu`](Self::menu).
+    pub fn arm_pulls(&self) -> &[u64] {
+        &self.pulls
+    }
+
+    /// The underlying cracked column (for integrity checks in tests).
+    pub fn column(&self) -> &CrackedColumn<E> {
+        &self.col
+    }
+
+    fn context(&self, q: QueryRange) -> QueryContext {
+        let elem = std::mem::size_of::<E>();
+        let index = self.col.index();
+        QueryContext {
+            column_len: self.col.data().len(),
+            piece_low_len: index.piece_containing(q.low).len(),
+            piece_high_len: index.piece_containing(q.high).len(),
+            crack_count: index.crack_count(),
+            query_no: self.query_no,
+            l1_elems: self.col.config().crack_size(elem),
+            l2_elems: self.col.config().progressive_threshold(elem),
+        }
+    }
+}
+
+impl<E: Element> Engine<E> for ChooserEngine<E> {
+    fn name(&self) -> String {
+        format!("Chooser[{}]", self.policy.label())
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        let ctx = self.context(q);
+        let arm = self.policy.choose(&ctx, self.menu.len(), &mut self.rng);
+        let before = self.col.stats();
+        let out = self.menu[arm].execute(&mut self.col, q, &mut self.rng);
+        let delta = self.col.stats().since(&before);
+        let cost = (delta.touched + delta.materialized) as f64;
+        let post = self.context(q);
+        self.policy.observe(arm, &ctx, &post, cost);
+        self.pulls[arm] += 1;
+        self.query_no += 1;
+        out
+    }
+
+    fn data(&self) -> &[E] {
+        self.col.data()
+    }
+
+    fn stats(&self) -> Stats {
+        self.col.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.col.stats_mut().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: u64) -> Vec<u64> {
+        (0..n).map(|i| (i * 2654435761) % n).collect()
+    }
+
+    #[test]
+    fn name_includes_policy() {
+        let e = ChooserEngine::from_kind(data(100), CrackConfig::default(), 1, PolicyKind::Ucb1);
+        assert_eq!(e.name(), "Chooser[UCB1]");
+    }
+
+    #[test]
+    fn pulls_sum_to_query_count() {
+        let mut e = ChooserEngine::from_kind(
+            data(10_000),
+            CrackConfig::default(),
+            1,
+            PolicyKind::EpsilonGreedy,
+        );
+        for i in 0..50u64 {
+            e.select(QueryRange::new(i * 100, i * 100 + 10));
+        }
+        assert_eq!(e.arm_pulls().iter().sum::<u64>(), 50);
+        assert_eq!(e.stats().queries, 50);
+        e.column().check_integrity().unwrap();
+    }
+
+    #[test]
+    fn fixed_policy_pulls_one_arm_only() {
+        let mut e =
+            ChooserEngine::from_kind(data(5000), CrackConfig::default(), 1, PolicyKind::Fixed(2));
+        for i in 0..20u64 {
+            e.select(QueryRange::new(i * 200, i * 200 + 20));
+        }
+        assert_eq!(e.arm_pulls(), &[0, 0, 20, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "menu cannot be empty")]
+    fn empty_menu_rejected() {
+        ChooserEngine::<u64>::with_menu(
+            data(10),
+            CrackConfig::default(),
+            1,
+            Box::new(Fixed(0)),
+            vec![],
+        );
+    }
+
+    #[test]
+    fn empty_query_is_answered_empty() {
+        let mut e =
+            ChooserEngine::from_kind(data(1000), CrackConfig::default(), 1, PolicyKind::PieceAware);
+        let out = e.select(QueryRange::new(50, 50));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_policy_answers_exactly() {
+        let n = 8192u64;
+        let raw = data(n);
+        for kind in PolicyKind::sweep() {
+            let mut e = ChooserEngine::from_kind(raw.clone(), CrackConfig::default(), 11, kind);
+            for i in 0..128u64 {
+                let low = (i * 37) % (n - 64);
+                let q = QueryRange::new(low, low + 53);
+                let out = e.select(q);
+                let expect = raw.iter().filter(|k| q.contains(**k)).count();
+                assert_eq!(out.len(), expect, "{:?} query {i}", kind);
+            }
+            e.column().check_integrity().unwrap();
+        }
+    }
+}

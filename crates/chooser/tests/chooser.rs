@@ -1,0 +1,185 @@
+//! Integration tests: the chooser is exact on every workload, and its
+//! learning policies actually steer toward the robust arms.
+
+use scrack_chooser::{Action, ChooserEngine, PolicyKind};
+use scrack_core::{build_engine, CrackConfig, Engine, EngineKind, Oracle};
+use scrack_workloads::data::unique_permutation;
+use scrack_workloads::{WorkloadKind, WorkloadSpec};
+
+const N: u64 = 100_000;
+const QUERIES: usize = 300;
+const SEED: u64 = 20120827;
+
+fn run_chooser(kind: PolicyKind, workload: WorkloadKind) -> (ChooserEngine<u64>, u64) {
+    let data: Vec<u64> = unique_permutation(N, SEED);
+    let oracle = Oracle::new(&data);
+    let mut engine = ChooserEngine::from_kind(data, CrackConfig::default(), SEED, kind);
+    let queries = WorkloadSpec::new(workload, N, QUERIES, SEED).generate();
+    for (i, q) in queries.iter().enumerate() {
+        let out = engine.select(*q);
+        assert_eq!(
+            out.len(),
+            oracle.count(*q),
+            "{kind:?} on {workload:?}: wrong count at query {i}"
+        );
+        assert_eq!(
+            out.key_checksum(engine.data()),
+            oracle.checksum(*q),
+            "{kind:?} on {workload:?}: wrong checksum at query {i}"
+        );
+    }
+    engine.column().check_integrity().unwrap();
+    let touched = engine.stats().touched;
+    (engine, touched)
+}
+
+#[test]
+fn oracle_equivalence_all_policies_all_workloads() {
+    for kind in PolicyKind::sweep() {
+        for workload in [
+            WorkloadKind::Random,
+            WorkloadKind::Sequential,
+            WorkloadKind::ZoomIn,
+            WorkloadKind::Periodic,
+        ] {
+            run_chooser(kind, workload);
+        }
+    }
+}
+
+/// Reference touched-tuple totals for the pure engines on a workload.
+fn pure_engine_touched(kind: EngineKind, workload: WorkloadKind) -> u64 {
+    let data: Vec<u64> = unique_permutation(N, SEED);
+    let mut engine = build_engine(kind, data, CrackConfig::default(), SEED);
+    for q in WorkloadSpec::new(workload, N, QUERIES, SEED).generate() {
+        engine.select(q);
+    }
+    engine.stats().touched
+}
+
+/// On the Sequential workload the bandits must learn to avoid the
+/// pathological original-cracking arm: their total physical cost has to
+/// land far below pure Crack (the arm a workload-blind engine would be
+/// stuck with) and within a small factor of pure MDD1R.
+#[test]
+fn bandits_escape_the_sequential_pathology() {
+    let crack = pure_engine_touched(EngineKind::Crack, WorkloadKind::Sequential);
+    let scrack = pure_engine_touched(EngineKind::Mdd1r, WorkloadKind::Sequential);
+    assert!(
+        crack > scrack * 5,
+        "precondition: the pathology exists at this scale ({crack} vs {scrack})"
+    );
+    for kind in [
+        PolicyKind::EpsilonGreedy,
+        PolicyKind::Ucb1,
+        PolicyKind::Contextual,
+    ] {
+        let (engine, touched) = run_chooser(kind, WorkloadKind::Sequential);
+        assert!(
+            touched < crack / 2,
+            "{kind:?} did not escape the pathology: {touched} vs Crack {crack}"
+        );
+        // The *flat* bandits can only escape by globally preferring the
+        // stochastic arms. The contextual bandit is exempt: it learns a
+        // size-conditional policy whose Crack pulls concentrate in small
+        // buckets (where the paper itself says original cracking is
+        // right), so its global pull counts prove nothing either way —
+        // its robustness is asserted on `touched` above and its
+        // conditioning in the `learns_size_conditional_policy` unit test.
+        if kind != PolicyKind::Contextual {
+            let pulls = engine.arm_pulls();
+            let stochastic: u64 = pulls[1..].iter().sum();
+            assert!(
+                stochastic > pulls[0],
+                "{kind:?} kept pulling the Crack arm: {pulls:?}"
+            );
+        }
+    }
+}
+
+/// On the Random workload nothing is pathological; the learned policies
+/// must stay within a modest factor of pure original cracking (the paper's
+/// "only a minimal overhead with random ones" summary for stochastic
+/// cracking carries over to the chooser).
+#[test]
+fn bandits_stay_cheap_on_random() {
+    let crack = pure_engine_touched(EngineKind::Crack, WorkloadKind::Random);
+    for kind in [
+        PolicyKind::EpsilonGreedy,
+        PolicyKind::Ucb1,
+        PolicyKind::PieceAware,
+        PolicyKind::Contextual,
+    ] {
+        let (_, touched) = run_chooser(kind, WorkloadKind::Random);
+        assert!(
+            touched < crack * 4,
+            "{kind:?} overhead too large on Random: {touched} vs Crack {crack}"
+        );
+    }
+}
+
+/// The PieceAware cost model must match continuous stochastic cracking on
+/// Sequential: its large-piece branch fires exactly while large unindexed
+/// pieces exist.
+#[test]
+fn piece_aware_is_robust_on_sequential() {
+    let scrack = pure_engine_touched(EngineKind::Mdd1r, WorkloadKind::Sequential);
+    let (_, touched) = run_chooser(PolicyKind::PieceAware, WorkloadKind::Sequential);
+    assert!(
+        touched < scrack * 3,
+        "PieceAware lost robustness: {touched} vs MDD1R {scrack}"
+    );
+}
+
+/// Fixed(0) must behave exactly like the pure Crack engine: same touched
+/// count, same pulls. This pins the chooser's plumbing overhead at zero
+/// reorganization semantics.
+#[test]
+fn fixed_arm_reproduces_pure_engine_costs() {
+    let crack = pure_engine_touched(EngineKind::Crack, WorkloadKind::Sequential);
+    let (engine, touched) = run_chooser(PolicyKind::Fixed(0), WorkloadKind::Sequential);
+    assert_eq!(touched, crack, "Fixed(0) deviates from pure Crack");
+    assert_eq!(engine.arm_pulls()[0], QUERIES as u64);
+}
+
+/// A custom menu restricted to progressive arms still answers exactly.
+#[test]
+fn custom_menu_progressive_only() {
+    let data: Vec<u64> = unique_permutation(N, SEED);
+    let oracle = Oracle::new(&data);
+    let mut engine = ChooserEngine::with_menu(
+        data,
+        CrackConfig::default(),
+        SEED,
+        PolicyKind::EpsilonGreedy.build(),
+        vec![Action::Progressive(1), Action::Progressive(10), Action::Progressive(50)],
+    );
+    for q in WorkloadSpec::new(WorkloadKind::ZoomInAlt, N, QUERIES, SEED).generate() {
+        let out = engine.select(q);
+        assert_eq!(out.len(), oracle.count(q));
+        assert_eq!(out.key_checksum(engine.data()), oracle.checksum(q));
+    }
+    engine.column().check_integrity().unwrap();
+}
+
+/// Switching workload mid-run (Sequential → Random → ZoomIn) keeps the
+/// chooser exact and the EWMA bandits solvent — the non-stationary setting
+/// the forget factor exists for.
+#[test]
+fn workload_switch_mid_run() {
+    let data: Vec<u64> = unique_permutation(N, SEED);
+    let oracle = Oracle::new(&data);
+    let mut engine =
+        ChooserEngine::from_kind(data, CrackConfig::default(), SEED, PolicyKind::Ucb1);
+    for workload in [
+        WorkloadKind::Sequential,
+        WorkloadKind::Random,
+        WorkloadKind::ZoomIn,
+    ] {
+        for q in WorkloadSpec::new(workload, N, 100, SEED).generate() {
+            let out = engine.select(q);
+            assert_eq!(out.len(), oracle.count(q), "on {workload:?}");
+        }
+    }
+    engine.column().check_integrity().unwrap();
+}

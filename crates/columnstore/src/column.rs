@@ -1,0 +1,141 @@
+//! Dense fixed-width column arrays.
+
+use scrack_types::{Element, QueryRange, Stats};
+
+/// A dense, fixed-width array of elements — the unit cracking operates on.
+///
+/// The representation is identical in memory and on disk in the systems the
+/// paper targets, "which allows for efficient physical reorganization of
+/// arrays" (§2). `Column` owns its buffer; cracking engines take the buffer
+/// over (via [`Column::into_vec`]) or reorganize it in place through
+/// [`Column::as_mut_slice`].
+#[derive(Debug, Clone, Default)]
+pub struct Column<E> {
+    data: Vec<E>,
+}
+
+impl<E: Element> Column<E> {
+    /// A column over an existing buffer.
+    pub fn from_vec(data: Vec<E>) -> Self {
+        Self { data }
+    }
+
+    /// A column built from keys, assigning rowids in input order.
+    pub fn from_keys(keys: impl IntoIterator<Item = u64>) -> Self {
+        let data = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| E::from_key_row(k, i as u32))
+            .collect();
+        Self { data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the column holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read access to the underlying buffer.
+    pub fn as_slice(&self) -> &[E] {
+        &self.data
+    }
+
+    /// Write access to the underlying buffer (for physical reorganization).
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
+        &mut self.data
+    }
+
+    /// Consumes the column, yielding its buffer.
+    pub fn into_vec(self) -> Vec<E> {
+        self.data
+    }
+
+    /// The plain (non-cracking) select operator: one full scan that
+    /// materializes every qualifying element into `out`.
+    ///
+    /// This is the paper's `Scan` baseline: it always touches all `N`
+    /// tuples and "has to materialize a new array with the result" (§3).
+    /// The qualifying test short-circuits on the first comparison, the
+    /// detail the paper credits for `Scan`'s slight speedup on the
+    /// sequential workload.
+    pub fn scan_select(&self, q: QueryRange, out: &mut Vec<E>, stats: &mut Stats) -> usize {
+        let before = out.len();
+        for e in &self.data {
+            let k = e.key();
+            if q.low <= k && k < q.high {
+                out.push(*e);
+            }
+        }
+        stats.touched += self.data.len() as u64;
+        stats.comparisons += self.data.len() as u64;
+        let n = out.len() - before;
+        stats.materialized += n as u64;
+        n
+    }
+
+    /// Sum of all keys; a cheap content fingerprint for tests.
+    pub fn key_checksum(&self) -> u64 {
+        self.data.iter().fold(0u64, |s, e| s.wrapping_add(e.key()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrack_types::Tuple;
+
+    #[test]
+    fn from_keys_assigns_rowids_in_order() {
+        let col: Column<Tuple> = Column::from_keys([30, 10, 20]);
+        let rows: Vec<u32> = col.as_slice().iter().map(|t| t.row).collect();
+        assert_eq!(rows, vec![0, 1, 2]);
+        let keys: Vec<u64> = col.as_slice().iter().map(|t| t.key).collect();
+        assert_eq!(keys, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn scan_select_materializes_exact_matches() {
+        let col: Column<u64> = Column::from_keys(0..100);
+        let mut out = Vec::new();
+        let mut stats = Stats::new();
+        let n = col.scan_select(QueryRange::new(10, 15), &mut out, &mut stats);
+        assert_eq!(n, 5);
+        assert_eq!(out, vec![10, 11, 12, 13, 14]);
+        assert_eq!(stats.touched, 100);
+        assert_eq!(stats.materialized, 5);
+    }
+
+    #[test]
+    fn scan_select_appends_to_existing_output() {
+        let col: Column<u64> = Column::from_keys(0..10);
+        let mut out = vec![99u64];
+        let mut stats = Stats::new();
+        let n = col.scan_select(QueryRange::new(0, 2), &mut out, &mut stats);
+        assert_eq!(n, 2);
+        assert_eq!(out, vec![99, 0, 1]);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col: Column<u64> = Column::from_keys(std::iter::empty());
+        assert!(col.is_empty());
+        let mut out = Vec::new();
+        let mut stats = Stats::new();
+        assert_eq!(
+            col.scan_select(QueryRange::new(0, 10), &mut out, &mut stats),
+            0
+        );
+    }
+
+    #[test]
+    fn checksum_is_order_independent() {
+        let a: Column<u64> = Column::from_keys([1, 2, 3]);
+        let b: Column<u64> = Column::from_keys([3, 1, 2]);
+        assert_eq!(a.key_checksum(), b.key_checksum());
+    }
+}

@@ -1,0 +1,124 @@
+//! A minimal multi-attribute table for tuple reconstruction.
+
+use crate::Column;
+use scrack_types::Tuple;
+
+/// A table of named `u64` attribute columns stored in insertion order.
+///
+/// Cracking reorganizes one attribute's copy; the original columns stay in
+/// insertion order, so a qualifying rowid fetched from a cracked
+/// [`Tuple`] column can positionally reconstruct the other attributes —
+/// the column-store tuple reconstruction pattern the paper's sideways
+/// cracking work builds on. This table intentionally stays small: it is
+/// the substrate the examples use, not a full query processor.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    columns: Vec<(String, Vec<u64>)>,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Adds a column. All columns must have equal length.
+    ///
+    /// # Panics
+    /// If the name is taken or the length disagrees with existing columns.
+    pub fn add_column(&mut self, name: &str, values: Vec<u64>) {
+        assert!(
+            self.column(name).is_none(),
+            "column {name:?} already exists"
+        );
+        if self.columns.is_empty() {
+            self.rows = values.len();
+        } else {
+            assert_eq!(values.len(), self.rows, "column length mismatch");
+        }
+        self.columns.push((name.to_string(), values));
+    }
+
+    /// The raw values of a column, in insertion order.
+    pub fn column(&self, name: &str) -> Option<&[u64]> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Builds the crackable copy of a column: key + rowid pairs.
+    ///
+    /// # Panics
+    /// If the column does not exist.
+    pub fn cracker_column(&self, name: &str) -> Column<Tuple> {
+        let values = self.column(name).expect("unknown column");
+        Column::from_keys(values.iter().copied())
+    }
+
+    /// Fetches `column[row]` for each rowid — positional tuple
+    /// reconstruction after a cracked select.
+    ///
+    /// # Panics
+    /// If the column does not exist or a rowid is out of range.
+    pub fn fetch(&self, name: &str, rowids: impl IntoIterator<Item = u32>) -> Vec<u64> {
+        let values = self.column(name).expect("unknown column");
+        rowids.into_iter().map(|r| values[r as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new();
+        t.add_column("ra", vec![30, 10, 20, 40]);
+        t.add_column("dec", vec![300, 100, 200, 400]);
+        t
+    }
+
+    #[test]
+    fn columns_roundtrip() {
+        let t = sample();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.column("ra").unwrap(), &[30, 10, 20, 40]);
+        assert_eq!(t.column("dec").unwrap(), &[300, 100, 200, 400]);
+        assert!(t.column("nope").is_none());
+    }
+
+    #[test]
+    fn cracker_column_pairs_keys_with_rowids() {
+        let t = sample();
+        let col = t.cracker_column("ra");
+        let pairs: Vec<(u64, u32)> = col.as_slice().iter().map(|t| (t.key, t.row)).collect();
+        assert_eq!(pairs, vec![(30, 0), (10, 1), (20, 2), (40, 3)]);
+    }
+
+    #[test]
+    fn fetch_reconstructs_other_attributes() {
+        let t = sample();
+        // Pretend a cracked select on "ra" returned rowids 1 and 2.
+        assert_eq!(t.fetch("dec", [1u32, 2]), vec![100, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_column_length_panics() {
+        let mut t = sample();
+        t.add_column("bad", vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_name_panics() {
+        let mut t = sample();
+        t.add_column("ra", vec![1, 2, 3, 4]);
+    }
+}

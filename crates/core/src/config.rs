@@ -1,0 +1,76 @@
+//! Tuning knobs shared by all cracking engines.
+
+use scrack_types::CacheProfile;
+
+/// Configuration of the cracking engines.
+///
+/// The two thresholds mirror the paper's:
+///
+/// * **crack size** (`CRACK_SIZE` in Fig. 4): DDC/DDR stop recursive
+///   auxiliary cracking once the piece holding the bound is at most this
+///   many elements. Defaults to the number of elements fitting in L1
+///   ("we found that the size of L1 cache as piece size threshold provides
+///   the best overall performance", §4); Fig. 8 sweeps it.
+/// * **progressive threshold**: PMDD1R runs its budgeted partition only on
+///   pieces larger than this; smaller pieces take the full MDD1R path
+///   ("progressive cracking occurs only as long as the targeted data piece
+///   is bigger than the L2 cache", §4). Defaults to the elements fitting
+///   in L2.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrackConfig {
+    /// Cache sizes the defaults are derived from.
+    pub cache: CacheProfile,
+    /// Explicit `CRACK_SIZE` in elements; `None` derives it from L1.
+    pub crack_size_override: Option<usize>,
+    /// Explicit progressive threshold in elements; `None` derives from L2.
+    pub progressive_threshold_override: Option<usize>,
+}
+
+impl CrackConfig {
+    /// `CRACK_SIZE` in elements for element size `elem_size`.
+    #[inline]
+    pub fn crack_size(&self, elem_size: usize) -> usize {
+        self.crack_size_override
+            .unwrap_or_else(|| self.cache.l1_elems(elem_size))
+    }
+
+    /// Progressive-cracking piece threshold in elements.
+    #[inline]
+    pub fn progressive_threshold(&self, elem_size: usize) -> usize {
+        self.progressive_threshold_override
+            .unwrap_or_else(|| self.cache.l2_elems(elem_size))
+    }
+
+    /// Convenience: a config with an explicit crack size (Fig. 8 sweeps).
+    pub fn with_crack_size(mut self, elems: usize) -> Self {
+        self.crack_size_override = Some(elems);
+        self
+    }
+
+    /// Convenience: a config with an explicit progressive threshold.
+    pub fn with_progressive_threshold(mut self, elems: usize) -> Self {
+        self.progressive_threshold_override = Some(elems);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_derive_from_cache() {
+        let c = CrackConfig::default();
+        assert_eq!(c.crack_size(8), 4096); // 32 KiB / 8 B
+        assert_eq!(c.progressive_threshold(8), 32768); // 256 KiB / 8 B
+    }
+
+    #[test]
+    fn overrides_win() {
+        let c = CrackConfig::default()
+            .with_crack_size(128)
+            .with_progressive_threshold(999);
+        assert_eq!(c.crack_size(8), 128);
+        assert_eq!(c.progressive_threshold(8), 999);
+    }
+}

@@ -1,0 +1,35 @@
+//! The adaptive-indexing engine interface.
+
+use scrack_columnstore::QueryOutput;
+use scrack_types::{Element, QueryRange, Stats};
+
+/// An adaptive indexing strategy answering range selects over one column.
+///
+/// Every strategy of the paper — the `Scan`/`Sort` baselines, original
+/// cracking, the stochastic family, selective and naive variants, and the
+/// partition/merge hybrids — implements this trait. A call to
+/// [`Engine::select`] both answers the query and (for adaptive engines)
+/// performs whatever physical reorganization the strategy dictates, because
+/// in cracking "index creation and optimization occur collaterally to query
+/// execution" (§2).
+pub trait Engine<E: Element> {
+    /// Display name, matching the paper's figure labels (e.g. `"DD1R"`,
+    /// `"P10%"`, `"FlipCoin"`).
+    fn name(&self) -> String;
+
+    /// Answers `[q.low, q.high)`, reorganizing as a side effect.
+    ///
+    /// Views in the returned [`QueryOutput`] point into [`Engine::data`]
+    /// and are valid until the next `select`.
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E>;
+
+    /// The buffer result views resolve against (the engine's current
+    /// physical column order).
+    fn data(&self) -> &[E];
+
+    /// Cumulative physical-cost counters.
+    fn stats(&self) -> Stats;
+
+    /// Zeroes the cost counters (e.g. between experiment phases).
+    fn reset_stats(&mut self);
+}

@@ -1,0 +1,253 @@
+//! Engine wrappers for original cracking and the stochastic family.
+
+use crate::config::CrackConfig;
+use crate::cracked::CrackedColumn;
+use crate::engine::Engine;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scrack_columnstore::QueryOutput;
+use scrack_types::{Element, QueryRange, Stats};
+
+macro_rules! impl_engine_common {
+    ($ty:ident) => {
+        fn data(&self) -> &[E] {
+            self.col.data()
+        }
+
+        fn stats(&self) -> Stats {
+            self.col.stats()
+        }
+
+        fn reset_stats(&mut self) {
+            self.col.stats_mut().reset();
+        }
+    };
+}
+
+/// Original database cracking (`Crack` in every figure).
+#[derive(Debug, Clone)]
+pub struct CrackEngine<E: Element> {
+    col: CrackedColumn<E>,
+}
+
+impl<E: Element> CrackEngine<E> {
+    /// Builds the engine over `data`.
+    pub fn new(data: Vec<E>, config: CrackConfig) -> Self {
+        Self {
+            col: CrackedColumn::new(data, config),
+        }
+    }
+
+    /// Read access to the underlying cracker column.
+    pub fn cracked(&self) -> &CrackedColumn<E> {
+        &self.col
+    }
+
+    /// Mutable access to the underlying cracker column (used by the update
+    /// wrapper to merge pending updates before a select).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
+    }
+}
+
+impl<E: Element> Engine<E> for CrackEngine<E> {
+    fn name(&self) -> String {
+        "Crack".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        self.col.select_original(q)
+    }
+
+    impl_engine_common!(CrackEngine);
+}
+
+/// DDC: recursive center (median) cracks down to `CRACK_SIZE` (Fig. 4).
+#[derive(Debug, Clone)]
+pub struct DdcEngine<E: Element> {
+    col: CrackedColumn<E>,
+}
+
+impl<E: Element> DdcEngine<E> {
+    /// Builds the engine over `data`.
+    pub fn new(data: Vec<E>, config: CrackConfig) -> Self {
+        Self {
+            col: CrackedColumn::new(data, config),
+        }
+    }
+}
+
+impl<E: Element> Engine<E> for DdcEngine<E> {
+    fn name(&self) -> String {
+        "DDC".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        self.col.select_with(q, |c, k| c.ddc_crack(k))
+    }
+
+    impl_engine_common!(DdcEngine);
+}
+
+/// DDR: recursive random-pivot cracks down to `CRACK_SIZE`.
+#[derive(Debug, Clone)]
+pub struct DdrEngine<E: Element> {
+    col: CrackedColumn<E>,
+    rng: SmallRng,
+}
+
+impl<E: Element> DdrEngine<E> {
+    /// Builds the engine over `data` with a deterministic RNG seed.
+    pub fn new(data: Vec<E>, config: CrackConfig, seed: u64) -> Self {
+        Self {
+            col: CrackedColumn::new(data, config),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<E: Element> Engine<E> for DdrEngine<E> {
+    fn name(&self) -> String {
+        "DDR".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        let rng = &mut self.rng;
+        self.col.select_with(q, |c, k| c.ddr_crack(k, rng))
+    }
+
+    impl_engine_common!(DdrEngine);
+}
+
+/// DD1C: at most one median crack per bound, then plain cracking.
+#[derive(Debug, Clone)]
+pub struct Dd1cEngine<E: Element> {
+    col: CrackedColumn<E>,
+}
+
+impl<E: Element> Dd1cEngine<E> {
+    /// Builds the engine over `data`.
+    pub fn new(data: Vec<E>, config: CrackConfig) -> Self {
+        Self {
+            col: CrackedColumn::new(data, config),
+        }
+    }
+}
+
+impl<E: Element> Engine<E> for Dd1cEngine<E> {
+    fn name(&self) -> String {
+        "DD1C".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        self.col.select_with(q, |c, k| c.dd1c_crack(k))
+    }
+
+    impl_engine_common!(Dd1cEngine);
+}
+
+/// DD1R: at most one random crack per bound, then plain cracking.
+#[derive(Debug, Clone)]
+pub struct Dd1rEngine<E: Element> {
+    col: CrackedColumn<E>,
+    rng: SmallRng,
+}
+
+impl<E: Element> Dd1rEngine<E> {
+    /// Builds the engine over `data` with a deterministic RNG seed.
+    pub fn new(data: Vec<E>, config: CrackConfig, seed: u64) -> Self {
+        Self {
+            col: CrackedColumn::new(data, config),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<E: Element> Engine<E> for Dd1rEngine<E> {
+    fn name(&self) -> String {
+        "DD1R".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        let rng = &mut self.rng;
+        self.col.select_with(q, |c, k| c.dd1r_crack(k, rng))
+    }
+
+    impl_engine_common!(Dd1rEngine);
+}
+
+/// MDD1R: one random crack per end piece with integrated materialization;
+/// the default `Scrack` of the paper's later figures.
+#[derive(Debug, Clone)]
+pub struct Mdd1rEngine<E: Element> {
+    col: CrackedColumn<E>,
+    rng: SmallRng,
+}
+
+impl<E: Element> Mdd1rEngine<E> {
+    /// Builds the engine over `data` with a deterministic RNG seed.
+    pub fn new(data: Vec<E>, config: CrackConfig, seed: u64) -> Self {
+        Self {
+            col: CrackedColumn::new(data, config),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
+    }
+}
+
+impl<E: Element> Engine<E> for Mdd1rEngine<E> {
+    fn name(&self) -> String {
+        "MDD1R".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        let rng = &mut self.rng;
+        self.col.mdd1r_select(q, rng)
+    }
+
+    impl_engine_common!(Mdd1rEngine);
+}
+
+/// Progressive stochastic cracking: MDD1R whose cracks are completed
+/// collaboratively by successive queries under a swap budget of
+/// `swap_pct`% of the piece size. `P100%` ≡ MDD1R.
+#[derive(Debug, Clone)]
+pub struct ProgressiveEngine<E: Element> {
+    col: CrackedColumn<E>,
+    rng: SmallRng,
+    swap_pct: f64,
+}
+
+impl<E: Element> ProgressiveEngine<E> {
+    /// Builds the engine with the given swap percentage (e.g. `10.0` for
+    /// the paper's default `P10%`).
+    pub fn new(data: Vec<E>, config: CrackConfig, seed: u64, swap_pct: f64) -> Self {
+        assert!(swap_pct > 0.0, "swap budget must be positive");
+        Self {
+            col: CrackedColumn::new(data, config),
+            rng: SmallRng::seed_from_u64(seed),
+            swap_pct,
+        }
+    }
+}
+
+impl<E: Element> Engine<E> for ProgressiveEngine<E> {
+    fn name(&self) -> String {
+        if (self.swap_pct - self.swap_pct.round()).abs() < f64::EPSILON {
+            format!("P{}%", self.swap_pct.round() as u64)
+        } else {
+            format!("P{}%", self.swap_pct)
+        }
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        let rng = &mut self.rng;
+        self.col.pmdd1r_select(q, self.swap_pct, rng)
+    }
+
+    impl_engine_common!(ProgressiveEngine);
+}

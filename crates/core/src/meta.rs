@@ -1,0 +1,43 @@
+//! Per-piece state carried in the cracker index.
+
+use scrack_index::PieceMeta;
+use scrack_partition::PartitionJob;
+
+/// State the stochastic engines attach to each piece of the cracker column.
+#[derive(Debug, Clone, Default)]
+pub struct PieceState {
+    /// How many times this piece has been cracked by *original* cracking
+    /// since the last stochastic crack; drives the ScrackMon selective
+    /// policy ("each piece has a crack counter … when a new piece is
+    /// created it inherits the counter from its parent piece", §4).
+    pub crack_count: u32,
+    /// The in-flight progressive partition of this piece, if any (PMDD1R).
+    pub job: Option<PartitionJob>,
+}
+
+impl PieceMeta for PieceState {
+    fn inherit(&self) -> Self {
+        PieceState {
+            crack_count: self.crack_count,
+            // A partition job describes one concrete piece; it never
+            // survives a split of that piece.
+            job: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inherit_keeps_counter_drops_job() {
+        let s = PieceState {
+            crack_count: 5,
+            job: Some(PartitionJob::new(10, 0, 100)),
+        };
+        let child = s.inherit();
+        assert_eq!(child.crack_count, 5);
+        assert!(child.job.is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! Naive randomization: inject stand-alone random queries.
+//!
+//! "A natural question is why we do not simply impose random queries to
+//! deal with robustness" (§5, Fig. 12). `RNcrack` answers one synthetic
+//! random-range query through original cracking before every `N`-th user
+//! query. The experiment shows this helps, but stays an order of magnitude
+//! behind stochastic cracking, because the auxiliary work is *not*
+//! integrated with query answering.
+
+use crate::config::CrackConfig;
+use crate::cracked::CrackedColumn;
+use crate::engine::Engine;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scrack_columnstore::QueryOutput;
+use scrack_types::{Element, QueryRange, Stats};
+
+/// Original cracking plus one injected random query every `every` user
+/// queries (`R1crack`, `R2crack`, `R4crack`, `R8crack` in Fig. 12).
+#[derive(Debug, Clone)]
+pub struct RandomInjectEngine<E: Element> {
+    col: CrackedColumn<E>,
+    rng: SmallRng,
+    every: u32,
+    query_no: u64,
+    /// Exclusive upper bound of the key domain, for generating random
+    /// ranges of the same width as the user query.
+    key_end: u64,
+}
+
+impl<E: Element> RandomInjectEngine<E> {
+    /// Builds the engine; `every` must be at least 1.
+    pub fn new(data: Vec<E>, config: CrackConfig, seed: u64, every: u32) -> Self {
+        assert!(every >= 1, "injection period must be at least 1");
+        let key_end = data
+            .iter()
+            .map(|e| e.key())
+            .max()
+            .map_or(0, |m| m.saturating_add(1));
+        Self {
+            col: CrackedColumn::new(data, config),
+            rng: SmallRng::seed_from_u64(seed),
+            every,
+            query_no: 0,
+            key_end,
+        }
+    }
+}
+
+impl<E: Element> Engine<E> for RandomInjectEngine<E> {
+    fn name(&self) -> String {
+        format!("R{}crack", self.every)
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        if self.query_no.is_multiple_of(u64::from(self.every)) && self.key_end > 0 {
+            // Inject one random query of the same selectivity; its result
+            // is discarded but its cracks (and cost) remain.
+            let width = q.width().min(self.key_end);
+            let max_low = self.key_end - width;
+            let low = if max_low == 0 {
+                0
+            } else {
+                self.rng.gen_range(0..max_low)
+            };
+            let _ = self.col.select_original(QueryRange::new(low, low + width));
+        }
+        self.query_no += 1;
+        self.col.select_original(q)
+    }
+
+    fn data(&self) -> &[E] {
+        self.col.data()
+    }
+
+    fn stats(&self) -> Stats {
+        self.col.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.col.stats_mut().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+
+    #[test]
+    fn injection_cracks_more_than_plain_cracking() {
+        let data: Vec<u64> = (0..10_000).map(|i| (i * 277) % 10_000).collect();
+        let mut plain = crate::CrackEngine::new(data.clone(), CrackConfig::default());
+        let mut inject = RandomInjectEngine::new(data, CrackConfig::default(), 7, 1);
+        for i in 0..50u64 {
+            let q = QueryRange::new(i * 100, i * 100 + 10);
+            let _ = crate::Engine::select(&mut plain, q);
+            let _ = inject.select(q);
+        }
+        assert!(
+            inject.stats().cracks > crate::Engine::stats(&plain).cracks,
+            "R1crack must add auxiliary cracks beyond the user queries'"
+        );
+    }
+
+    #[test]
+    fn results_stay_correct_despite_injection() {
+        let data: Vec<u64> = (0..5_000).map(|i| (i * 733) % 5_000).collect();
+        let oracle = Oracle::new(&data);
+        for every in [1u32, 2, 8] {
+            let mut eng = RandomInjectEngine::new(data.clone(), CrackConfig::default(), 5, every);
+            for i in 0..40u64 {
+                let q = QueryRange::new((i * 119) % 4_900, (i * 119) % 4_900 + 50);
+                let out = eng.select(q);
+                assert_eq!(out.len(), oracle.count(q), "every={every} query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn name_reflects_period() {
+        let eng = RandomInjectEngine::new(vec![1u64, 2, 3], CrackConfig::default(), 1, 4);
+        assert_eq!(eng.name(), "R4crack");
+    }
+
+    #[test]
+    fn empty_column_is_harmless() {
+        let mut eng: RandomInjectEngine<u64> =
+            RandomInjectEngine::new(vec![], CrackConfig::default(), 1, 2);
+        let out = eng.select(QueryRange::new(0, 10));
+        assert!(out.is_empty());
+    }
+}

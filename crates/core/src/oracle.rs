@@ -1,0 +1,99 @@
+//! The correctness oracle: ground truth for any range select.
+
+use scrack_types::{Element, QueryRange};
+
+/// Ground-truth answers computed once from a sorted copy of the data.
+///
+/// Every engine must return, for every query, exactly the multiset of keys
+/// the oracle reports — the central invariant of the test suite. Count and
+/// checksum queries are `O(log n)` via binary search and prefix sums, so
+/// oracle validation can run inside large experiment sweeps.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    sorted: Vec<u64>,
+    /// `prefix[i]` = wrapping sum of `sorted[..i]`.
+    prefix: Vec<u64>,
+}
+
+impl Oracle {
+    /// Builds the oracle from the column's initial contents.
+    pub fn new<E: Element>(data: &[E]) -> Self {
+        let mut sorted: Vec<u64> = data.iter().map(|e| e.key()).collect();
+        sorted.sort_unstable();
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for k in &sorted {
+            acc = acc.wrapping_add(*k);
+            prefix.push(acc);
+        }
+        Self { sorted, prefix }
+    }
+
+    fn bounds(&self, q: QueryRange) -> (usize, usize) {
+        let lo = self.sorted.partition_point(|k| *k < q.low);
+        let hi = self.sorted.partition_point(|k| *k < q.high);
+        (lo, hi)
+    }
+
+    /// Number of qualifying keys.
+    pub fn count(&self, q: QueryRange) -> usize {
+        let (lo, hi) = self.bounds(q);
+        hi - lo
+    }
+
+    /// Wrapping sum of qualifying keys — must equal
+    /// `QueryOutput::key_checksum` of any correct engine.
+    pub fn checksum(&self, q: QueryRange) -> u64 {
+        let (lo, hi) = self.bounds(q);
+        self.prefix[hi].wrapping_sub(self.prefix[lo])
+    }
+
+    /// The qualifying keys in ascending order.
+    pub fn keys(&self, q: QueryRange) -> &[u64] {
+        let (lo, hi) = self.bounds(q);
+        &self.sorted[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_checksum_keys_agree_with_naive_filter() {
+        let data: Vec<u64> = (0..200).map(|i| (i * 83) % 200).collect();
+        let oracle = Oracle::new(&data);
+        for (a, b) in [(0u64, 200u64), (10, 20), (199, 200), (50, 50), (150, 500)] {
+            let q = QueryRange::new(a, b);
+            let expect: Vec<u64> = {
+                let mut v: Vec<u64> = data.iter().copied().filter(|k| q.contains(*k)).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(oracle.count(q), expect.len());
+            assert_eq!(oracle.keys(q), expect.as_slice());
+            assert_eq!(
+                oracle.checksum(q),
+                expect.iter().fold(0u64, |s, k| s.wrapping_add(*k))
+            );
+        }
+    }
+
+    #[test]
+    fn empty_data() {
+        let oracle = Oracle::new(&[] as &[u64]);
+        let q = QueryRange::new(0, 10);
+        assert_eq!(oracle.count(q), 0);
+        assert_eq!(oracle.checksum(q), 0);
+        assert!(oracle.keys(q).is_empty());
+    }
+
+    #[test]
+    fn duplicates_counted() {
+        let data: Vec<u64> = vec![5, 5, 5, 1, 9];
+        let oracle = Oracle::new(&data);
+        assert_eq!(oracle.count(QueryRange::new(5, 6)), 3);
+        assert_eq!(oracle.checksum(QueryRange::new(5, 6)), 15);
+    }
+}

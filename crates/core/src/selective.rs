@@ -1,0 +1,146 @@
+//! Selective stochastic cracking: apply stochastic cracks only sometimes.
+//!
+//! §4 of the paper explores whether stochastic cracking can be applied
+//! *less often* to cut its (small) overhead: every other query
+//! (FiftyFifty), with a coin flip (FlipCoin), only on pieces whose crack
+//! counter passed a threshold (ScrackMon), or only on pieces larger than
+//! L1 (the size-threshold variant). Figures 17–19 show none of them beats
+//! continuous stochastic cracking — which this module lets the
+//! reproduction verify.
+
+use crate::config::CrackConfig;
+use crate::cracked::CrackedColumn;
+use crate::engine::Engine;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scrack_columnstore::QueryOutput;
+use scrack_types::{Element, QueryRange, Stats};
+
+/// When to use a stochastic (MDD1R-style) crack instead of original
+/// cracking.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SelectivePolicy {
+    /// Stochastic on every `x`-th query (query-grained). `x = 1` is
+    /// continuous stochastic cracking; `x = 2` is the paper's FiftyFifty;
+    /// larger `x` gives Fig. 18's sweep.
+    EveryX(u32),
+    /// Stochastic with probability `p` per query, decided by coin flip.
+    FlipCoin(f64),
+    /// ScrackMon (piece-grained): each piece counts how often original
+    /// cracking touched it; reaching `threshold` triggers one stochastic
+    /// crack and resets the counter (Fig. 19's sweep).
+    Monitor(u32),
+    /// Piece-grained size switch: stochastic only while the piece is
+    /// larger than L1 ("within the cache the cracking costs are
+    /// minimized", §4 — found to be a net loss in §5).
+    SizeThreshold,
+}
+
+impl SelectivePolicy {
+    /// Figure label for the policy.
+    pub fn label(&self) -> String {
+        match self {
+            SelectivePolicy::EveryX(1) => "Scrack".into(),
+            SelectivePolicy::EveryX(2) => "FiftyFifty".into(),
+            SelectivePolicy::EveryX(x) => format!("Every{x}"),
+            SelectivePolicy::FlipCoin(p) if (*p - 0.5).abs() < f64::EPSILON => "FlipCoin".into(),
+            SelectivePolicy::FlipCoin(p) => format!("FlipCoin({p})"),
+            SelectivePolicy::Monitor(x) => format!("ScrackMon{x}"),
+            SelectivePolicy::SizeThreshold => "L1Switch".into(),
+        }
+    }
+}
+
+/// An engine mixing stochastic and original cracking per `SelectivePolicy`.
+#[derive(Debug, Clone)]
+pub struct SelectiveEngine<E: Element> {
+    col: CrackedColumn<E>,
+    rng: SmallRng,
+    policy: SelectivePolicy,
+    query_no: u64,
+}
+
+impl<E: Element> SelectiveEngine<E> {
+    /// Builds the engine over `data`.
+    pub fn new(data: Vec<E>, config: CrackConfig, seed: u64, policy: SelectivePolicy) -> Self {
+        if let SelectivePolicy::EveryX(x) = policy {
+            assert!(x >= 1, "EveryX period must be at least 1");
+        }
+        Self {
+            col: CrackedColumn::new(data, config),
+            rng: SmallRng::seed_from_u64(seed),
+            policy,
+            query_no: 0,
+        }
+    }
+}
+
+impl<E: Element> Engine<E> for SelectiveEngine<E> {
+    fn name(&self) -> String {
+        self.policy.label()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        let rng = &mut self.rng;
+        let out = match self.policy {
+            SelectivePolicy::EveryX(x) => {
+                let stochastic = self.query_no.is_multiple_of(u64::from(x));
+                if stochastic {
+                    self.col.mdd1r_select(q, rng)
+                } else {
+                    self.col.select_original(q)
+                }
+            }
+            SelectivePolicy::FlipCoin(p) => {
+                if rng.gen_bool(p) {
+                    self.col.mdd1r_select(q, rng)
+                } else {
+                    self.col.select_original(q)
+                }
+            }
+            SelectivePolicy::Monitor(threshold) => self.col.selective_select(q, rng, |_, meta| {
+                if meta.crack_count >= threshold {
+                    meta.crack_count = 0;
+                    true
+                } else {
+                    meta.crack_count += 1;
+                    false
+                }
+            }),
+            SelectivePolicy::SizeThreshold => {
+                let l1 = self.col.config().cache.l1_elems(std::mem::size_of::<E>());
+                self.col
+                    .selective_select(q, rng, |piece, _| piece.len() > l1)
+            }
+        };
+        self.query_no += 1;
+        out
+    }
+
+    fn data(&self) -> &[E] {
+        self.col.data()
+    }
+
+    fn stats(&self) -> Stats {
+        self.col.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.col.stats_mut().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SelectivePolicy::EveryX(1).label(), "Scrack");
+        assert_eq!(SelectivePolicy::EveryX(2).label(), "FiftyFifty");
+        assert_eq!(SelectivePolicy::EveryX(8).label(), "Every8");
+        assert_eq!(SelectivePolicy::FlipCoin(0.5).label(), "FlipCoin");
+        assert_eq!(SelectivePolicy::Monitor(10).label(), "ScrackMon10");
+        assert_eq!(SelectivePolicy::SizeThreshold.label(), "L1Switch");
+    }
+}

@@ -1,0 +1,200 @@
+//! The central correctness invariant: every engine returns exactly the
+//! multiset of qualifying keys the scan oracle reports, on every query —
+//! regardless of strategy, workload shape, or how far adaptation has
+//! progressed.
+
+use scrack_core::{build_engine, CrackConfig, EngineKind, Oracle};
+use scrack_types::{QueryRange, Tuple};
+
+/// A deterministic pseudo-random permutation of 0..n.
+fn permutation(n: u64, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n).collect();
+    // Fisher-Yates with a splitmix64 stream; no rand dependency needed.
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Query sequences stressing different adaptation paths.
+fn query_patterns(n: u64) -> Vec<(&'static str, Vec<QueryRange>)> {
+    let s = 10u64.min(n / 10).max(1);
+    let q = 64u64;
+    let j = (n.saturating_sub(s)) / q.max(1);
+    let mut patterns = Vec::new();
+
+    let mut seq = Vec::new();
+    let mut zoom_in = Vec::new();
+    let mut zoom_alt = Vec::new();
+    let mut random = Vec::new();
+    let mut state = 0xC0FFEEu64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..q {
+        let a = i * j;
+        seq.push(QueryRange::new(a, a + s));
+
+        let w = n.saturating_sub(2 * i * j).max(s);
+        let lo = i * j.min(n / 2);
+        zoom_in.push(QueryRange::new(lo, lo + w));
+
+        let x_pos = i % 2 == 0;
+        let a = if x_pos {
+            (n / 2).saturating_add(i * j / 2)
+        } else {
+            (n / 2).saturating_sub(i * j / 2)
+        };
+        let a = a.min(n.saturating_sub(s));
+        zoom_alt.push(QueryRange::new(a, a + s));
+
+        let a = next() % n.saturating_sub(s).max(1);
+        random.push(QueryRange::new(a, a + s));
+    }
+    // Edge cases hammered on every engine.
+    let edge = vec![
+        QueryRange::new(0, n),       // whole domain
+        QueryRange::new(0, 1),       // first key
+        QueryRange::new(n - 1, n),   // last key
+        QueryRange::new(n, n + 100), // beyond the domain
+        QueryRange::new(5, 5),       // empty
+        QueryRange::new(n / 2, n / 2 + 1),
+        QueryRange::new(0, n / 2), // repeated boundary below
+        QueryRange::new(0, n / 2), // exact repeat (boundary reuse)
+        QueryRange::new(n / 2, n), // complement
+    ];
+    patterns.push(("sequential", seq));
+    patterns.push(("zoom_in", zoom_in));
+    patterns.push(("zoom_alt", zoom_alt));
+    patterns.push(("random", random));
+    patterns.push(("edges", edge));
+    patterns
+}
+
+fn check_kind_on_data(kind: EngineKind, data: Vec<u64>, label: &str) {
+    let n = data.len() as u64;
+    let oracle = Oracle::new(&data);
+    // Small caches so stochastic thresholds actually engage at test scale.
+    let config = CrackConfig::default()
+        .with_crack_size(64)
+        .with_progressive_threshold(256);
+    for (pattern, queries) in query_patterns(n.max(2)) {
+        let mut engine = build_engine(kind, data.clone(), config, 7);
+        for (i, q) in queries.iter().enumerate() {
+            let out = engine.select(*q);
+            assert_eq!(
+                out.len(),
+                oracle.count(*q),
+                "{} [{label}/{pattern}] query {i} {q}: wrong count",
+                engine.name(),
+            );
+            assert_eq!(
+                out.keys_sorted(engine.data()),
+                oracle.keys(*q),
+                "{} [{label}/{pattern}] query {i} {q}: wrong keys",
+                engine.name(),
+            );
+        }
+    }
+}
+
+#[test]
+fn all_engines_match_oracle_on_unique_permutation() {
+    let data = permutation(2000, 0xDEADBEEF);
+    for kind in EngineKind::paper_selection() {
+        check_kind_on_data(kind, data.clone(), "unique");
+    }
+}
+
+#[test]
+fn all_engines_match_oracle_with_duplicates() {
+    // Heavy duplication: only 50 distinct keys across 2000 tuples.
+    let data: Vec<u64> = permutation(2000, 1).into_iter().map(|k| k % 50).collect();
+    for kind in EngineKind::paper_selection() {
+        check_kind_on_data(kind, data.clone(), "dups");
+    }
+}
+
+#[test]
+fn all_engines_match_oracle_on_tiny_columns() {
+    for n in [1u64, 2, 3, 5] {
+        let data: Vec<u64> = (0..n).rev().collect();
+        for kind in EngineKind::paper_selection() {
+            check_kind_on_data(kind, data.clone(), "tiny");
+        }
+    }
+}
+
+#[test]
+fn tuples_preserve_rowid_pairing_under_cracking() {
+    let keys = permutation(1000, 99);
+    let data: Vec<Tuple> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| Tuple::new(*k, i as u32))
+        .collect();
+    for kind in EngineKind::paper_selection() {
+        let mut engine = build_engine(kind, data.clone(), CrackConfig::default(), 3);
+        for i in 0..32u64 {
+            let a = (i * 31) % 990;
+            let out = engine.select(QueryRange::new(a, a + 10));
+            for t in out.resolve(engine.data()) {
+                assert_eq!(
+                    keys[t.row as usize],
+                    t.key,
+                    "{}: rowid {} detached from its key",
+                    engine.name(),
+                    t.row
+                );
+            }
+        }
+        // The full buffer must still be a permutation of the input pairs.
+        let mut got: Vec<(u64, u32)> = engine.data().iter().map(|t| (t.key, t.row)).collect();
+        got.sort_unstable();
+        let mut expect: Vec<(u64, u32)> = data.iter().map(|t| (t.key, t.row)).collect();
+        expect.sort_unstable();
+        assert_eq!(
+            got,
+            expect,
+            "{}: buffer no longer a permutation",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn deterministic_given_same_seed() {
+    let data = permutation(3000, 5);
+    for kind in [
+        EngineKind::Ddr,
+        EngineKind::Dd1r,
+        EngineKind::Mdd1r,
+        EngineKind::Progressive { swap_pct: 10 },
+        EngineKind::FlipCoin,
+    ] {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut engine = build_engine(kind, data.clone(), CrackConfig::default(), seed);
+            (0..50u64)
+                .map(|i| {
+                    let a = (i * 59) % 2900;
+                    engine
+                        .select(QueryRange::new(a, a + 25))
+                        .key_checksum(engine.data())
+                })
+                .collect()
+        };
+        assert_eq!(run(11), run(11), "{:?} must be seed-deterministic", kind);
+    }
+}

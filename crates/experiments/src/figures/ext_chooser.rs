@@ -1,0 +1,77 @@
+//! Extension — §6's dynamic algorithm chooser, evaluated.
+//!
+//! The paper's summary (§5) establishes that continuous stochastic
+//! cracking is the robust *fixed* choice. This experiment asks the §6
+//! follow-up: can a per-query decision component do better — matching
+//! Crack's marginal win on random workloads while keeping Scrack's
+//! robustness on focused ones? Policies: a deterministic piece-size cost
+//! model and two learned bandits, against the fixed strategies.
+
+use super::{fresh_data, heading, workload};
+use crate::report::{format_secs, Table};
+use crate::runner::ExpConfig;
+use scrack_chooser::{ChooserEngine, PolicyKind};
+use scrack_core::{build_engine, CrackConfig, Engine, EngineKind};
+use scrack_types::QueryRange;
+use scrack_workloads::WorkloadKind;
+use std::time::Instant;
+
+fn time_engine(engine: &mut dyn Engine<u64>, queries: &[QueryRange]) -> (f64, u64) {
+    let t0 = Instant::now();
+    for q in queries {
+        std::hint::black_box(engine.select(*q).len());
+    }
+    (t0.elapsed().as_secs_f64(), engine.stats().touched)
+}
+
+/// Runs the experiment and renders the report section.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = heading(
+        cfg,
+        "Extension — dynamic algorithm selection (§6 future work)",
+        "Every chooser policy must avoid Crack's collapse on the focused \
+         workloads; the interesting margin is on Random, where Crack is \
+         the cheapest fixed choice and the policies pay their exploration.",
+    );
+    let workloads = [
+        WorkloadKind::Random,
+        WorkloadKind::Sequential,
+        WorkloadKind::ZoomInAlt,
+        WorkloadKind::Periodic,
+    ];
+    let mut table = Table::new(&[
+        "workload", "Crack", "Scrack", "PieceAware", "EpsGreedy", "UCB1", "CtxEps",
+    ]);
+    for wk in workloads {
+        let queries = workload(cfg, wk);
+        let mut cells = vec![format!("{wk:?}")];
+        for fixed in [EngineKind::Crack, EngineKind::Mdd1r] {
+            let mut engine = build_engine(
+                fixed,
+                fresh_data(cfg),
+                CrackConfig::default(),
+                cfg.seed_for("extch"),
+            );
+            let (secs, _) = time_engine(engine.as_mut(), &queries);
+            cells.push(format_secs(secs));
+        }
+        for policy in [
+            PolicyKind::PieceAware,
+            PolicyKind::EpsilonGreedy,
+            PolicyKind::Ucb1,
+            PolicyKind::Contextual,
+        ] {
+            let mut engine = ChooserEngine::from_kind(
+                fresh_data(cfg),
+                CrackConfig::default(),
+                cfg.seed_for("extch-p"),
+                policy,
+            );
+            let (secs, _) = time_engine(&mut engine, &queries);
+            cells.push(format_secs(secs));
+        }
+        table.row(cells);
+    }
+    out.push_str(&table.render());
+    out
+}

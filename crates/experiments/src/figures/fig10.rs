@@ -1,0 +1,40 @@
+//! Figure 10 — the random workload: stochastic cracking must not lose the
+//! properties of original cracking where original cracking is at home.
+
+use super::{heading, run_kinds, workload};
+use crate::report::cumulative_table;
+use crate::runner::ExpConfig;
+use scrack_core::EngineKind;
+use scrack_workloads::WorkloadKind;
+
+/// Runs the experiment and renders the report section.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = heading(
+        cfg,
+        "Fig. 10 — random workload, all stochastic variants",
+        "Every stochastic variant tracks Crack closely; Crack is only \
+         marginally faster during the first few queries; Sort's high first- \
+         query cost keeps it above everything for the whole run.",
+    );
+    let queries = workload(cfg, WorkloadKind::Random);
+    let results = run_kinds(
+        cfg,
+        &[
+            EngineKind::Sort,
+            EngineKind::Ddc,
+            EngineKind::Dd1c,
+            EngineKind::Ddr,
+            EngineKind::Dd1r,
+            EngineKind::Mdd1r,
+            EngineKind::Progressive { swap_pct: 50 },
+            EngineKind::Crack,
+        ],
+        &queries,
+        "fig10.csv",
+    );
+    out.push_str(&cumulative_table(
+        &results.iter().collect::<Vec<_>>(),
+        cfg.queries,
+    ));
+    out
+}

@@ -1,0 +1,38 @@
+//! Figure 12 — naive approaches: injecting stand-alone random queries.
+
+use super::{heading, run_kinds, workload};
+use crate::report::cumulative_table;
+use crate::runner::ExpConfig;
+use scrack_core::EngineKind;
+use scrack_workloads::WorkloadKind;
+
+/// Runs the experiment and renders the report section.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = heading(
+        cfg,
+        "Fig. 12 — naive random-query injection vs integrated stochastic \
+         cracking (Sequential)",
+        "R{1,2,4,8}crack beat Crack by about an order of magnitude but \
+         Scrack gains another order of magnitude and converges (flat \
+         curve) while the naive variants keep paying.",
+    );
+    let queries = workload(cfg, WorkloadKind::Sequential);
+    let results = run_kinds(
+        cfg,
+        &[
+            EngineKind::Crack,
+            EngineKind::RandomInject { every: 1 },
+            EngineKind::RandomInject { every: 2 },
+            EngineKind::RandomInject { every: 4 },
+            EngineKind::RandomInject { every: 8 },
+            EngineKind::Mdd1r,
+        ],
+        &queries,
+        "fig12.csv",
+    );
+    out.push_str(&cumulative_table(
+        &results.iter().collect::<Vec<_>>(),
+        cfg.queries,
+    ));
+    out
+}

@@ -1,0 +1,36 @@
+//! Figure 13 — various workloads under stochastic cracking: Periodic,
+//! ZoomOut, ZoomIn, ZoomInAlt.
+
+use super::{heading, run_kinds, workload};
+use crate::report::cumulative_table;
+use crate::runner::ExpConfig;
+use scrack_core::EngineKind;
+use scrack_workloads::WorkloadKind;
+
+/// Runs the experiment and renders the report section.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = heading(
+        cfg,
+        "Fig. 13 — Periodic / ZoomOut / ZoomIn / ZoomInAlt",
+        "Scrack stays flat on all four; Crack fails on ZoomOut and \
+         ZoomInAlt (orders of magnitude slower, losing even to Sort) and \
+         merely survives Periodic/ZoomIn.",
+    );
+    let kinds = [EngineKind::Sort, EngineKind::Crack, EngineKind::Mdd1r];
+    for (sub, wk) in [
+        ("(a) Periodic", WorkloadKind::Periodic),
+        ("(b) Zoom out", WorkloadKind::ZoomOut),
+        ("(c) Zoom in", WorkloadKind::ZoomIn),
+        ("(d) Zoom in alternate", WorkloadKind::ZoomInAlt),
+    ] {
+        out.push_str(&format!("### Fig. 13{sub}\n\n"));
+        let queries = workload(cfg, wk);
+        let results = run_kinds(cfg, &kinds, &queries, &format!("fig13_{}.csv", wk.label()));
+        out.push_str(&cumulative_table(
+            &results.iter().collect::<Vec<_>>(),
+            cfg.queries,
+        ));
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,41 @@
+//! Figure 18 (table) — selective stochastic cracking with varying period
+//! on the SkyServer workload.
+
+use super::fig16;
+use super::{fresh_data, heading};
+use crate::report::{format_secs, Table};
+use crate::runner::{run_engine, ExpConfig};
+use scrack_core::{build_engine, CrackConfig, EngineKind, Oracle};
+
+/// Runs the experiment and renders the report section.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = heading(
+        cfg,
+        "Fig. 18 — stochastic crack every X queries, original cracking \
+         otherwise (SkyServer)",
+        "Monotone degradation as X grows: X=1 (continuous stochastic \
+         cracking) is best; X=32 is an order of magnitude worse.",
+    );
+    let queries = fig16::trace(cfg);
+    out.push_str(&format!("Trace length: {} queries\n\n", queries.len()));
+    let mut t = Table::new(&["X", "strategy", "cumulative time"]);
+    for x in [1u32, 2, 4, 8, 16, 32] {
+        let data = fresh_data(cfg);
+        let oracle = cfg.verify.then(|| Oracle::new(&data));
+        let kind = EngineKind::EveryX { x };
+        let mut engine = build_engine(
+            kind,
+            data,
+            CrackConfig::default(),
+            cfg.seed_for(&format!("fig18-{x}")),
+        );
+        let r = run_engine(engine.as_mut(), &queries, oracle.as_ref());
+        t.row(vec![
+            x.to_string(),
+            kind.label(),
+            format_secs(r.total_secs()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,58 @@
+//! Figure 20 — the summary trade-off: total cumulative cost (x) vs the
+//! cumulative cost of the first few queries (y), for DD1R, P5%, P10%.
+
+use super::{fresh_data, heading, workload};
+use crate::report::{format_secs, Table};
+use crate::runner::{run_engine, ExpConfig, RunResult};
+use scrack_core::{build_engine, CrackConfig, EngineKind, Oracle};
+use scrack_workloads::WorkloadKind;
+
+/// Runs the experiment and renders the report section.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = heading(
+        cfg,
+        "Fig. 20 — initialization cost vs total cost (Sequential)",
+        "DD1R has the lowest total cost (leftmost); progressive variants \
+         trade total cost for lighter first queries (lower y at small k): \
+         P5% starts cheaper than P10% than DD1R.",
+    );
+    let queries = workload(cfg, WorkloadKind::Sequential);
+    let kinds = [
+        EngineKind::Dd1r,
+        EngineKind::Progressive { swap_pct: 5 },
+        EngineKind::Progressive { swap_pct: 10 },
+    ];
+    let results: Vec<RunResult> = kinds
+        .iter()
+        .map(|kind| {
+            let data = fresh_data(cfg);
+            let oracle = cfg.verify.then(|| Oracle::new(&data));
+            let mut engine = build_engine(
+                *kind,
+                data,
+                CrackConfig::default(),
+                cfg.seed_for(&format!("fig20-{}", kind.label())),
+            );
+            run_engine(engine.as_mut(), &queries, oracle.as_ref())
+        })
+        .collect();
+    let mut t = Table::new(&[
+        "strategy",
+        "total (x-axis)",
+        "first 1",
+        "first 2",
+        "first 4",
+        "first 8",
+        "first 16",
+        "first 32",
+    ]);
+    for r in &results {
+        let mut row = vec![r.name.clone(), format_secs(r.total_secs())];
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            row.push(format_secs(r.cumulative_secs_at(k)));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out
+}

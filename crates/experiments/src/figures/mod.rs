@@ -1,0 +1,78 @@
+//! One module per reproduced figure/table; shared scaffolding here.
+
+pub mod fig02;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+
+pub mod ext_chooser;
+pub mod ext_io;
+pub mod ext_metrics;
+pub mod ext_updates;
+
+use crate::report::write_series;
+use crate::runner::{run_engine, ExpConfig, RunResult};
+use scrack_core::{build_engine, CrackConfig, EngineKind, Oracle};
+use scrack_types::QueryRange;
+use scrack_workloads::data::unique_permutation;
+use scrack_workloads::{WorkloadKind, WorkloadSpec};
+
+/// The paper's column: a random permutation of `0..n` bare keys.
+pub(crate) fn fresh_data(cfg: &ExpConfig) -> Vec<u64> {
+    unique_permutation(cfg.n, cfg.seed_for("data"))
+}
+
+/// Generates the standard workload at this config's scale.
+pub(crate) fn workload(cfg: &ExpConfig, kind: WorkloadKind) -> Vec<QueryRange> {
+    WorkloadSpec::new(kind, cfg.n, cfg.queries, cfg.seed_for(kind.label())).generate()
+}
+
+/// Runs one engine kind on a query sequence over fresh data.
+pub(crate) fn run_kind(
+    cfg: &ExpConfig,
+    kind: EngineKind,
+    crack_cfg: CrackConfig,
+    queries: &[QueryRange],
+    tag: &str,
+) -> RunResult {
+    let data = fresh_data(cfg);
+    let oracle = cfg.verify.then(|| Oracle::new(&data));
+    let mut engine = build_engine(kind, data, crack_cfg, cfg.seed_for(tag));
+    run_engine(engine.as_mut(), queries, oracle.as_ref())
+}
+
+/// Runs several engine kinds on the same query sequence (each over its own
+/// fresh copy of the data) and writes the combined CSV series.
+pub(crate) fn run_kinds(
+    cfg: &ExpConfig,
+    kinds: &[EngineKind],
+    queries: &[QueryRange],
+    series_file: &str,
+) -> Vec<RunResult> {
+    let results: Vec<RunResult> = kinds
+        .iter()
+        .map(|k| run_kind(cfg, *k, CrackConfig::default(), queries, &k.label()))
+        .collect();
+    let refs: Vec<&RunResult> = results.iter().collect();
+    write_series(cfg, series_file, &refs);
+    results
+}
+
+/// Section header with the scale the figure ran at.
+pub(crate) fn heading(cfg: &ExpConfig, title: &str, paper_shape: &str) -> String {
+    format!(
+        "## {title}\n\n(scale: N={}, Q={}, seed={})\n\nPaper shape to check: {paper_shape}\n\n",
+        cfg.n, cfg.queries, cfg.seed
+    )
+}

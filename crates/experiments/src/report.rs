@@ -1,0 +1,163 @@
+//! Plain-text reporting: markdown tables and CSV series.
+
+use crate::runner::{ExpConfig, RunResult};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Log-spaced checkpoints `1, 2, 4, …` up to and including `q`.
+///
+/// The paper's cumulative plots use logarithmic axes; sampling the curves
+/// at powers of two reproduces them in tabular form.
+pub fn log_checkpoints(q: usize) -> Vec<usize> {
+    let mut pts = Vec::new();
+    let mut k = 1usize;
+    while k < q {
+        pts.push(k);
+        k *= 2;
+    }
+    pts.push(q);
+    pts
+}
+
+/// Human formatting for seconds across nine orders of magnitude.
+pub fn format_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2}us", s * 1e6)
+    } else {
+        format!("{:.0}ns", s * 1e9)
+    }
+}
+
+/// A minimal markdown table builder.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as markdown with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for (i, w) in widths.iter().enumerate().take(cols) {
+                let _ = write!(out, " {:w$} |", cells.get(i).map_or("", |s| s), w = w);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{:-<w$}|", "", w = w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// The standard "cumulative response time over the query sequence" table
+/// (one row per checkpoint, one column per engine) used by most figures.
+pub fn cumulative_table(results: &[&RunResult], queries: usize) -> String {
+    let mut headers: Vec<String> = vec!["queries".into()];
+    headers.extend(results.iter().map(|r| r.name.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for k in log_checkpoints(queries) {
+        let mut row = vec![k.to_string()];
+        row.extend(results.iter().map(|r| format_secs(r.cumulative_secs_at(k))));
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Writes per-query series (`query_index, cumulative_seconds,
+/// query_seconds, touched`) as CSV under the config's output directory.
+pub fn write_series(cfg: &ExpConfig, file: &str, results: &[&RunResult]) {
+    let Some(dir) = &cfg.out_dir else {
+        return;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path: &Path = dir.as_ref();
+    let mut body = String::from("engine,query,cumulative_s,query_s,touched\n");
+    for r in results {
+        let mut cum = 0.0f64;
+        for i in 0..r.per_query_ns.len() {
+            cum += r.per_query_ns[i] as f64 * 1e-9;
+            let _ = writeln!(
+                body,
+                "{},{},{:.9},{:.9},{}",
+                r.name,
+                i + 1,
+                cum,
+                r.per_query_ns[i] as f64 * 1e-9,
+                r.per_query_touched[i]
+            );
+        }
+    }
+    let _ = std::fs::write(path.join(file), body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoints_are_log_spaced_and_end_at_q() {
+        assert_eq!(log_checkpoints(10), vec![1, 2, 4, 8, 10]);
+        assert_eq!(log_checkpoints(1), vec![1]);
+        assert_eq!(log_checkpoints(16), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(format_secs(123.4), "123s");
+        assert_eq!(format_secs(1.5), "1.50s");
+        assert_eq!(format_secs(0.0025), "2.50ms");
+        assert_eq!(format_secs(2.5e-6), "2.50us");
+        assert_eq!(format_secs(5e-9), "5ns");
+    }
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| a | bbbb |"));
+        assert!(s.contains("|---|------|"));
+        assert!(s.contains("| 1 | 2    |"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Element-level access to a column stored across pages.
+
+use crate::page::{DiskStore, PageId, PoolConfig};
+use crate::pool::{BufferPool, IoStats};
+use scrack_types::{Element, Stats};
+
+/// A dense column whose elements live on disk pages behind a buffer pool.
+///
+/// This is the external-memory counterpart of the in-memory `Vec<E>`
+/// column: the same cracking kernels run over it, but every element access
+/// may fault a page in (and evict — possibly write back — another). The
+/// [`Stats`] counters keep the paper's §3 tuple-level accounting; the
+/// [`IoStats`] counters add the page-level traffic that §6's disk-based
+/// processing question is about.
+#[derive(Debug, Clone)]
+pub struct PagedColumn<E: Element> {
+    pool: BufferPool<E>,
+    page_elems: usize,
+    len: usize,
+    stats: Stats,
+}
+
+impl<E: Element> PagedColumn<E> {
+    /// Lays `data` out on simulated disk pages under `config`.
+    pub fn new(data: &[E], config: PoolConfig) -> Self {
+        let disk = DiskStore::new(data, config.page_elems);
+        let len = disk.len();
+        Self {
+            pool: BufferPool::new(disk, config),
+            page_elems: config.page_elems,
+            len,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Logical number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Page-level I/O counters.
+    pub fn io(&self) -> IoStats {
+        self.pool.io()
+    }
+
+    /// Tuple-level cost counters (shared convention with the in-memory
+    /// engines).
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Mutable access to the tuple-level counters, for engines layering
+    /// their own accounting on top.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Resets both counter sets.
+    pub fn reset_counters(&mut self) {
+        self.stats.reset();
+        self.pool.reset_io();
+    }
+
+    /// Flushes dirty pages and empties the pool (cold-cache state).
+    pub fn drop_cache(&mut self) {
+        self.pool.clear();
+    }
+
+    /// The buffer pool (diagnostics and tests).
+    pub fn pool(&self) -> &BufferPool<E> {
+        &self.pool
+    }
+
+    /// Mutable pool access for operations that stage I/O outside the
+    /// frame set (external sort).
+    pub(crate) fn pool_mut(&mut self) -> &mut BufferPool<E> {
+        &mut self.pool
+    }
+
+    /// Elements per page.
+    pub fn page_elems(&self) -> usize {
+        self.page_elems
+    }
+
+    #[inline]
+    fn locate(&self, i: usize) -> (PageId, usize) {
+        debug_assert!(i < self.len, "index {i} out of bounds {}", self.len);
+        (i / self.page_elems, i % self.page_elems)
+    }
+
+    /// Reads element `i` (counts one touched tuple).
+    #[inline]
+    pub fn get(&mut self, i: usize) -> E {
+        let (page, slot) = self.locate(i);
+        self.stats.touched += 1;
+        self.pool.page(page)[slot]
+    }
+
+    /// Reads element `i` without cost accounting (for result assembly,
+    /// which the §3 convention does not count as reorganization work).
+    #[inline]
+    pub fn peek(&mut self, i: usize) -> E {
+        let (page, slot) = self.locate(i);
+        self.pool.page(page)[slot]
+    }
+
+    /// Overwrites element `i`, dirtying its page.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: E) {
+        let (page, slot) = self.locate(i);
+        self.pool.page_mut(page)[slot] = v;
+    }
+
+    /// Swaps elements `i` and `j` (counts one swap; both pages dirty).
+    pub fn swap(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        self.stats.swaps += 1;
+        let a = self.peek(i);
+        let b = self.peek(j);
+        self.set(i, b);
+        self.set(j, a);
+    }
+
+    /// Applies `f` to every element of `[start, end)`, page-wise, e.g.
+    /// for scans and result materialization. Counts `end - start` touched
+    /// tuples.
+    pub fn for_range(&mut self, start: usize, end: usize, mut f: impl FnMut(E)) {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        self.stats.touched += (end - start) as u64;
+        let mut i = start;
+        while i < end {
+            let (page, slot) = self.locate(i);
+            let upto = ((page + 1) * self.page_elems).min(end);
+            let take = upto - i;
+            for &e in &self.pool.page(page)[slot..slot + take] {
+                f(e);
+            }
+            i = upto;
+        }
+    }
+
+    /// Pins the page holding element `i` (cursor stability during
+    /// two-ended partition passes).
+    pub fn pin_page_of(&mut self, i: usize) -> PageId {
+        let (page, _) = self.locate(i);
+        self.pool.pin(page);
+        page
+    }
+
+    /// Releases a pin taken by [`pin_page_of`](Self::pin_page_of).
+    pub fn unpin_page(&mut self, page: PageId) {
+        self.pool.unpin(page);
+    }
+
+    /// Flushes every dirty page to disk.
+    pub fn flush(&mut self) {
+        self.pool.flush_all();
+    }
+
+    /// Reassembles the logical array from disk after a flush
+    /// (test/diagnostic helper).
+    pub fn snapshot(&mut self) -> Vec<E> {
+        self.flush();
+        self.pool.disk().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(n: u64, page_elems: usize, frames: usize) -> PagedColumn<u64> {
+        let data: Vec<u64> = (0..n).collect();
+        PagedColumn::new(&data, PoolConfig { page_elems, frames })
+    }
+
+    #[test]
+    fn get_set_swap_roundtrip() {
+        let mut c = column(1000, 128, 2);
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.get(999), 999);
+        c.set(500, 42);
+        assert_eq!(c.get(500), 42);
+        c.swap(0, 999);
+        assert_eq!(c.get(0), 999);
+        assert_eq!(c.get(999), 0);
+        assert_eq!(c.stats().swaps, 1);
+    }
+
+    #[test]
+    fn for_range_crosses_pages() {
+        let mut c = column(1000, 128, 2);
+        let mut seen = Vec::new();
+        c.for_range(120, 270, |e| seen.push(e));
+        assert_eq!(seen, (120..270).collect::<Vec<u64>>());
+        assert_eq!(c.stats().touched, 150);
+    }
+
+    #[test]
+    fn for_range_empty_and_full() {
+        let mut c = column(256, 128, 2);
+        let mut count = 0;
+        c.for_range(10, 10, |_| count += 1);
+        assert_eq!(count, 0);
+        c.for_range(0, 256, |_| count += 1);
+        assert_eq!(count, 256);
+    }
+
+    #[test]
+    fn snapshot_reflects_mutations_across_evictions() {
+        let mut c = column(4096, 128, 2);
+        for i in 0..4096 {
+            c.set(i, (4095 - i) as u64);
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap, (0..4096).rev().collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn tiny_pool_still_correct_under_random_swaps() {
+        let mut c = column(2048, 64, 2);
+        let mut model: Vec<u64> = (0..2048).collect();
+        let mut x = 0x12345678u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..2000 {
+            let i = (rand() % 2048) as usize;
+            let j = (rand() % 2048) as usize;
+            c.swap(i, j);
+            model.swap(i, j);
+        }
+        assert_eq!(c.snapshot(), model);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_range_rejected() {
+        let mut c = column(100, 64, 2);
+        c.for_range(0, 101, |_| {});
+    }
+
+    #[test]
+    fn drop_cache_forces_cold_faults() {
+        let mut c = column(1024, 128, 8);
+        c.for_range(0, 1024, |_| {});
+        let warm = c.io();
+        assert_eq!(warm.faults, 8);
+        c.drop_cache();
+        c.for_range(0, 1024, |_| {});
+        assert_eq!(c.io().faults, 16, "cold rescan faults every page again");
+    }
+}

@@ -1,0 +1,557 @@
+//! Adaptive-indexing engines over paged storage.
+//!
+//! The same four strategies the paper's Fig. 2/9 compare in memory —
+//! `Scan`, `Sort`, `Crack`, and `MDD1R` (stochastic cracking) — rebuilt
+//! over the [`PagedColumn`], so their *page traffic* can be compared: §6's
+//! open question is precisely whether cracking's continuous reorganization
+//! causes prohibitive write I/O once the column lives on disk.
+
+use crate::column::PagedColumn;
+use crate::kernel::{crack_in_three_paged, crack_in_two_paged, split_and_materialize_paged};
+use crate::output::ExternalOutput;
+use crate::page::PoolConfig;
+use crate::pool::IoStats;
+use crate::sort::{external_merge_sort, paged_lower_bound};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scrack_index::CrackerIndex;
+use scrack_types::{Element, QueryRange, Stats};
+
+/// A range-select engine over disk-resident data.
+///
+/// The counterpart of `scrack_core::Engine` for paged storage; `data()` is
+/// replaced by [`column_mut`](PagedEngine::column_mut) (views must be
+/// resolved through the pool) and [`io`](PagedEngine::io) exposes the page
+/// traffic alongside the §3 tuple counters.
+pub trait PagedEngine<E: Element> {
+    /// Display name matching the in-memory figure labels.
+    fn name(&self) -> String;
+
+    /// Answers `[q.low, q.high)`, reorganizing pages as a side effect.
+    fn select(&mut self, q: QueryRange) -> ExternalOutput<E>;
+
+    /// The paged column backing result views.
+    fn column_mut(&mut self) -> &mut PagedColumn<E>;
+
+    /// Page-transfer counters.
+    fn io(&self) -> IoStats;
+
+    /// Tuple-level cost counters.
+    fn stats(&self) -> Stats;
+
+    /// Zeroes both counter sets.
+    fn reset_counters(&mut self);
+}
+
+/// The strategies of the external comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PagedEngineKind {
+    /// Full page-wise scan with result materialization.
+    Scan,
+    /// External merge sort on the first query, paged binary search after.
+    Sort,
+    /// Original cracking over paged storage.
+    Crack,
+    /// Stochastic cracking (MDD1R) over paged storage.
+    Mdd1r,
+    /// Progressive stochastic cracking with the given swap budget in
+    /// percent — the §6 write-I/O throttle.
+    Progressive(u32),
+}
+
+impl PagedEngineKind {
+    /// Figure-style label.
+    pub fn label(&self) -> String {
+        match self {
+            PagedEngineKind::Scan => "Scan".into(),
+            PagedEngineKind::Sort => "Sort".into(),
+            PagedEngineKind::Crack => "Crack".into(),
+            PagedEngineKind::Mdd1r => "MDD1R".into(),
+            PagedEngineKind::Progressive(pct) => format!("P{pct}%"),
+        }
+    }
+
+    /// The four basic strategies, in the order the reports print them.
+    pub fn all() -> [PagedEngineKind; 4] {
+        [
+            PagedEngineKind::Scan,
+            PagedEngineKind::Sort,
+            PagedEngineKind::Crack,
+            PagedEngineKind::Mdd1r,
+        ]
+    }
+
+    /// The basic strategies plus the progressive budgets the extension
+    /// experiment sweeps.
+    pub fn all_with_progressive() -> Vec<PagedEngineKind> {
+        let mut v: Vec<PagedEngineKind> = Self::all().to_vec();
+        v.extend([PagedEngineKind::Progressive(1), PagedEngineKind::Progressive(10)]);
+        v
+    }
+}
+
+/// Builds a boxed paged engine of the given kind over `data`.
+pub fn build_paged_engine<E: Element>(
+    kind: PagedEngineKind,
+    data: &[E],
+    config: PoolConfig,
+    seed: u64,
+) -> Box<dyn PagedEngine<E>> {
+    match kind {
+        PagedEngineKind::Scan => Box::new(ExternalScanEngine::new(data, config)),
+        PagedEngineKind::Sort => Box::new(ExternalSortEngine::new(data, config)),
+        PagedEngineKind::Crack => Box::new(ExternalCrackEngine::new(data, config)),
+        PagedEngineKind::Mdd1r => Box::new(ExternalMdd1rEngine::new(data, config, seed)),
+        PagedEngineKind::Progressive(pct) => Box::new(
+            crate::progressive::ExternalPmdd1rEngine::new(data, config, seed, f64::from(pct)),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------
+
+/// Full scan: every query reads every page and materializes qualifiers.
+/// Never writes — the read-only floor the adaptive engines are judged
+/// against.
+#[derive(Debug, Clone)]
+pub struct ExternalScanEngine<E: Element> {
+    col: PagedColumn<E>,
+}
+
+impl<E: Element> ExternalScanEngine<E> {
+    /// Lays `data` out on pages under `config`.
+    pub fn new(data: &[E], config: PoolConfig) -> Self {
+        Self {
+            col: PagedColumn::new(data, config),
+        }
+    }
+}
+
+impl<E: Element> PagedEngine<E> for ExternalScanEngine<E> {
+    fn name(&self) -> String {
+        "Scan".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> ExternalOutput<E> {
+        self.col.stats_mut().queries += 1;
+        let mut out = ExternalOutput::empty();
+        if q.is_empty() {
+            return out;
+        }
+        let len = self.col.len();
+        let mut mat = std::mem::take(out.mat_mut());
+        let mut materialized = 0u64;
+        self.col.for_range(0, len, |e| {
+            if q.contains(e.key()) {
+                mat.push(e);
+                materialized += 1;
+            }
+        });
+        self.col.stats_mut().materialized += materialized;
+        *out.mat_mut() = mat;
+        out
+    }
+
+    fn column_mut(&mut self) -> &mut PagedColumn<E> {
+        &mut self.col
+    }
+
+    fn io(&self) -> IoStats {
+        self.col.io()
+    }
+
+    fn stats(&self) -> Stats {
+        self.col.stats()
+    }
+
+    fn reset_counters(&mut self) {
+        self.col.reset_counters();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------
+
+/// Full indexing: the first query pays an external merge sort, every
+/// query answers by paged binary search and returns a view.
+#[derive(Debug, Clone)]
+pub struct ExternalSortEngine<E: Element> {
+    col: PagedColumn<E>,
+    sorted: bool,
+}
+
+impl<E: Element> ExternalSortEngine<E> {
+    /// Lays `data` out on pages under `config`; sorting is deferred to the
+    /// first query, as in the paper's `Sort` baseline.
+    pub fn new(data: &[E], config: PoolConfig) -> Self {
+        Self {
+            col: PagedColumn::new(data, config),
+            sorted: false,
+        }
+    }
+}
+
+impl<E: Element> PagedEngine<E> for ExternalSortEngine<E> {
+    fn name(&self) -> String {
+        "Sort".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> ExternalOutput<E> {
+        self.col.stats_mut().queries += 1;
+        if !self.sorted {
+            external_merge_sort(&mut self.col);
+            self.sorted = true;
+        }
+        let mut out = ExternalOutput::empty();
+        if q.is_empty() {
+            return out;
+        }
+        let lo = paged_lower_bound(&mut self.col, q.low);
+        let hi = paged_lower_bound(&mut self.col, q.high);
+        out.push_view(lo, hi);
+        out
+    }
+
+    fn column_mut(&mut self) -> &mut PagedColumn<E> {
+        &mut self.col
+    }
+
+    fn io(&self) -> IoStats {
+        self.col.io()
+    }
+
+    fn stats(&self) -> Stats {
+        self.col.stats()
+    }
+
+    fn reset_counters(&mut self) {
+        self.col.reset_counters();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crack
+// ---------------------------------------------------------------------
+
+/// Original database cracking over paged storage: the in-memory cracker
+/// index (it is tiny) guides two-way/three-way partition passes over
+/// pages. Every crack dirties the pages it reorders — the write traffic
+/// §6 worries about.
+#[derive(Debug, Clone)]
+pub struct ExternalCrackEngine<E: Element> {
+    col: PagedColumn<E>,
+    index: CrackerIndex<()>,
+}
+
+impl<E: Element> ExternalCrackEngine<E> {
+    /// Lays `data` out on pages under `config`.
+    pub fn new(data: &[E], config: PoolConfig) -> Self {
+        let len = data.len();
+        Self {
+            col: PagedColumn::new(data, config),
+            index: CrackerIndex::new(len),
+        }
+    }
+
+    /// The cracker index (tests).
+    pub fn index(&self) -> &CrackerIndex<()> {
+        &self.index
+    }
+
+    /// Cracks on `key` and returns its final position, reusing an existing
+    /// boundary when one matches.
+    fn crack_on(&mut self, key: u64) -> usize {
+        let piece = self.index.piece_containing(key);
+        if piece.lo_key == Some(key) {
+            return piece.start;
+        }
+        let pos = crack_in_two_paged(&mut self.col, piece.start, piece.end, key);
+        self.index.add_crack(key, pos);
+        self.col.stats_mut().cracks += 1;
+        pos
+    }
+}
+
+impl<E: Element> PagedEngine<E> for ExternalCrackEngine<E> {
+    fn name(&self) -> String {
+        "Crack".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> ExternalOutput<E> {
+        self.col.stats_mut().queries += 1;
+        let mut out = ExternalOutput::empty();
+        if q.is_empty() {
+            return out;
+        }
+        let p1 = self.index.piece_containing(q.low);
+        let p2 = self.index.piece_containing(q.high);
+        // Both bounds strictly inside one piece: single three-way pass,
+        // as the in-memory select does.
+        if p1 == p2 && p1.lo_key != Some(q.low) && p1.lo_key != Some(q.high) {
+            let (lo, hi) = crack_in_three_paged(&mut self.col, p1.start, p1.end, q.low, q.high);
+            self.index.add_crack(q.low, lo);
+            self.index.add_crack(q.high, hi);
+            self.col.stats_mut().cracks += 2;
+            out.push_view(lo, hi);
+            return out;
+        }
+        let lo = self.crack_on(q.low);
+        let hi = self.crack_on(q.high);
+        out.push_view(lo, hi);
+        out
+    }
+
+    fn column_mut(&mut self) -> &mut PagedColumn<E> {
+        &mut self.col
+    }
+
+    fn io(&self) -> IoStats {
+        self.col.io()
+    }
+
+    fn stats(&self) -> Stats {
+        self.col.stats()
+    }
+
+    fn reset_counters(&mut self) {
+        self.col.reset_counters();
+    }
+}
+
+// ---------------------------------------------------------------------
+// MDD1R (stochastic cracking)
+// ---------------------------------------------------------------------
+
+/// Stochastic cracking (MDD1R) over paged storage: one random-pivot
+/// partition per end piece, fused with fringe materialization; fully
+/// covered middles are returned as views.
+#[derive(Debug, Clone)]
+pub struct ExternalMdd1rEngine<E: Element> {
+    col: PagedColumn<E>,
+    index: CrackerIndex<()>,
+    rng: SmallRng,
+}
+
+impl<E: Element> ExternalMdd1rEngine<E> {
+    /// Lays `data` out on pages under `config`; `seed` drives pivot
+    /// choice.
+    pub fn new(data: &[E], config: PoolConfig, seed: u64) -> Self {
+        let len = data.len();
+        Self {
+            col: PagedColumn::new(data, config),
+            index: CrackerIndex::new(len),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The cracker index (tests).
+    pub fn index(&self) -> &CrackerIndex<()> {
+        &self.index
+    }
+
+    /// One random-pivot split-and-materialize over `[start, end)`,
+    /// registering the crack. Returns nothing: qualifying fringe tuples
+    /// land in `out`.
+    fn fringe(&mut self, start: usize, end: usize, q: QueryRange, out: &mut ExternalOutput<E>) {
+        if start >= end {
+            return;
+        }
+        let pivot = self
+            .col
+            .peek(start + self.rng.gen_range(0..end - start))
+            .key();
+        let pos = split_and_materialize_paged(&mut self.col, start, end, pivot, q, out.mat_mut());
+        if pos > start && pos < end {
+            self.index.add_crack(pivot, pos);
+            self.col.stats_mut().cracks += 1;
+        }
+    }
+}
+
+impl<E: Element> PagedEngine<E> for ExternalMdd1rEngine<E> {
+    fn name(&self) -> String {
+        "MDD1R".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> ExternalOutput<E> {
+        self.col.stats_mut().queries += 1;
+        let mut out = ExternalOutput::empty();
+        if q.is_empty() {
+            return out;
+        }
+        let p1 = self.index.piece_containing(q.low);
+        let p2 = self.index.piece_containing(q.high);
+        if p1 == p2 {
+            if p1.lo_key == Some(q.low) && p1.hi_key == Some(q.high) {
+                // Exact piece match: pure view, no crack ("we avoid
+                // materialization altogether when a query exactly matches
+                // a piece", §4).
+                out.push_view(p1.start, p1.end);
+            } else {
+                self.fringe(p1.start, p1.end, q, &mut out);
+            }
+            return out;
+        }
+        // Left fringe: absorbed into the view if `q.low` is already a
+        // boundary.
+        let view_start = if p1.lo_key == Some(q.low) {
+            p1.start
+        } else {
+            self.fringe(p1.start, p1.end, q, &mut out);
+            p1.end
+        };
+        // Right fringe: piece starting at `q.high` holds no qualifiers.
+        let view_end = if p2.lo_key == Some(q.high) {
+            p2.start
+        } else {
+            self.fringe(p2.start, p2.end, q, &mut out);
+            p2.start
+        };
+        out.push_view(view_start, view_end);
+        out
+    }
+
+    fn column_mut(&mut self) -> &mut PagedColumn<E> {
+        &mut self.col
+    }
+
+    fn io(&self) -> IoStats {
+        self.col.io()
+    }
+
+    fn stats(&self) -> Stats {
+        self.col.stats()
+    }
+
+    fn reset_counters(&mut self) {
+        self.col.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shuffled(n: u64) -> Vec<u64> {
+        (0..n).map(|i| (i * 2654435761) % n).collect()
+    }
+
+    fn config() -> PoolConfig {
+        PoolConfig {
+            page_elems: 64,
+            frames: 4,
+        }
+    }
+
+    #[test]
+    fn all_engines_answer_exactly() {
+        let n = 4096u64;
+        let data = shuffled(n);
+        for kind in PagedEngineKind::all() {
+            let mut engine = build_paged_engine(kind, &data, config(), 7);
+            for i in 0..50u64 {
+                let low = (i * 79) % (n - 50);
+                let q = QueryRange::new(low, low + 41);
+                let out = engine.select(q);
+                let expect = data.iter().filter(|k| q.contains(**k)).count();
+                assert_eq!(out.len(), expect, "{} query {i}", kind.label());
+                let sum: u64 = data
+                    .iter()
+                    .filter(|k| q.contains(**k))
+                    .fold(0u64, |s, k| s.wrapping_add(*k));
+                assert_eq!(
+                    out.key_checksum(engine.column_mut()),
+                    sum,
+                    "{} query {i}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_never_writes() {
+        let data = shuffled(2048);
+        let mut engine = ExternalScanEngine::new(&data, config());
+        for i in 0..10u64 {
+            engine.select(QueryRange::new(i * 100, i * 100 + 50));
+        }
+        assert_eq!(engine.io().writes, 0);
+        assert_eq!(engine.io().reads, 10 * 2048 / 64, "every page every query");
+    }
+
+    #[test]
+    fn sort_pays_once_then_reads_loglike() {
+        let data = shuffled(4096);
+        let mut engine = ExternalSortEngine::new(&data, config());
+        engine.select(QueryRange::new(0, 10));
+        let after_first = engine.io().total_io();
+        for i in 1..20u64 {
+            engine.select(QueryRange::new(i * 37, i * 37 + 10));
+        }
+        let later = engine.io().total_io() - after_first;
+        assert!(
+            later < after_first / 2,
+            "binary searches ({later}) must be far cheaper than the sort ({after_first})"
+        );
+    }
+
+    #[test]
+    fn crack_write_traffic_decays_on_random_workload() {
+        let n = 8192u64;
+        let data = shuffled(n);
+        let mut engine = ExternalCrackEngine::new(&data, config());
+        let mut first_half = 0;
+        let mut second_half = 0;
+        let mut state = 0xABCDu64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..200 {
+            let before = engine.io().writes;
+            let low = rand() % (n - 20);
+            engine.select(QueryRange::new(low, low + 10));
+            let delta = engine.io().writes - before;
+            if i < 100 {
+                first_half += delta;
+            } else {
+                second_half += delta;
+            }
+        }
+        assert!(
+            second_half < first_half,
+            "cracking write traffic should decay: {first_half} then {second_half}"
+        );
+    }
+
+    #[test]
+    fn mdd1r_registers_cracks_and_converges() {
+        let n = 8192u64;
+        let data = shuffled(n);
+        let mut engine = ExternalMdd1rEngine::new(&data, config(), 3);
+        for i in 0..64u64 {
+            let low = (i * 127) % (n - 20);
+            engine.select(QueryRange::new(low, low + 10));
+        }
+        assert!(engine.index().crack_count() > 16, "cracks accumulate");
+    }
+
+    #[test]
+    fn crack_exact_repeat_query_is_pure_view() {
+        let data = shuffled(2048);
+        let mut engine = ExternalCrackEngine::new(&data, config());
+        let q = QueryRange::new(100, 300);
+        engine.select(q);
+        let io_before = engine.io();
+        let out = engine.select(q);
+        assert_eq!(out.len(), 200);
+        let delta = engine.io().since(&io_before);
+        assert_eq!(delta.writes, 0, "repeat query must not reorganize");
+    }
+}

@@ -1,0 +1,260 @@
+//! Cracking kernels over paged storage.
+//!
+//! These are the external-memory counterparts of `scrack-partition`'s
+//! in-memory kernels: the same Hoare-style passes, but every element
+//! access goes through the buffer pool and is charged page I/O. The
+//! two-ended passes touch at most two pages at a time (one per cursor), so
+//! they run without thrashing in any pool of at least two frames — the
+//! floor [`PoolConfig`](crate::PoolConfig) enforces.
+
+use crate::column::PagedColumn;
+use scrack_types::{Element, QueryRange};
+
+/// Partitions `[start, end)` of `col` around `pivot`: afterwards keys
+/// `< pivot` occupy `[start, p)` and keys `>= pivot` occupy `[p, end)`.
+/// Returns `p`. Exactly the contract of the in-memory `crack_in_two`.
+pub fn crack_in_two_paged<E: Element>(
+    col: &mut PagedColumn<E>,
+    start: usize,
+    end: usize,
+    pivot: u64,
+) -> usize {
+    assert!(start <= end && end <= col.len(), "piece out of bounds");
+    // Invariant: keys in [start, lo) are < pivot, keys in [hi, end) are
+    // >= pivot. Each step shrinks the unexamined window [lo, hi), so every
+    // element is read exactly once.
+    let mut lo = start;
+    let mut hi = end;
+    'outer: loop {
+        // Advance `lo` to the first key >= pivot.
+        loop {
+            if lo == hi {
+                break 'outer;
+            }
+            col.stats_mut().comparisons += 1;
+            if col.get(lo).key() >= pivot {
+                break;
+            }
+            lo += 1;
+        }
+        // Retreat `hi` to just past the last key < pivot.
+        loop {
+            col.stats_mut().comparisons += 1;
+            if col.get(hi - 1).key() < pivot {
+                break;
+            }
+            hi -= 1;
+            if lo == hi {
+                break 'outer;
+            }
+        }
+        // col[lo] >= pivot and col[hi-1] < pivot imply lo < hi - 1 here.
+        col.swap(lo, hi - 1);
+        lo += 1;
+        hi -= 1;
+    }
+    lo
+}
+
+/// Three-way partition of `[start, end)` by the query bounds `(a, b)`:
+/// afterwards `[start, p) < a`, `[p, q)` holds `a <= key < b`, and
+/// `[q, end) >= b`. Returns `(p, q)`. Used when both bounds of a select
+/// fall into the same piece, exactly as the in-memory `crack_in_three`.
+pub fn crack_in_three_paged<E: Element>(
+    col: &mut PagedColumn<E>,
+    start: usize,
+    end: usize,
+    a: u64,
+    b: u64,
+) -> (usize, usize) {
+    assert!(a <= b, "bounds must be ordered");
+    assert!(start <= end && end <= col.len(), "piece out of bounds");
+    // Dutch-national-flag pass.
+    let mut lt = start;
+    let mut i = start;
+    let mut gt = end;
+    while i < gt {
+        let k = col.get(i).key();
+        col.stats_mut().comparisons += 2;
+        if k < a {
+            col.swap(lt, i);
+            lt += 1;
+            i += 1;
+        } else if k >= b {
+            gt -= 1;
+            col.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt)
+}
+
+/// MDD1R's fused operation (paper Fig. 5) over paged storage: partitions
+/// `[start, end)` around `pivot` while appending every element with key in
+/// `[q.low, q.high)` to `out`. Returns the partition boundary.
+pub fn split_and_materialize_paged<E: Element>(
+    col: &mut PagedColumn<E>,
+    start: usize,
+    end: usize,
+    pivot: u64,
+    q: QueryRange,
+    out: &mut Vec<E>,
+) -> usize {
+    assert!(start <= end && end <= col.len(), "piece out of bounds");
+    // Fig. 5 structure: the cursors only pass over an element after its
+    // qualification check, and a swap leaves both cursors in place so the
+    // swapped-in elements are re-examined (and checked) on the next round.
+    let mut lo = start;
+    let mut hi = end;
+    while lo < hi {
+        let e = col.get(lo);
+        col.stats_mut().comparisons += 1;
+        if e.key() < pivot {
+            // Lines 15–17: correct side already; check and pass.
+            if q.contains(e.key()) {
+                out.push(e);
+                col.stats_mut().materialized += 1;
+            }
+            lo += 1;
+            continue;
+        }
+        let e = col.get(hi - 1);
+        col.stats_mut().comparisons += 1;
+        if e.key() >= pivot {
+            // Lines 18–20: correct side already; check and pass.
+            if q.contains(e.key()) {
+                out.push(e);
+                col.stats_mut().materialized += 1;
+            }
+            hi -= 1;
+            continue;
+        }
+        // Line 21: both cursors stuck on wrong-side keys.
+        col.swap(lo, hi - 1);
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PoolConfig;
+
+    fn shuffled(n: u64) -> Vec<u64> {
+        (0..n).map(|i| (i * 2654435761) % n).collect()
+    }
+
+    fn paged(data: &[u64], frames: usize) -> PagedColumn<u64> {
+        PagedColumn::new(
+            data,
+            PoolConfig {
+                page_elems: 64,
+                frames,
+            },
+        )
+    }
+
+    #[test]
+    fn two_way_matches_contract() {
+        for pivot in [0u64, 1, 500, 999, 1000, 2000] {
+            let data = shuffled(1000);
+            let mut col = paged(&data, 2);
+            let p = crack_in_two_paged(&mut col, 0, 1000, pivot);
+            let snap = col.snapshot();
+            assert!(snap[..p].iter().all(|k| *k < pivot), "pivot {pivot}");
+            assert!(snap[p..].iter().all(|k| *k >= pivot), "pivot {pivot}");
+            let mut sorted = snap;
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..1000).collect::<Vec<_>>(), "permutation");
+        }
+    }
+
+    #[test]
+    fn two_way_inner_piece() {
+        let data = shuffled(1000);
+        let mut col = paged(&data, 2);
+        let p = crack_in_two_paged(&mut col, 200, 700, 500);
+        let snap = col.snapshot();
+        assert_eq!(snap[..200], data[..200], "outside untouched");
+        assert_eq!(snap[700..], data[700..], "outside untouched");
+        assert!(snap[200..p].iter().all(|k| *k < 500));
+        assert!(snap[p..700].iter().all(|k| *k >= 500));
+    }
+
+    #[test]
+    fn two_way_empty_piece() {
+        let data = shuffled(100);
+        let mut col = paged(&data, 2);
+        assert_eq!(crack_in_two_paged(&mut col, 40, 40, 50), 40);
+    }
+
+    #[test]
+    fn three_way_matches_contract() {
+        let data = shuffled(1000);
+        let mut col = paged(&data, 2);
+        let (p, q) = crack_in_three_paged(&mut col, 0, 1000, 300, 600);
+        let snap = col.snapshot();
+        assert!(snap[..p].iter().all(|k| *k < 300));
+        assert!(snap[p..q].iter().all(|k| (300..600).contains(k)));
+        assert!(snap[q..].iter().all(|k| *k >= 600));
+        assert_eq!(q - p, 300);
+    }
+
+    #[test]
+    fn three_way_degenerate_equal_bounds() {
+        let data = shuffled(500);
+        let mut col = paged(&data, 2);
+        let (p, q) = crack_in_three_paged(&mut col, 0, 500, 250, 250);
+        assert_eq!(p, q);
+        let snap = col.snapshot();
+        assert!(snap[..p].iter().all(|k| *k < 250));
+        assert!(snap[p..].iter().all(|k| *k >= 250));
+    }
+
+    #[test]
+    fn split_and_materialize_collects_qualifiers() {
+        let data = shuffled(1000);
+        let mut col = paged(&data, 2);
+        let q = QueryRange::new(100, 200);
+        let mut out = Vec::new();
+        let p = split_and_materialize_paged(&mut col, 0, 1000, 437, q, &mut out);
+        let snap = col.snapshot();
+        assert!(snap[..p].iter().all(|k| *k < 437));
+        assert!(snap[p..].iter().all(|k| *k >= 437));
+        let mut got: Vec<u64> = out;
+        got.sort_unstable();
+        assert_eq!(got, (100..200).collect::<Vec<_>>());
+        assert_eq!(col.stats().materialized, 100);
+    }
+
+    #[test]
+    fn split_and_materialize_pivot_outside_range() {
+        // Pivot below every key: boundary lands at start, everything still
+        // scanned once for materialization.
+        let data = shuffled(256);
+        let mut col = paged(&data, 2);
+        let mut out = Vec::new();
+        let p = split_and_materialize_paged(
+            &mut col,
+            0,
+            256,
+            0,
+            QueryRange::new(0, 10),
+            &mut out,
+        );
+        assert_eq!(p, 0);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn kernels_work_with_two_frames_only() {
+        // The worst-case pool: every cursor advance may evict the other
+        // cursor's page. Correctness must be unaffected.
+        let data = shuffled(4096);
+        let mut col = paged(&data, 2);
+        let p = crack_in_two_paged(&mut col, 0, 4096, 2048);
+        assert_eq!(p, 2048);
+        assert!(col.io().faults > 0);
+    }
+}

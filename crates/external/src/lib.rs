@@ -1,0 +1,61 @@
+//! Disk-based cracking simulation — the paper's §6 disk-processing
+//! future work, built as a real storage substrate.
+//!
+//! §6 poses the question: "Disk-based processing poses a challenge because
+//! the continuous reorganization may cause continuous writes to disk; we
+//! need to examine how much reorganization we can afford per query without
+//! increasing I/O costs prohibitively." Answering it requires measuring
+//! page traffic, so this crate provides:
+//!
+//! * [`DiskStore`] — the simulated disk: the authoritative page array;
+//! * [`BufferPool`] — a fixed set of frames with clock-sweep replacement,
+//!   pin counts, dirty bits and exact [`IoStats`] accounting;
+//! * [`PagedColumn`] — element-level column access through the pool;
+//! * [`kernel`] — the cracking kernels (`crack_in_two`, `crack_in_three`,
+//!   `split_and_materialize`) re-expressed over paged storage;
+//! * [`external_merge_sort`] — run generation + k-way merge, the external
+//!   counterpart of the paper's `Sort` baseline;
+//! * [`engine`] — `Scan` / `Sort` / `Crack` / `MDD1R` engines over paged
+//!   storage, reporting both the §3 tuple counters and page I/O.
+//!
+//! What we model is disk *traffic*, not disk latency: all "I/O" is memory
+//! copies, but every page transfer is counted, which is the quantity §6's
+//! question is about. The experiment in `examples/external_cracking.rs`
+//! reports reads/writes per strategy and buffer-pool size.
+//!
+//! # Example
+//!
+//! ```
+//! use scrack_external::{build_paged_engine, PagedEngineKind, PoolConfig};
+//! use scrack_types::QueryRange;
+//!
+//! let data: Vec<u64> = (0..100_000).rev().collect();
+//! // A pool holding 10% of the column's pages.
+//! let config = PoolConfig::with_memory_fraction(data.len(), 0.10, 4096);
+//! let mut engine = build_paged_engine(PagedEngineKind::Mdd1r, &data, config, 7);
+//! let out = engine.select(QueryRange::new(500, 600));
+//! assert_eq!(out.len(), 100);
+//! // Page traffic is fully accounted.
+//! let io = engine.io();
+//! assert!(io.reads > 0 && io.writes <= io.reads);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod column;
+pub mod engine;
+pub mod kernel;
+mod output;
+mod page;
+mod pool;
+pub mod progressive;
+mod sort;
+
+pub use column::PagedColumn;
+pub use engine::{build_paged_engine, PagedEngine, PagedEngineKind};
+pub use output::ExternalOutput;
+pub use page::{DiskStore, PageId, PoolConfig};
+pub use pool::{BufferPool, IoStats};
+pub use progressive::{ExtPieceState, ExternalPmdd1rEngine};
+pub use sort::{external_merge_sort, SortReport};

@@ -1,0 +1,124 @@
+//! Select results over paged storage: position views plus materialized
+//! fringes, mirroring the in-memory `QueryOutput` contract.
+
+use crate::column::PagedColumn;
+use scrack_types::Element;
+
+/// The result of a paged select: zero or more contiguous position views
+/// into the paged column plus a materialized fringe.
+///
+/// Views are resolved lazily (and charged I/O) only when the caller walks
+/// them — exactly like the in-memory engines, where `Crack`/`Sort` return
+/// views and only `Scan`/`MDD1R` fringes pay materialization.
+#[derive(Debug, Clone)]
+pub struct ExternalOutput<E> {
+    views: Vec<(usize, usize)>,
+    mat: Vec<E>,
+}
+
+impl<E: Element> Default for ExternalOutput<E> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<E: Element> ExternalOutput<E> {
+    /// A result with no qualifying tuples.
+    pub fn empty() -> Self {
+        Self {
+            views: Vec::new(),
+            mat: Vec::new(),
+        }
+    }
+
+    /// Appends the view `[start, end)` (empty views are dropped).
+    pub fn push_view(&mut self, start: usize, end: usize) {
+        if start < end {
+            self.views.push((start, end));
+        }
+    }
+
+    /// The materialized fringe, for engines to append into.
+    pub fn mat_mut(&mut self) -> &mut Vec<E> {
+        &mut self.mat
+    }
+
+    /// The position views.
+    pub fn views(&self) -> &[(usize, usize)] {
+        &self.views
+    }
+
+    /// The materialized tuples.
+    pub fn mat(&self) -> &[E] {
+        &self.mat
+    }
+
+    /// Number of qualifying tuples.
+    pub fn len(&self) -> usize {
+        self.mat.len() + self.views.iter().map(|(s, e)| e - s).sum::<usize>()
+    }
+
+    /// Whether no tuples qualify.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wrapping sum of all qualifying keys, reading view pages through the
+    /// pool (uncounted in the §3 tuple counters: result consumption is the
+    /// caller's work, not reorganization).
+    pub fn key_checksum(&self, col: &mut PagedColumn<E>) -> u64 {
+        let mut sum: u64 = self.mat.iter().fold(0, |s, e| s.wrapping_add(e.key()));
+        for &(start, end) in &self.views {
+            for i in start..end {
+                sum = sum.wrapping_add(col.peek(i).key());
+            }
+        }
+        sum
+    }
+
+    /// All qualifying keys in ascending order (test helper).
+    pub fn keys_sorted(&self, col: &mut PagedColumn<E>) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.mat.iter().map(Element::key).collect();
+        for &(start, end) in &self.views {
+            for i in start..end {
+                keys.push(col.peek(i).key());
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PoolConfig;
+
+    #[test]
+    fn len_counts_views_and_mat() {
+        let mut out = ExternalOutput::<u64>::empty();
+        assert!(out.is_empty());
+        out.push_view(10, 20);
+        out.push_view(5, 5); // dropped
+        out.mat_mut().extend([1u64, 2, 3]);
+        assert_eq!(out.len(), 13);
+        assert_eq!(out.views().len(), 1);
+    }
+
+    #[test]
+    fn checksum_resolves_views_against_column() {
+        let data: Vec<u64> = (0..100).collect();
+        let mut col = PagedColumn::new(
+            &data,
+            PoolConfig {
+                page_elems: 16,
+                frames: 2,
+            },
+        );
+        let mut out = ExternalOutput::empty();
+        out.push_view(10, 13); // 10+11+12 = 33
+        out.mat_mut().push(7);
+        assert_eq!(out.key_checksum(&mut col), 40);
+        assert_eq!(out.keys_sorted(&mut col), vec![7, 10, 11, 12]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Page geometry and the simulated disk.
+
+use scrack_types::Element;
+
+/// Identifier of a disk page: dense indices `0..page_count`.
+pub type PageId = usize;
+
+/// Geometry and capacity of the paged storage layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Elements per page. The default (4096 × 8-byte keys = 32 KiB)
+    /// matches a common database page multiple.
+    pub page_elems: usize,
+    /// Number of in-memory frames the buffer pool may hold.
+    pub frames: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            page_elems: 4096,
+            frames: 64,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A config sized so the pool holds `fraction` of `n` elements
+    /// (at least two frames — the minimum any two-cursor partition pass
+    /// needs to make progress without thrashing on every element).
+    pub fn with_memory_fraction(n: usize, fraction: f64, page_elems: usize) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0,1]");
+        assert!(page_elems > 0, "pages must hold at least one element");
+        let total_pages = n.div_ceil(page_elems).max(1);
+        let frames = ((total_pages as f64 * fraction).ceil() as usize).clamp(2, total_pages.max(2));
+        Self { page_elems, frames }
+    }
+}
+
+/// The simulated disk: the authoritative copy of every page.
+///
+/// Reads and writes are plain memory copies — what we model is not disk
+/// *latency* but disk *traffic*: the [`IoStats`](crate::IoStats) counters
+/// record every page transfer, which is the quantity §6's disk-processing
+/// question is about ("how much reorganization we can afford per query
+/// without increasing I/O costs prohibitively").
+#[derive(Debug, Clone)]
+pub struct DiskStore<E: Element> {
+    pages: Vec<Box<[E]>>,
+    page_elems: usize,
+    len: usize,
+}
+
+impl<E: Element> DiskStore<E> {
+    /// Lays `data` out into pages of `page_elems` elements. The final page
+    /// may be partially filled; its tail is padded with copies of the last
+    /// element and never addressed (all element indices are bounds-checked
+    /// against the logical length).
+    pub fn new(data: &[E], page_elems: usize) -> Self {
+        assert!(page_elems > 0, "pages must hold at least one element");
+        let len = data.len();
+        let mut pages = Vec::with_capacity(len.div_ceil(page_elems));
+        for chunk in data.chunks(page_elems) {
+            let mut page = Vec::with_capacity(page_elems);
+            page.extend_from_slice(chunk);
+            // Pad the last page so every frame swap is size-uniform.
+            if let Some(&last) = chunk.last() {
+                page.resize(page_elems, last);
+            }
+            pages.push(page.into_boxed_slice());
+        }
+        if pages.is_empty() {
+            pages.push(vec![].into_boxed_slice());
+        }
+        Self {
+            pages,
+            page_elems,
+            len,
+        }
+    }
+
+    /// Logical number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Elements per page.
+    pub fn page_elems(&self) -> usize {
+        self.page_elems
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Copies a page's contents into `buf` (a disk read).
+    pub fn read_page(&self, id: PageId, buf: &mut [E]) {
+        buf.copy_from_slice(&self.pages[id]);
+    }
+
+    /// Overwrites a page from `buf` (a disk write).
+    pub fn write_page(&mut self, id: PageId, buf: &[E]) {
+        self.pages[id].copy_from_slice(buf);
+    }
+
+    /// Builds a store directly from staged pages (external sort's merge
+    /// output). The caller guarantees each page holds `page_elems`
+    /// elements and that the first `len` logical slots are meaningful.
+    pub(crate) fn from_pages(pages: Vec<Box<[E]>>, page_elems: usize, len: usize) -> Self {
+        debug_assert!(pages.iter().all(|p| p.len() == page_elems));
+        debug_assert!(pages.len() * page_elems >= len);
+        Self {
+            pages,
+            page_elems,
+            len,
+        }
+    }
+
+    /// Reassembles the full logical array (test/diagnostic helper; not an
+    /// engine path — engines must go through the buffer pool).
+    pub fn snapshot(&self) -> Vec<E> {
+        let mut out = Vec::with_capacity(self.len);
+        for page in &self.pages {
+            let take = (self.len - out.len()).min(page.len());
+            out.extend_from_slice(&page[..take]);
+            if out.len() == self.len {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_roundtrip() {
+        let data: Vec<u64> = (0..1000).collect();
+        let disk = DiskStore::new(&data, 128);
+        assert_eq!(disk.page_count(), 8);
+        assert_eq!(disk.len(), 1000);
+        assert_eq!(disk.snapshot(), data);
+    }
+
+    #[test]
+    fn exact_page_multiple() {
+        let data: Vec<u64> = (0..512).collect();
+        let disk = DiskStore::new(&data, 128);
+        assert_eq!(disk.page_count(), 4);
+        assert_eq!(disk.snapshot(), data);
+    }
+
+    #[test]
+    fn empty_store() {
+        let disk = DiskStore::<u64>::new(&[], 128);
+        assert_eq!(disk.len(), 0);
+        assert!(disk.is_empty());
+        assert!(disk.snapshot().is_empty());
+    }
+
+    #[test]
+    fn read_write_page() {
+        let data: Vec<u64> = (0..256).collect();
+        let mut disk = DiskStore::new(&data, 128);
+        let mut buf = vec![0u64; 128];
+        disk.read_page(1, &mut buf);
+        assert_eq!(buf[0], 128);
+        buf[0] = 999;
+        disk.write_page(1, &buf);
+        let mut buf2 = vec![0u64; 128];
+        disk.read_page(1, &mut buf2);
+        assert_eq!(buf2[0], 999);
+    }
+
+    #[test]
+    fn memory_fraction_config() {
+        let c = PoolConfig::with_memory_fraction(1_000_000, 0.1, 4096);
+        // 245 pages total → 25 frames.
+        assert_eq!(c.frames, 25);
+        let tiny = PoolConfig::with_memory_fraction(100, 0.01, 4096);
+        assert_eq!(tiny.frames, 2, "floor of two frames");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn memory_fraction_rejects_zero() {
+        PoolConfig::with_memory_fraction(100, 0.0, 4096);
+    }
+}

@@ -1,0 +1,427 @@
+//! The buffer pool: a fixed set of in-memory frames over the disk store,
+//! with clock-sweep (second-chance) replacement, pin counts, dirty bits,
+//! and full I/O accounting.
+
+use crate::page::{DiskStore, PageId, PoolConfig};
+use scrack_types::Element;
+
+/// Page-transfer counters.
+///
+/// `reads`/`writes` count page movements between pool and disk — the
+/// simulated I/O traffic. `hits`/`faults` classify page lookups. One fault
+/// causes exactly one read, plus one write if the evicted victim was
+/// dirty, so `reads == faults` and `writes <= faults + 1 flush` hold as
+/// invariants (tested below).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages read from disk into the pool.
+    pub reads: u64,
+    /// Pages written back from the pool to disk.
+    pub writes: u64,
+    /// Page lookups satisfied from the pool.
+    pub hits: u64,
+    /// Page lookups that had to fetch from disk.
+    pub faults: u64,
+}
+
+impl IoStats {
+    /// Total page transfers in either direction.
+    pub fn total_io(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// The difference `self - earlier`, for per-query deltas.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            hits: self.hits - earlier.hits,
+            faults: self.faults - earlier.faults,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Frame<E> {
+    page: Option<PageId>,
+    data: Box<[E]>,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+/// A buffer pool of `frames` fixed-size frames over a [`DiskStore`].
+///
+/// Replacement is clock-sweep with a reference bit (the policy most real
+/// buffer managers use): a fault sweeps the clock hand, clearing reference
+/// bits, and evicts the first unpinned frame found unreferenced. Pinned
+/// frames are never evicted; a fault with every frame pinned panics —
+/// callers (the paged column) pin at most two pages at a time and the
+/// pool floor is two frames, so this cannot fire from library code.
+#[derive(Debug, Clone)]
+pub struct BufferPool<E: Element> {
+    disk: DiskStore<E>,
+    frames: Vec<Frame<E>>,
+    /// `page_table[p]` = frame currently caching page `p`.
+    page_table: Vec<Option<usize>>,
+    hand: usize,
+    io: IoStats,
+}
+
+impl<E: Element> BufferPool<E> {
+    /// Builds a pool of `config.frames` frames over `disk`.
+    pub fn new(disk: DiskStore<E>, config: PoolConfig) -> Self {
+        assert!(config.frames >= 1, "pool needs at least one frame");
+        assert_eq!(
+            config.page_elems,
+            disk.page_elems(),
+            "pool and disk page sizes must agree"
+        );
+        let page_elems = disk.page_elems();
+        let zero: Vec<E> = vec![E::from_key_row(0, 0); page_elems];
+        let frames = (0..config.frames)
+            .map(|_| Frame {
+                page: None,
+                data: zero.clone().into_boxed_slice(),
+                dirty: false,
+                pins: 0,
+                referenced: false,
+            })
+            .collect();
+        let page_table = vec![None; disk.page_count()];
+        Self {
+            disk,
+            frames,
+            page_table,
+            hand: 0,
+            io: IoStats::default(),
+        }
+    }
+
+    /// The I/O counters.
+    pub fn io(&self) -> IoStats {
+        self.io
+    }
+
+    /// Resets the I/O counters (e.g. after a warmup phase).
+    pub fn reset_io(&mut self) {
+        self.io = IoStats::default();
+    }
+
+    /// Number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The underlying disk store (diagnostics and tests).
+    pub fn disk(&self) -> &DiskStore<E> {
+        &self.disk
+    }
+
+    /// Number of frames currently caching a page.
+    pub fn resident_pages(&self) -> usize {
+        self.frames.iter().filter(|f| f.page.is_some()).count()
+    }
+
+    /// Whether `page` is currently resident (no I/O, no ref-bit update).
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.page_table[page].is_some()
+    }
+
+    /// Ensures `page` is resident and returns its frame index, updating
+    /// hit/fault counters and the reference bit.
+    fn fetch(&mut self, page: PageId) -> usize {
+        if let Some(frame) = self.page_table[page] {
+            self.io.hits += 1;
+            self.frames[frame].referenced = true;
+            return frame;
+        }
+        self.io.faults += 1;
+        let victim = self.find_victim();
+        self.evict(victim);
+        self.io.reads += 1;
+        let frame = &mut self.frames[victim];
+        self.disk.read_page(page, &mut frame.data);
+        frame.page = Some(page);
+        frame.dirty = false;
+        frame.referenced = true;
+        self.page_table[page] = Some(victim);
+        victim
+    }
+
+    /// Clock sweep: find an unpinned frame to evict (empty frames win
+    /// immediately).
+    fn find_victim(&mut self) -> usize {
+        if let Some(empty) = self.frames.iter().position(|f| f.page.is_none()) {
+            return empty;
+        }
+        // Two full sweeps guarantee termination: the first pass may only
+        // clear reference bits, the second must find one unpinned frame.
+        for _ in 0..2 * self.frames.len() {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let frame = &mut self.frames[i];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+            } else {
+                return i;
+            }
+        }
+        panic!("buffer pool exhausted: every frame is pinned");
+    }
+
+    /// Writes the frame back if dirty and disconnects it from its page.
+    fn evict(&mut self, frame_idx: usize) {
+        let frame = &mut self.frames[frame_idx];
+        let Some(page) = frame.page else {
+            return;
+        };
+        debug_assert_eq!(frame.pins, 0, "evicting a pinned frame");
+        if frame.dirty {
+            self.io.writes += 1;
+            self.disk.write_page(page, &frame.data);
+            frame.dirty = false;
+        }
+        frame.page = None;
+        self.page_table[page] = None;
+    }
+
+    /// Pins `page` into memory and returns its frame index. A pinned page
+    /// is immune to eviction until [`unpin`](Self::unpin).
+    pub fn pin(&mut self, page: PageId) -> usize {
+        let frame = self.fetch(page);
+        self.frames[frame].pins += 1;
+        frame
+    }
+
+    /// Releases one pin on `page`.
+    ///
+    /// # Panics
+    /// If the page is not resident or not pinned.
+    pub fn unpin(&mut self, page: PageId) {
+        let frame = self.page_table[page].expect("unpin of a non-resident page");
+        let pins = &mut self.frames[frame].pins;
+        assert!(*pins > 0, "unpin of an unpinned page");
+        *pins -= 1;
+    }
+
+    /// Read-only access to a resident-or-fetched page's elements.
+    pub fn page(&mut self, page: PageId) -> &[E] {
+        let frame = self.fetch(page);
+        &self.frames[frame].data
+    }
+
+    /// Mutable access to a page's elements; marks the page dirty.
+    pub fn page_mut(&mut self, page: PageId) -> &mut [E] {
+        let frame = self.fetch(page);
+        let f = &mut self.frames[frame];
+        f.dirty = true;
+        &mut f.data
+    }
+
+    /// Writes every dirty frame back to disk (counts one write each), e.g.
+    /// at the end of a bulk operation.
+    pub fn flush_all(&mut self) {
+        for i in 0..self.frames.len() {
+            if self.frames[i].page.is_some() && self.frames[i].dirty {
+                let page = self.frames[i].page.expect("checked above");
+                self.io.writes += 1;
+                self.disk.write_page(page, &self.frames[i].data);
+                self.frames[i].dirty = false;
+            }
+        }
+    }
+
+    /// Accounts page transfers performed outside the pool — sequential
+    /// staged I/O such as external sort's run output, which a real system
+    /// would also stream past the buffer manager.
+    pub fn charge(&mut self, reads: u64, writes: u64) {
+        self.io.reads += reads;
+        self.io.writes += writes;
+    }
+
+    /// Replaces the disk contents wholesale, discarding every cached frame
+    /// **without write-back** (the previous contents are obsolete, e.g.
+    /// after a merge pass rewrote the column).
+    ///
+    /// # Panics
+    /// If any frame is pinned, or the new disk's geometry differs.
+    pub fn replace_disk(&mut self, disk: DiskStore<E>) {
+        assert_eq!(
+            disk.page_elems(),
+            self.disk.page_elems(),
+            "replacement disk must keep the page size"
+        );
+        for frame in &mut self.frames {
+            assert_eq!(frame.pins, 0, "replace_disk with a pinned frame");
+            frame.page = None;
+            frame.dirty = false;
+            frame.referenced = false;
+        }
+        self.page_table = vec![None; disk.page_count()];
+        self.disk = disk;
+    }
+
+    /// Flushes and drops every frame (cold-cache state for experiments).
+    pub fn clear(&mut self) {
+        self.flush_all();
+        for i in 0..self.frames.len() {
+            if let Some(page) = self.frames[i].page.take() {
+                debug_assert_eq!(self.frames[i].pins, 0, "clearing a pinned frame");
+                self.page_table[page] = None;
+            }
+            self.frames[i].referenced = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: u64, page_elems: usize, frames: usize) -> BufferPool<u64> {
+        let data: Vec<u64> = (0..n).collect();
+        let disk = DiskStore::new(&data, page_elems);
+        BufferPool::new(disk, PoolConfig { page_elems, frames })
+    }
+
+    #[test]
+    fn hits_and_faults_are_classified() {
+        let mut p = pool(1024, 128, 4);
+        p.page(0);
+        p.page(0);
+        p.page(1);
+        assert_eq!(p.io().faults, 2);
+        assert_eq!(p.io().hits, 1);
+        assert_eq!(p.io().reads, 2);
+        assert_eq!(p.io().writes, 0);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut p = pool(8192, 128, 4);
+        for page in 0..64 {
+            p.page(page);
+            assert!(p.resident_pages() <= 4);
+        }
+        assert_eq!(p.io().faults, 64);
+    }
+
+    #[test]
+    fn clean_eviction_writes_nothing() {
+        let mut p = pool(8192, 128, 2);
+        for page in 0..64 {
+            p.page(page);
+        }
+        assert_eq!(p.io().writes, 0, "read-only traffic must not write");
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut p = pool(8192, 128, 2);
+        p.page_mut(0)[0] = 4242;
+        // Force page 0 out by touching two other pages.
+        p.page(1);
+        p.page(2);
+        assert_eq!(p.io().writes, 1);
+        // Re-reading page 0 must see the written value (write-back, not
+        // write-through-lost).
+        assert_eq!(p.page(0)[0], 4242);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let mut p = pool(8192, 128, 3);
+        p.pin(0);
+        p.page_mut(0)[5] = 7;
+        for page in 1..60 {
+            p.page(page);
+        }
+        assert!(p.is_resident(0), "pinned page evicted");
+        assert_eq!(p.page(0)[5], 7);
+        p.unpin(0);
+        for page in 1..60 {
+            p.page(page);
+        }
+        assert!(!p.is_resident(0), "unpinned page never evicted");
+    }
+
+    #[test]
+    #[should_panic(expected = "every frame is pinned")]
+    fn all_pinned_faults_panic() {
+        let mut p = pool(8192, 128, 2);
+        p.pin(0);
+        p.pin(1);
+        p.page(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpinned")]
+    fn unpin_requires_pin() {
+        let mut p = pool(1024, 128, 2);
+        p.page(0);
+        p.unpin(0);
+    }
+
+    #[test]
+    fn flush_all_persists_and_cleans() {
+        let mut p = pool(1024, 128, 4);
+        p.page_mut(3)[0] = 11;
+        p.flush_all();
+        assert_eq!(p.io().writes, 1);
+        p.flush_all();
+        assert_eq!(p.io().writes, 1, "second flush has nothing to do");
+        assert_eq!(p.disk().snapshot()[3 * 128], 11);
+    }
+
+    #[test]
+    fn clear_returns_to_cold_cache() {
+        let mut p = pool(1024, 128, 4);
+        p.page_mut(0)[0] = 5;
+        p.clear();
+        assert_eq!(p.resident_pages(), 0);
+        assert_eq!(p.disk().snapshot()[0], 5, "clear must flush");
+        let io0 = p.io();
+        p.page(0);
+        assert_eq!(p.io().since(&io0).faults, 1, "post-clear access faults");
+    }
+
+    #[test]
+    fn reads_equal_faults_invariant() {
+        let mut p = pool(65536, 256, 8);
+        // Mixed read/write traffic with heavy eviction.
+        for i in 0..1000usize {
+            let page = (i * 37) % 256;
+            if i % 3 == 0 {
+                p.page_mut(page)[i % 256] = i as u64;
+            } else {
+                p.page(page);
+            }
+        }
+        assert_eq!(p.io().reads, p.io().faults);
+        assert_eq!(p.io().hits + p.io().faults, 1000);
+    }
+
+    #[test]
+    fn clock_prefers_unreferenced_frames() {
+        let mut p = pool(8192, 128, 3);
+        p.page(0);
+        p.page(1);
+        p.page(2);
+        // All reference bits are set, so this fault sweeps once (clearing
+        // every bit) and evicts in hand order: page 0.
+        p.page(3);
+        assert!(!p.is_resident(0));
+        // Pages 1 and 2 are now unreferenced; re-reference page 1 only.
+        p.page(1);
+        // The next fault must pass over the referenced page 1 and take the
+        // unreferenced page 2 — the second-chance property.
+        p.page(4);
+        assert!(!p.is_resident(2), "unreferenced page should be the victim");
+        assert!(p.is_resident(1), "recently referenced page survives");
+        assert!(p.is_resident(3) && p.is_resident(4));
+    }
+}

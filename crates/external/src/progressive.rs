@@ -1,0 +1,435 @@
+//! Progressive stochastic cracking over paged storage: §6's question made
+//! tunable.
+//!
+//! §6 asks "how much reorganization we can afford per query without
+//! increasing I/O costs prohibitively". In memory, PMDD1R (§4) bounds a
+//! query's reorganization by a *swap* budget. On disk that unit is wrong:
+//! when a partition's cursors travel far between exchanges, a handful of
+//! swaps can dirty a page each, so a swap budget does not bound write
+//! I/O. This engine therefore re-expresses the budget in the disk
+//! currency — **pages dirtied per query** (`x%` of the piece's pages) —
+//! which is a strict write-I/O throttle. The partition job (pivot and
+//! cursor pair) is stored in the piece's index metadata and resumed by
+//! later queries touching the piece — one random crack, amortized over
+//! many queries' I/O allowances.
+
+use crate::column::PagedColumn;
+use crate::kernel::split_and_materialize_paged;
+use crate::output::ExternalOutput;
+use crate::page::PoolConfig;
+use crate::pool::IoStats;
+use crate::engine::PagedEngine;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scrack_index::{CrackerIndex, Piece, PieceMeta};
+use scrack_partition::{JobStatus, PartitionJob};
+use scrack_types::{Element, QueryRange, Stats};
+
+/// Per-piece metadata of the external progressive engine: the in-flight
+/// partition job, if any. Jobs describe one concrete piece and never
+/// survive its split.
+#[derive(Debug, Clone, Default)]
+pub struct ExtPieceState {
+    /// The suspended partition of this piece, if one is in flight.
+    pub job: Option<PartitionJob>,
+}
+
+impl PieceMeta for ExtPieceState {
+    fn inherit(&self) -> Self {
+        ExtPieceState { job: None }
+    }
+}
+
+/// Resumes `job` over paged storage, dirtying at most `budget_pages`
+/// distinct pages (the first exchange is always allowed, so every call
+/// makes progress).
+///
+/// Every element a cursor passes is filter-checked against `q` and
+/// appended to `out` — the paged counterpart of the in-memory
+/// `advance_job`. On [`JobStatus::InProgress`] the new middle
+/// `[job.l, job.r)` has **not** been filtered by this call; the caller
+/// must scan it to finish answering the query.
+///
+/// Counting distinct dirtied pages is exact and O(1): the left cursor
+/// only ascends and the right cursor only descends, so each side's
+/// current page changes monotonically.
+pub fn advance_job_paged<E: Element>(
+    col: &mut PagedColumn<E>,
+    job: &mut PartitionJob,
+    budget_pages: u64,
+    q: QueryRange,
+    out: &mut Vec<E>,
+) -> JobStatus {
+    let page_elems = col.page_elems();
+    let mut dirtied = 0u64;
+    let mut last_l_page = usize::MAX;
+    let mut last_r_page = usize::MAX;
+    while job.l < job.r {
+        let e = col.get(job.l);
+        col.stats_mut().comparisons += 1;
+        if e.key() < job.pivot {
+            if q.contains(e.key()) {
+                out.push(e);
+                col.stats_mut().materialized += 1;
+            }
+            job.l += 1;
+            continue;
+        }
+        let e = col.get(job.r - 1);
+        col.stats_mut().comparisons += 1;
+        if e.key() >= job.pivot {
+            if q.contains(e.key()) {
+                out.push(e);
+                col.stats_mut().materialized += 1;
+            }
+            job.r -= 1;
+            continue;
+        }
+        // Both cursors stuck: an exchange is due. Charge the pages it
+        // would newly dirty against the budget.
+        let lp = job.l / page_elems;
+        let rp = (job.r - 1) / page_elems;
+        let mut fresh = 0u64;
+        if lp != last_l_page && lp != last_r_page {
+            fresh += 1;
+        }
+        if rp != last_r_page && rp != last_l_page && rp != lp {
+            fresh += 1;
+        }
+        if dirtied > 0 && dirtied + fresh > budget_pages {
+            return JobStatus::InProgress;
+        }
+        col.swap(job.l, job.r - 1);
+        if lp != last_l_page {
+            last_l_page = lp;
+        }
+        if rp != last_r_page {
+            last_r_page = rp;
+        }
+        dirtied += fresh;
+    }
+    JobStatus::Done { crack_pos: job.l }
+}
+
+/// Progressive stochastic cracking (PMDD1R) over paged storage.
+///
+/// `budget_pct` bounds each query's reorganization to that percentage of
+/// the touched piece's *pages dirtied* (see the module docs for why the
+/// budget currency is pages, not swaps); pieces at or below
+/// `threshold_elems` take the full-MDD1R path (fast convergence where
+/// budgets buy nothing, §4). `budget_pct = 100` behaves like
+/// [`ExternalMdd1rEngine`](crate::engine::ExternalMdd1rEngine).
+///
+/// ```
+/// use scrack_external::{ExternalPmdd1rEngine, PagedEngine, PoolConfig};
+/// use scrack_types::QueryRange;
+///
+/// let data: Vec<u64> = (0..50_000).rev().collect();
+/// let config = PoolConfig { page_elems: 1024, frames: 8 };
+/// // Each query may dirty at most 10% of the touched piece's pages.
+/// let mut engine = ExternalPmdd1rEngine::new(&data, config, 7, 10.0);
+/// let out = engine.select(QueryRange::new(1_000, 1_100));
+/// assert_eq!(out.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExternalPmdd1rEngine<E: Element> {
+    col: PagedColumn<E>,
+    index: CrackerIndex<ExtPieceState>,
+    rng: SmallRng,
+    budget_pct: f64,
+    threshold_elems: usize,
+}
+
+impl<E: Element> ExternalPmdd1rEngine<E> {
+    /// Lays `data` out on pages; the progressive threshold defaults to 16
+    /// pages' worth of elements.
+    pub fn new(data: &[E], config: PoolConfig, seed: u64, budget_pct: f64) -> Self {
+        assert!(
+            budget_pct > 0.0 && budget_pct <= 100.0,
+            "dirty-page budget must be a percentage in (0, 100]"
+        );
+        let len = data.len();
+        Self {
+            col: PagedColumn::new(data, config),
+            index: CrackerIndex::new(len),
+            rng: SmallRng::seed_from_u64(seed),
+            budget_pct,
+            threshold_elems: 16 * config.page_elems,
+        }
+    }
+
+    /// Overrides the full-MDD1R threshold (elements).
+    pub fn with_threshold(mut self, elems: usize) -> Self {
+        self.threshold_elems = elems;
+        self
+    }
+
+    /// The cracker index (tests).
+    pub fn index(&self) -> &CrackerIndex<ExtPieceState> {
+        &self.index
+    }
+
+    /// Whether any piece holds a suspended partition job.
+    pub fn has_active_jobs(&self) -> bool {
+        self.index
+            .pieces()
+            .iter()
+            .any(|p| self.index.piece_meta(p).job.is_some())
+    }
+
+    /// Filters `[start, end)` into `out` (result work for the current
+    /// query over regions the job already settled or has not reached).
+    fn filter_range(&mut self, start: usize, end: usize, q: QueryRange, out: &mut Vec<E>) {
+        let mut materialized = 0u64;
+        let mut collected = std::mem::take(out);
+        self.col.for_range(start, end, |e| {
+            if q.contains(e.key()) {
+                collected.push(e);
+                materialized += 1;
+            }
+        });
+        *out = collected;
+        self.col.stats_mut().materialized += materialized;
+    }
+
+    /// Progressive handling of a partially covered piece.
+    fn progressive_fringe(&mut self, piece: &Piece, q: QueryRange, out: &mut ExternalOutput<E>) {
+        if piece.is_empty() {
+            return;
+        }
+        let has_job = self.index.piece_meta(piece).job.is_some();
+        if piece.len() <= self.threshold_elems && !has_job {
+            // Small piece: full MDD1R takes over (§4).
+            let pivot = self
+                .col
+                .peek(piece.start + self.rng.gen_range(0..piece.len()))
+                .key();
+            let pos = split_and_materialize_paged(
+                &mut self.col,
+                piece.start,
+                piece.end,
+                pivot,
+                q,
+                out.mat_mut(),
+            );
+            if pos > piece.start && pos < piece.end {
+                self.index.add_crack(pivot, pos);
+                self.col.stats_mut().cracks += 1;
+            }
+            return;
+        }
+        let piece_pages = piece.len().div_ceil(self.col.page_elems());
+        let budget = ((piece_pages as f64 * self.budget_pct / 100.0).ceil() as u64).max(1);
+        let mut job = match self.index.piece_meta_mut(piece).job.take() {
+            Some(job) => job,
+            None => {
+                let pivot = self
+                    .col
+                    .peek(piece.start + self.rng.gen_range(0..piece.len()))
+                    .key();
+                PartitionJob::new(pivot, piece.start, piece.end)
+            }
+        };
+        // Regions settled by earlier queries still need filtering for
+        // *this* query's result.
+        self.filter_range(piece.start, job.l, q, out.mat_mut());
+        self.filter_range(job.r, piece.end, q, out.mat_mut());
+        match advance_job_paged(&mut self.col, &mut job, budget, q, out.mat_mut()) {
+            JobStatus::Done { crack_pos } => {
+                if crack_pos > piece.start && crack_pos < piece.end {
+                    self.index.add_crack(job.pivot, crack_pos);
+                    self.col.stats_mut().cracks += 1;
+                }
+            }
+            JobStatus::InProgress => {
+                // The untouched middle holds unfiltered tuples.
+                self.filter_range(job.l, job.r, q, out.mat_mut());
+                self.index.piece_meta_mut(piece).job = Some(job);
+            }
+        }
+    }
+}
+
+impl<E: Element> PagedEngine<E> for ExternalPmdd1rEngine<E> {
+    fn name(&self) -> String {
+        format!("P{}%", self.budget_pct)
+    }
+
+    fn select(&mut self, q: QueryRange) -> ExternalOutput<E> {
+        self.col.stats_mut().queries += 1;
+        let mut out = ExternalOutput::empty();
+        if q.is_empty() {
+            return out;
+        }
+        let p1 = self.index.piece_containing(q.low);
+        let p2 = self.index.piece_containing(q.high);
+        if p1 == p2 {
+            if p1.lo_key == Some(q.low) && p1.hi_key == Some(q.high) {
+                out.push_view(p1.start, p1.end);
+            } else {
+                self.progressive_fringe(&p1, q, &mut out);
+            }
+            return out;
+        }
+        let view_start = if p1.lo_key == Some(q.low) {
+            p1.start
+        } else {
+            self.progressive_fringe(&p1, q, &mut out);
+            p1.end
+        };
+        let view_end = if p2.lo_key == Some(q.high) {
+            p2.start
+        } else {
+            self.progressive_fringe(&p2, q, &mut out);
+            p2.start
+        };
+        out.push_view(view_start, view_end);
+        out
+    }
+
+    fn column_mut(&mut self) -> &mut PagedColumn<E> {
+        &mut self.col
+    }
+
+    fn io(&self) -> IoStats {
+        self.col.io()
+    }
+
+    fn stats(&self) -> Stats {
+        self.col.stats()
+    }
+
+    fn reset_counters(&mut self) {
+        self.col.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shuffled(n: u64) -> Vec<u64> {
+        (0..n).map(|i| (i * 2654435761) % n).collect()
+    }
+
+    fn config() -> PoolConfig {
+        PoolConfig {
+            page_elems: 64,
+            frames: 4,
+        }
+    }
+
+    #[test]
+    fn answers_exactly_while_jobs_run() {
+        let n = 16_384u64;
+        let data = shuffled(n);
+        // Threshold 0 pages would defeat the test; keep the default 16
+        // pages = 1024 elements so the first pieces are progressive.
+        let mut engine = ExternalPmdd1rEngine::new(&data, config(), 7, 1.0);
+        let mut saw_jobs = false;
+        for i in 0..128u64 {
+            let low = (i * 113) % (n - 64);
+            let q = QueryRange::new(low, low + 51);
+            let out = engine.select(q);
+            let expect = data.iter().filter(|k| q.contains(**k)).count();
+            assert_eq!(out.len(), expect, "query {i}");
+            saw_jobs |= engine.has_active_jobs();
+        }
+        assert!(saw_jobs, "a 1% budget must leave jobs in flight");
+    }
+
+    #[test]
+    fn p100_behaves_like_mdd1r() {
+        let n = 8_192u64;
+        let data = shuffled(n);
+        let mut engine = ExternalPmdd1rEngine::new(&data, config(), 7, 100.0);
+        for i in 0..64u64 {
+            let low = (i * 127) % (n - 32);
+            let q = QueryRange::new(low, low + 20);
+            let out = engine.select(q);
+            let expect = data.iter().filter(|k| q.contains(**k)).count();
+            assert_eq!(out.len(), expect);
+        }
+        assert!(
+            !engine.has_active_jobs(),
+            "a 100% budget always completes its partition"
+        );
+        assert!(engine.index().crack_count() > 0);
+    }
+
+    #[test]
+    fn budget_caps_per_query_writes() {
+        // The §6 knob: P1%'s worst per-query write I/O must be far below
+        // MDD1R's (which partitions a whole piece in one query).
+        use crate::engine::ExternalMdd1rEngine;
+        let n = 65_536u64;
+        let data = shuffled(n);
+        let cfg = PoolConfig {
+            page_elems: 256,
+            frames: 8,
+        };
+        let queries: Vec<QueryRange> = (0..60u64)
+            .map(|i| {
+                let low = (i * 1_091) % (n - 32);
+                QueryRange::new(low, low + 24)
+            })
+            .collect();
+
+        let mut mdd1r = ExternalMdd1rEngine::new(&data, cfg, 7);
+        let mut max_mdd1r = 0u64;
+        for q in &queries {
+            let before = mdd1r.io().writes;
+            mdd1r.select(*q);
+            max_mdd1r = max_mdd1r.max(mdd1r.io().writes - before);
+        }
+
+        let mut prog = ExternalPmdd1rEngine::new(&data, cfg, 7, 1.0);
+        let mut max_prog = 0u64;
+        for q in &queries {
+            let before = prog.io().writes;
+            prog.select(*q);
+            max_prog = max_prog.max(prog.io().writes - before);
+        }
+        assert!(
+            max_prog * 4 < max_mdd1r,
+            "P1% must cap write bursts: {max_prog} vs MDD1R {max_mdd1r}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn zero_budget_rejected() {
+        ExternalPmdd1rEngine::new(&shuffled(100), config(), 7, 0.0);
+    }
+
+    #[test]
+    fn tiny_threshold_forces_full_mdd1r_path() {
+        let n = 4_096u64;
+        let data = shuffled(n);
+        let mut engine = ExternalPmdd1rEngine::new(&data, config(), 7, 1.0).with_threshold(n as usize);
+        for i in 0..32u64 {
+            let low = (i * 111) % (n - 16);
+            let q = QueryRange::new(low, low + 10);
+            let out = engine.select(q);
+            let expect = data.iter().filter(|k| q.contains(**k)).count();
+            assert_eq!(out.len(), expect);
+        }
+        assert!(!engine.has_active_jobs(), "threshold covers every piece");
+    }
+
+    #[test]
+    fn multiset_preserved_across_suspended_jobs() {
+        let n = 16_384u64;
+        let data = shuffled(n);
+        let mut engine = ExternalPmdd1rEngine::new(&data, config(), 7, 2.0);
+        for i in 0..100u64 {
+            let low = (i * 311) % (n - 64);
+            engine.select(QueryRange::new(low, low + 40));
+        }
+        let mut snap = engine.column_mut().snapshot();
+        snap.sort_unstable();
+        let mut expect = data;
+        expect.sort_unstable();
+        assert_eq!(snap, expect);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: the paged substrate agrees with in-memory models under
+//! arbitrary operation sequences, data, and pool geometries.
+
+use proptest::prelude::*;
+use scrack_external::kernel::{crack_in_three_paged, crack_in_two_paged};
+use scrack_external::{external_merge_sort, PagedColumn, PoolConfig};
+use scrack_types::QueryRange;
+
+/// Mirror of the in-memory two-way contract checked directly.
+fn check_two_way(data: Vec<u64>, pivot: u64, page_elems: usize, frames: usize) {
+    let mut col = PagedColumn::new(&data, PoolConfig { page_elems, frames });
+    let p = crack_in_two_paged(&mut col, 0, data.len(), pivot);
+    let snap = col.snapshot();
+    assert!(snap[..p].iter().all(|k| *k < pivot));
+    assert!(snap[p..].iter().all(|k| *k >= pivot));
+    let mut a = snap;
+    let mut b = data;
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "permutation preserved");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn two_way_contract_any_data(
+        data in prop::collection::vec(0u64..1000, 0..600),
+        pivot in 0u64..1100,
+        page_elems in 1usize..96,
+        frames in 2usize..8,
+    ) {
+        check_two_way(data, pivot, page_elems, frames);
+    }
+
+    #[test]
+    fn three_way_contract_any_data(
+        data in prop::collection::vec(0u64..500, 0..400),
+        bounds in (0u64..550, 0u64..550),
+        page_elems in 1usize..64,
+        frames in 2usize..6,
+    ) {
+        let (x, y) = bounds;
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        let n = data.len();
+        let mut col = PagedColumn::new(&data, PoolConfig { page_elems, frames });
+        let (p, q) = crack_in_three_paged(&mut col, 0, n, a, b);
+        let snap = col.snapshot();
+        prop_assert!(snap[..p].iter().all(|k| *k < a));
+        prop_assert!(snap[p..q].iter().all(|k| *k >= a && *k < b));
+        prop_assert!(snap[q..].iter().all(|k| *k >= b));
+        let mut got = snap;
+        let mut want = data;
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn paged_column_matches_vec_model(
+        data in prop::collection::vec(0u64..10_000, 1..500),
+        ops in prop::collection::vec((0usize..500, 0usize..500, 0u64..10_000, 0u8..3), 0..200),
+        page_elems in 1usize..64,
+        frames in 2usize..6,
+    ) {
+        let mut col = PagedColumn::new(&data, PoolConfig { page_elems, frames });
+        let mut model = data;
+        let n = model.len();
+        for (i, j, v, op) in ops {
+            let (i, j) = (i % n, j % n);
+            match op {
+                0 => prop_assert_eq!(col.get(i), model[i]),
+                1 => { col.set(i, v); model[i] = v; }
+                _ => { col.swap(i, j); model.swap(i, j); }
+            }
+        }
+        prop_assert_eq!(col.snapshot(), model);
+    }
+
+    #[test]
+    fn external_sort_equals_std_sort(
+        data in prop::collection::vec(0u64..5000, 0..2000),
+        page_elems in 1usize..128,
+        frames in 2usize..10,
+    ) {
+        let mut col = PagedColumn::new(&data, PoolConfig { page_elems, frames });
+        external_merge_sort(&mut col);
+        let mut expect = data;
+        expect.sort_unstable();
+        prop_assert_eq!(col.snapshot(), expect);
+    }
+
+    #[test]
+    fn split_and_materialize_exact_result(
+        data in prop::collection::vec(0u64..2000, 1..500),
+        qbounds in (0u64..2100, 0u64..2100),
+        pivot_idx in 0usize..500,
+        page_elems in 1usize..64,
+    ) {
+        use scrack_external::kernel::split_and_materialize_paged;
+        let (x, y) = qbounds;
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        let q = QueryRange::new(a, b);
+        let n = data.len();
+        let pivot = data[pivot_idx % n];
+        let mut col = PagedColumn::new(&data, PoolConfig { page_elems, frames: 3 });
+        let mut out = Vec::new();
+        let p = split_and_materialize_paged(&mut col, 0, n, pivot, q, &mut out);
+        // Partition contract.
+        let snap = col.snapshot();
+        prop_assert!(snap[..p].iter().all(|k| *k < pivot));
+        prop_assert!(snap[p..].iter().all(|k| *k >= pivot));
+        // Materialization contract: exactly the qualifying multiset.
+        let mut got = out;
+        got.sort_unstable();
+        let mut want: Vec<u64> = data.iter().copied().filter(|k| q.contains(*k)).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

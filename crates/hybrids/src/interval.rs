@@ -1,0 +1,209 @@
+//! A set of disjoint half-open key intervals.
+
+use scrack_types::QueryRange;
+
+/// Sorted, disjoint, coalesced half-open intervals over `u64`.
+///
+/// The hybrid engines use this to remember which key ranges have already
+/// been migrated into the final store; a query then only extracts the
+/// *gaps* its range still has.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSet {
+    /// Sorted by start; pairwise disjoint and non-adjacent.
+    ivs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of maximal intervals.
+    pub fn len(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Whether nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Total number of covered keys.
+    pub fn covered_keys(&self) -> u64 {
+        self.ivs.iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// The maximal intervals, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = QueryRange> + '_ {
+        self.ivs.iter().map(|(a, b)| QueryRange::new(*a, *b))
+    }
+
+    /// Adds `[q.low, q.high)`, merging with overlapping or adjacent
+    /// intervals.
+    pub fn insert(&mut self, q: QueryRange) {
+        if q.is_empty() {
+            return;
+        }
+        let (mut lo, mut hi) = (q.low, q.high);
+        // First interval that could interact: the one before the insertion
+        // point may be adjacent/overlapping too.
+        let mut i = self.ivs.partition_point(|(_, b)| *b < lo);
+        // Absorb every interval intersecting or touching [lo, hi).
+        let mut j = i;
+        while j < self.ivs.len() && self.ivs[j].0 <= hi {
+            lo = lo.min(self.ivs[j].0);
+            hi = hi.max(self.ivs[j].1);
+            j += 1;
+        }
+        self.ivs.splice(i..j, [(lo, hi)]);
+        debug_assert!(self.check());
+        // `i` is the position of the merged interval now.
+        let _ = &mut i;
+    }
+
+    /// Whether `[q.low, q.high)` is entirely covered.
+    pub fn covers(&self, q: QueryRange) -> bool {
+        if q.is_empty() {
+            return true;
+        }
+        match self.ivs.iter().find(|(a, b)| *a <= q.low && q.low < *b) {
+            Some((_, b)) => q.high <= *b,
+            None => false,
+        }
+    }
+
+    /// The maximal subranges of `q` that are **not** covered, ascending.
+    pub fn gaps_within(&self, q: QueryRange) -> Vec<QueryRange> {
+        let mut gaps = Vec::new();
+        if q.is_empty() {
+            return gaps;
+        }
+        let mut cursor = q.low;
+        for (a, b) in &self.ivs {
+            if *b <= cursor {
+                continue;
+            }
+            if *a >= q.high {
+                break;
+            }
+            if *a > cursor {
+                gaps.push(QueryRange::new(cursor, (*a).min(q.high)));
+            }
+            cursor = cursor.max(*b);
+            if cursor >= q.high {
+                break;
+            }
+        }
+        if cursor < q.high {
+            gaps.push(QueryRange::new(cursor, q.high));
+        }
+        gaps
+    }
+
+    /// Internal consistency: sorted, disjoint, non-adjacent, non-empty.
+    fn check(&self) -> bool {
+        self.ivs.iter().all(|(a, b)| a < b) && self.ivs.windows(2).all(|w| w[0].1 < w[1].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(a: u64, b: u64) -> QueryRange {
+        QueryRange::new(a, b)
+    }
+
+    #[test]
+    fn insert_disjoint_and_query() {
+        let mut s = IntervalSet::new();
+        s.insert(q(10, 20));
+        s.insert(q(30, 40));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.covered_keys(), 20);
+        assert!(s.covers(q(12, 18)));
+        assert!(!s.covers(q(12, 32)));
+        assert!(s.covers(q(5, 5)), "empty range trivially covered");
+    }
+
+    #[test]
+    fn insert_merges_overlaps_and_adjacency() {
+        let mut s = IntervalSet::new();
+        s.insert(q(10, 20));
+        s.insert(q(20, 30)); // adjacent
+        assert_eq!(s.len(), 1);
+        s.insert(q(5, 12)); // overlapping left
+        assert_eq!(s.len(), 1);
+        s.insert(q(40, 50));
+        s.insert(q(25, 45)); // bridges the two
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.covered_keys(), 45);
+        assert!(s.covers(q(5, 50)));
+    }
+
+    #[test]
+    fn gaps_within_various() {
+        let mut s = IntervalSet::new();
+        s.insert(q(10, 20));
+        s.insert(q(30, 40));
+        assert_eq!(
+            s.gaps_within(q(0, 50)),
+            vec![q(0, 10), q(20, 30), q(40, 50)]
+        );
+        assert_eq!(s.gaps_within(q(12, 18)), vec![]);
+        assert_eq!(s.gaps_within(q(15, 35)), vec![q(20, 30)]);
+        assert_eq!(s.gaps_within(q(20, 30)), vec![q(20, 30)]);
+        assert_eq!(s.gaps_within(q(45, 45)), vec![]);
+        let empty = IntervalSet::new();
+        assert_eq!(empty.gaps_within(q(3, 7)), vec![q(3, 7)]);
+    }
+
+    #[test]
+    fn gap_then_insert_closes_it() {
+        let mut s = IntervalSet::new();
+        s.insert(q(0, 5));
+        for gap in s.gaps_within(q(0, 100)) {
+            s.insert(gap);
+        }
+        assert!(s.covers(q(0, 100)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn many_random_inserts_stay_consistent() {
+        let mut s = IntervalSet::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut model = vec![false; 1000];
+        for _ in 0..300 {
+            let a = next() % 990;
+            let w = next() % 30 + 1;
+            let b = (a + w).min(1000);
+            s.insert(q(a, b));
+            for m in model.iter_mut().take(b as usize).skip(a as usize) {
+                *m = true;
+            }
+        }
+        let covered: u64 = model.iter().filter(|m| **m).count() as u64;
+        assert_eq!(s.covered_keys(), covered);
+        // Spot-check gap computation against the model.
+        for (a, b) in [(0u64, 1000u64), (100, 200), (337, 613)] {
+            let gaps = s.gaps_within(q(a, b));
+            let gap_keys: u64 = gaps.iter().map(|g| g.width()).sum();
+            let model_gap = model[a as usize..b as usize]
+                .iter()
+                .filter(|m| !**m)
+                .count() as u64;
+            assert_eq!(gap_keys, model_gap, "range [{a},{b})");
+            for g in &gaps {
+                assert!(model[g.low as usize..g.high as usize].iter().all(|m| !*m));
+            }
+        }
+    }
+}

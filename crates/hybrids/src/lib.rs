@@ -1,0 +1,32 @@
+//! Partition/merge adaptive-indexing hybrids (AICC / AICS) and their
+//! stochastic variants (AICC1R / AICS1R).
+//!
+//! §5 ("Adaptive Indexing Hybrids") of Halim et al. 2012 demonstrates that
+//! the crack-crack (AICC) and crack-sort (AICS) hybrids of Idreos et al.
+//! (PVLDB 2011) inherit original cracking's workload-robustness problem —
+//! and that injecting DD1R-style random cracks into their source-partition
+//! cracking (AICC1R / AICS1R) fixes it (Fig. 14).
+//!
+//! The reconstruction here follows the hybrids at the level of detail the
+//! paper uses them:
+//!
+//! * the column is split into fixed-size **initial partitions** on the
+//!   first query;
+//! * each query cracks the qualifying key range out of every partition
+//!   (plain bound cracks for AICC/AICS; one extra random crack per touched
+//!   piece for the 1R variants) and copies it into a **final store**;
+//! * the final store is itself adaptive: a piece table refined by further
+//!   cracking (AICC) or a sorted run maintained by merging (AICS);
+//! * an [`IntervalSet`] tracks which key ranges have already been merged,
+//!   so every tuple migrates exactly once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod interval;
+mod store;
+
+pub use engine::{HybridEngine, HybridKind};
+pub use interval::IntervalSet;
+pub use store::{PieceStore, SortedStore};

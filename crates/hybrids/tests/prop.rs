@@ -1,0 +1,84 @@
+//! Property tests: hybrid engines against the oracle, and the interval
+//! set against a bitmap model, under arbitrary query streams.
+
+use proptest::prelude::*;
+use scrack_core::{CrackConfig, Engine, Oracle};
+use scrack_hybrids::{HybridEngine, HybridKind, IntervalSet};
+use scrack_types::{CacheProfile, QueryRange};
+
+fn arb_kind() -> impl Strategy<Value = HybridKind> {
+    prop_oneof![
+        Just(HybridKind::CrackCrack),
+        Just(HybridKind::CrackSort),
+        Just(HybridKind::CrackCrack1R),
+        Just(HybridKind::CrackSort1R),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hybrid_matches_oracle_on_any_query_stream(
+        kind in arb_kind(),
+        seed in 0u64..500,
+        raw_queries in proptest::collection::vec((0u64..3000, 1u64..800), 1..40),
+    ) {
+        let data: Vec<u64> = (0..3000u64).map(|i| (i * 2221) % 3000).collect();
+        let oracle = Oracle::new(&data);
+        // Small caches force several partitions at this scale.
+        let config = CrackConfig {
+            cache: CacheProfile::new(512, 2048),
+            ..CrackConfig::default()
+        };
+        let mut eng = HybridEngine::new(kind, data, config, seed);
+        for (i, (a, w)) in raw_queries.iter().enumerate() {
+            let q = QueryRange::new(*a, a + w);
+            let out = eng.select(q);
+            prop_assert_eq!(out.len(), oracle.count(q), "query {} of {:?}", i, kind);
+            prop_assert_eq!(
+                out.key_checksum(eng.data()),
+                oracle.checksum(q),
+                "checksum at query {} of {:?}", i, kind
+            );
+        }
+    }
+
+    #[test]
+    fn interval_set_matches_bitmap_model(
+        inserts in proptest::collection::vec((0u64..500, 1u64..60), 0..60),
+        probes in proptest::collection::vec((0u64..500, 0u64..80), 0..20),
+    ) {
+        let mut set = IntervalSet::new();
+        let mut model = [false; 600];
+        for (a, w) in inserts {
+            let b = (a + w).min(600);
+            set.insert(QueryRange::new(a, b));
+            for m in model.iter_mut().take(b as usize).skip(a as usize) {
+                *m = true;
+            }
+        }
+        let covered = model.iter().filter(|m| **m).count() as u64;
+        prop_assert_eq!(set.covered_keys(), covered);
+        for (a, w) in probes {
+            let b = (a + w).min(600);
+            let q = QueryRange::new(a, b);
+            let model_covered = model[a as usize..b as usize].iter().all(|m| *m);
+            prop_assert_eq!(set.covers(q), model_covered, "covers({})", q);
+            let gaps = set.gaps_within(q);
+            // Gaps are disjoint, ordered, uncovered in the model, and
+            // together account for every uncovered key of the range.
+            let mut gap_total = 0u64;
+            let mut prev_end = a;
+            for g in &gaps {
+                prop_assert!(g.low >= prev_end);
+                prop_assert!(g.high <= b);
+                prop_assert!(model[g.low as usize..g.high as usize].iter().all(|m| !*m));
+                gap_total += g.width();
+                prev_end = g.high;
+            }
+            let model_gaps = model[a as usize..b as usize].iter().filter(|m| !**m).count() as u64;
+            prop_assert_eq!(gap_total, model_gaps, "gap total for {}", q);
+        }
+    }
+}

@@ -1,0 +1,604 @@
+//! An arena-based AVL tree keyed by crack value.
+//!
+//! Nodes live in a `Vec` arena and reference each other by index; removed
+//! nodes go on a free list. Heights are maintained per node; the classic
+//! single/double rotations keep the balance factor within ±1, so lookups,
+//! predecessor/successor queries, inserts and removals are `O(log n)`.
+//!
+//! The tree deliberately exposes *handles* ([`NodeId`]) so that callers —
+//! notably the Ripple update algorithm, which shifts crack positions one by
+//! one — can mutate a node's position or metadata without re-searching.
+
+/// Sentinel for "no node".
+const NIL: u32 = u32::MAX;
+
+/// A stable handle to a tree node, valid until that node is removed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+#[derive(Debug, Clone)]
+struct Node<M> {
+    key: u64,
+    pos: usize,
+    meta: M,
+    left: u32,
+    right: u32,
+    height: u8,
+}
+
+/// An AVL tree mapping `u64` keys to array positions plus metadata `M`.
+#[derive(Debug, Clone)]
+pub struct AvlTree<M> {
+    nodes: Vec<Node<M>>,
+    root: u32,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<M> Default for AvlTree<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> AvlTree<M> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            root: NIL,
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    #[inline]
+    fn node(&self, id: u32) -> &Node<M> {
+        &self.nodes[id as usize]
+    }
+
+    #[inline]
+    fn node_mut(&mut self, id: u32) -> &mut Node<M> {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Key of the entry behind `id`.
+    pub fn key(&self, id: NodeId) -> u64 {
+        self.node(id.0).key
+    }
+
+    /// Position of the entry behind `id`.
+    pub fn pos(&self, id: NodeId) -> usize {
+        self.node(id.0).pos
+    }
+
+    /// Overwrites the position of the entry behind `id`.
+    ///
+    /// Positions carry no ordering obligation inside the tree (only keys
+    /// do), so this is safe structurally; the *cracker* invariant that
+    /// positions are monotone in key order is the caller's to maintain.
+    pub fn set_pos(&mut self, id: NodeId, pos: usize) {
+        self.node_mut(id.0).pos = pos;
+    }
+
+    /// Metadata of the entry behind `id`.
+    pub fn meta(&self, id: NodeId) -> &M {
+        &self.node(id.0).meta
+    }
+
+    /// Mutable metadata of the entry behind `id`.
+    pub fn meta_mut(&mut self, id: NodeId) -> &mut M {
+        &mut self.node_mut(id.0).meta
+    }
+
+    fn height(&self, id: u32) -> i32 {
+        if id == NIL {
+            0
+        } else {
+            self.node(id).height as i32
+        }
+    }
+
+    fn update_height(&mut self, id: u32) {
+        let h = 1 + self
+            .height(self.node(id).left)
+            .max(self.height(self.node(id).right));
+        self.node_mut(id).height = h as u8;
+    }
+
+    fn balance_factor(&self, id: u32) -> i32 {
+        self.height(self.node(id).left) - self.height(self.node(id).right)
+    }
+
+    fn rotate_right(&mut self, y: u32) -> u32 {
+        let x = self.node(y).left;
+        let t2 = self.node(x).right;
+        self.node_mut(x).right = y;
+        self.node_mut(y).left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: u32) -> u32 {
+        let y = self.node(x).right;
+        let t2 = self.node(y).left;
+        self.node_mut(y).left = x;
+        self.node_mut(x).right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    fn rebalance(&mut self, id: u32) -> u32 {
+        self.update_height(id);
+        let bf = self.balance_factor(id);
+        if bf > 1 {
+            if self.balance_factor(self.node(id).left) < 0 {
+                let l = self.node(id).left;
+                let nl = self.rotate_left(l);
+                self.node_mut(id).left = nl;
+            }
+            self.rotate_right(id)
+        } else if bf < -1 {
+            if self.balance_factor(self.node(id).right) > 0 {
+                let r = self.node(id).right;
+                let nr = self.rotate_right(r);
+                self.node_mut(id).right = nr;
+            }
+            self.rotate_left(id)
+        } else {
+            id
+        }
+    }
+
+    fn alloc(&mut self, key: u64, pos: usize, meta: M) -> u32 {
+        let node = Node {
+            key,
+            pos,
+            meta,
+            left: NIL,
+            right: NIL,
+            height: 1,
+        };
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Inserts `(key, pos, meta)`.
+    ///
+    /// Returns `(id, true)` for a fresh entry, or `(existing_id, false)` if
+    /// the key was already present (the existing entry is left untouched —
+    /// a crack at an existing value is the same crack).
+    pub fn insert(&mut self, key: u64, pos: usize, meta: M) -> (NodeId, bool) {
+        if let Some(id) = self.find(key) {
+            return (id, false);
+        }
+        let fresh = self.alloc(key, pos, meta);
+        self.root = self.insert_rec(self.root, fresh, key);
+        self.len += 1;
+        (NodeId(fresh), true)
+    }
+
+    fn insert_rec(&mut self, at: u32, fresh: u32, key: u64) -> u32 {
+        if at == NIL {
+            return fresh;
+        }
+        if key < self.node(at).key {
+            let nl = self.insert_rec(self.node(at).left, fresh, key);
+            self.node_mut(at).left = nl;
+        } else {
+            debug_assert!(key > self.node(at).key, "duplicate checked by insert");
+            let nr = self.insert_rec(self.node(at).right, fresh, key);
+            self.node_mut(at).right = nr;
+        }
+        self.rebalance(at)
+    }
+
+    /// Looks up the entry with exactly `key`.
+    pub fn find(&self, key: u64) -> Option<NodeId> {
+        let mut cur = self.root;
+        while cur != NIL {
+            let n = self.node(cur);
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => cur = n.left,
+                std::cmp::Ordering::Greater => cur = n.right,
+                std::cmp::Ordering::Equal => return Some(NodeId(cur)),
+            }
+        }
+        None
+    }
+
+    /// Greatest entry with key `<= key`.
+    pub fn predecessor_or_equal(&self, key: u64) -> Option<NodeId> {
+        let mut cur = self.root;
+        let mut best = NIL;
+        while cur != NIL {
+            let n = self.node(cur);
+            if n.key <= key {
+                best = cur;
+                cur = n.right;
+            } else {
+                cur = n.left;
+            }
+        }
+        (best != NIL).then_some(NodeId(best))
+    }
+
+    /// Greatest entry with key `< key`.
+    pub fn predecessor_strict(&self, key: u64) -> Option<NodeId> {
+        if key == 0 {
+            return None;
+        }
+        self.predecessor_or_equal(key - 1)
+    }
+
+    /// Smallest entry with key `> key`.
+    pub fn successor_strict(&self, key: u64) -> Option<NodeId> {
+        let mut cur = self.root;
+        let mut best = NIL;
+        while cur != NIL {
+            let n = self.node(cur);
+            if n.key > key {
+                best = cur;
+                cur = n.left;
+            } else {
+                cur = n.right;
+            }
+        }
+        (best != NIL).then_some(NodeId(best))
+    }
+
+    /// Smallest entry with key `>= key`.
+    pub fn successor_or_equal(&self, key: u64) -> Option<NodeId> {
+        if key == 0 {
+            return self.min();
+        }
+        self.successor_strict(key - 1)
+    }
+
+    /// Entry with the smallest key.
+    pub fn min(&self) -> Option<NodeId> {
+        let mut cur = self.root;
+        if cur == NIL {
+            return None;
+        }
+        while self.node(cur).left != NIL {
+            cur = self.node(cur).left;
+        }
+        Some(NodeId(cur))
+    }
+
+    /// Entry with the greatest key.
+    pub fn max(&self) -> Option<NodeId> {
+        let mut cur = self.root;
+        if cur == NIL {
+            return None;
+        }
+        while self.node(cur).right != NIL {
+            cur = self.node(cur).right;
+        }
+        Some(NodeId(cur))
+    }
+
+    /// Removes the entry with `key`, returning its `(pos, meta)`.
+    pub fn remove(&mut self, key: u64) -> Option<(usize, M)>
+    where
+        M: Default,
+    {
+        self.find(key)?;
+        let mut removed = NIL;
+        self.root = self.remove_rec(self.root, key, &mut removed);
+        debug_assert_ne!(removed, NIL);
+        self.len -= 1;
+        let node = &mut self.nodes[removed as usize];
+        let pos = node.pos;
+        let meta = std::mem::take(&mut node.meta);
+        self.free.push(removed);
+        Some((pos, meta))
+    }
+
+    fn remove_rec(&mut self, at: u32, key: u64, removed: &mut u32) -> u32 {
+        if at == NIL {
+            return NIL;
+        }
+        match key.cmp(&self.node(at).key) {
+            std::cmp::Ordering::Less => {
+                let nl = self.remove_rec(self.node(at).left, key, removed);
+                self.node_mut(at).left = nl;
+            }
+            std::cmp::Ordering::Greater => {
+                let nr = self.remove_rec(self.node(at).right, key, removed);
+                self.node_mut(at).right = nr;
+            }
+            std::cmp::Ordering::Equal => {
+                let (l, r) = (self.node(at).left, self.node(at).right);
+                if l == NIL || r == NIL {
+                    *removed = at;
+                    return if l == NIL { r } else { l };
+                }
+                // Two children: splice out the in-order successor (min of
+                // the right subtree) and move its payload into `at`; report
+                // the spliced arena slot as the removed one.
+                let mut succ = r;
+                while self.node(succ).left != NIL {
+                    succ = self.node(succ).left;
+                }
+                let succ_key = self.node(succ).key;
+                let nr = self.remove_rec(r, succ_key, removed);
+                debug_assert_eq!(*removed, succ);
+                // Swap payloads so `at` carries the successor's entry and
+                // the freed slot carries the deleted entry's payload.
+                let (a, b) = if (at as usize) < (succ as usize) {
+                    let (lo, hi) = self.nodes.split_at_mut(succ as usize);
+                    (&mut lo[at as usize], &mut hi[0])
+                } else {
+                    let (lo, hi) = self.nodes.split_at_mut(at as usize);
+                    (&mut hi[0], &mut lo[succ as usize])
+                };
+                std::mem::swap(&mut a.key, &mut b.key);
+                std::mem::swap(&mut a.pos, &mut b.pos);
+                std::mem::swap(&mut a.meta, &mut b.meta);
+                self.node_mut(at).right = nr;
+            }
+        }
+        self.rebalance(at)
+    }
+
+    /// In-order ascending iterator over `(key, pos)` pairs.
+    pub fn iter_asc(&self) -> AscIter<'_, M> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL {
+            stack.push(cur);
+            cur = self.node(cur).left;
+        }
+        AscIter { tree: self, stack }
+    }
+
+    /// Checks all AVL invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn walk<M>(
+            t: &AvlTree<M>,
+            id: u32,
+            lo: Option<u64>,
+            hi: Option<u64>,
+            count: &mut usize,
+        ) -> Result<i32, String> {
+            if id == NIL {
+                return Ok(0);
+            }
+            *count += 1;
+            let n = t.node(id);
+            if let Some(lo) = lo {
+                if n.key <= lo {
+                    return Err(format!("key {} violates lower bound {}", n.key, lo));
+                }
+            }
+            if let Some(hi) = hi {
+                if n.key >= hi {
+                    return Err(format!("key {} violates upper bound {}", n.key, hi));
+                }
+            }
+            let hl = walk(t, n.left, lo, Some(n.key), count)?;
+            let hr = walk(t, n.right, Some(n.key), hi, count)?;
+            if (hl - hr).abs() > 1 {
+                return Err(format!("imbalance at key {}: {} vs {}", n.key, hl, hr));
+            }
+            let h = 1 + hl.max(hr);
+            if h != n.height as i32 {
+                return Err(format!("stale height at key {}", n.key));
+            }
+            Ok(h)
+        }
+        let mut count = 0usize;
+        walk(self, self.root, None, None, &mut count)?;
+        if count != self.len {
+            return Err(format!("len {} but {} reachable nodes", self.len, count));
+        }
+        Ok(())
+    }
+}
+
+/// Ascending in-order iterator, see [`AvlTree::iter_asc`].
+pub struct AscIter<'a, M> {
+    tree: &'a AvlTree<M>,
+    stack: Vec<u32>,
+}
+
+impl<'a, M> Iterator for AscIter<'a, M> {
+    type Item = (u64, usize, &'a M);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let id = self.stack.pop()?;
+        let n = self.tree.node(id);
+        let mut cur = n.right;
+        while cur != NIL {
+            self.stack.push(cur);
+            cur = self.tree.node(cur).left;
+        }
+        Some((n.key, n.pos, &n.meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn build(keys: &[u64]) -> AvlTree<u32> {
+        let mut t = AvlTree::new();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(*k, i, i as u32);
+        }
+        t.check_invariants().unwrap();
+        t
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: AvlTree<()> = AvlTree::new();
+        assert!(t.is_empty());
+        assert!(t.find(5).is_none());
+        assert!(t.predecessor_or_equal(5).is_none());
+        assert!(t.successor_strict(5).is_none());
+        assert!(t.min().is_none());
+        assert!(t.max().is_none());
+    }
+
+    #[test]
+    fn insert_dedupes_keys() {
+        let mut t = AvlTree::new();
+        let (a, fresh_a) = t.insert(10, 1, ());
+        let (b, fresh_b) = t.insert(10, 99, ());
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert_eq!(a, b);
+        assert_eq!(t.pos(a), 1, "existing entry untouched");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ascending_insert_stays_balanced() {
+        let t = build(&(0..1000).collect::<Vec<_>>());
+        assert_eq!(t.len(), 1000);
+        // AVL height bound: 1.44 * log2(n+2).
+        assert!(t.height(t.root) <= 15, "height {}", t.height(t.root));
+    }
+
+    #[test]
+    fn descending_insert_stays_balanced() {
+        let t = build(&(0..1000).rev().collect::<Vec<_>>());
+        assert!(t.height(t.root) <= 15);
+    }
+
+    #[test]
+    fn neighbor_queries_match_btreemap() {
+        let keys: Vec<u64> = (0..500).map(|i| (i * 977) % 1000).collect();
+        let t = build(&keys);
+        let model: BTreeMap<u64, ()> = keys.iter().map(|k| (*k, ())).collect();
+        for probe in 0..1001 {
+            let pred = t.predecessor_or_equal(probe).map(|id| t.key(id));
+            let model_pred = model.range(..=probe).next_back().map(|(k, _)| *k);
+            assert_eq!(pred, model_pred, "pred_or_eq({probe})");
+
+            let succ = t.successor_strict(probe).map(|id| t.key(id));
+            let model_succ = model
+                .range((std::ops::Bound::Excluded(probe), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(k, _)| *k);
+            assert_eq!(succ, model_succ, "succ_strict({probe})");
+
+            let spred = t.predecessor_strict(probe).map(|id| t.key(id));
+            let model_spred = model.range(..probe).next_back().map(|(k, _)| *k);
+            assert_eq!(spred, model_spred, "pred_strict({probe})");
+
+            let seq = t.successor_or_equal(probe).map(|id| t.key(id));
+            let model_seq = model.range(probe..).next().map(|(k, _)| *k);
+            assert_eq!(seq, model_seq, "succ_or_eq({probe})");
+        }
+    }
+
+    #[test]
+    fn iter_asc_is_sorted_and_complete() {
+        let keys: Vec<u64> = (0..300).map(|i| (i * 613) % 997).collect();
+        let t = build(&keys);
+        let got: Vec<u64> = t.iter_asc().map(|(k, _, _)| k).collect();
+        let mut expect: Vec<u64> = keys.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn remove_keeps_balance_and_content() {
+        let keys: Vec<u64> = (0..400).map(|i| (i * 31) % 401).collect();
+        let mut t = build(&keys);
+        let mut model: BTreeMap<u64, ()> = keys.iter().map(|k| (*k, ())).collect();
+        for probe in (0..401).step_by(3) {
+            let got = t.remove(probe).is_some();
+            let expect = model.remove(&probe).is_some();
+            assert_eq!(got, expect, "remove({probe})");
+            t.check_invariants().unwrap();
+        }
+        let got: Vec<u64> = t.iter_asc().map(|(k, _, _)| k).collect();
+        let expect: Vec<u64> = model.keys().copied().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn remove_reuses_arena_slots() {
+        let mut t = AvlTree::new();
+        for k in 0..100u64 {
+            t.insert(k, 0, ());
+        }
+        let slots = t.nodes.len();
+        for k in 0..50u64 {
+            t.remove(k);
+        }
+        for k in 100..150u64 {
+            t.insert(k, 0, ());
+        }
+        assert_eq!(t.nodes.len(), slots, "free list must recycle slots");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn set_pos_and_meta_via_handle() {
+        let mut t = AvlTree::new();
+        let (id, _) = t.insert(7, 3, 100u32);
+        t.set_pos(id, 9);
+        *t.meta_mut(id) += 1;
+        assert_eq!(t.pos(id), 9);
+        assert_eq!(*t.meta(id), 101);
+        assert_eq!(t.key(id), 7);
+    }
+
+    #[test]
+    fn min_max() {
+        let t = build(&[50, 10, 90, 30, 70]);
+        assert_eq!(t.key(t.min().unwrap()), 10);
+        assert_eq!(t.key(t.max().unwrap()), 90);
+    }
+
+    #[test]
+    fn predecessor_strict_at_zero() {
+        let t = build(&[0, 5]);
+        assert!(t.predecessor_strict(0).is_none());
+        assert_eq!(t.key(t.successor_or_equal(0).unwrap()), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = build(&[1, 2, 3]);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.min().is_none());
+        let (id, fresh) = t.insert(9, 0, 0);
+        assert!(fresh);
+        assert_eq!(t.key(id), 9);
+    }
+}

@@ -1,0 +1,394 @@
+//! The piece-oriented cracker index on top of the AVL tree.
+
+use crate::avl::{AvlTree, NodeId};
+
+/// Per-piece metadata that survives piece splits.
+///
+/// When a crack splits a piece, the paper's monitoring variant requires the
+/// new piece to "inherit the counter from its parent piece" (§4,
+/// ScrackMon). [`PieceMeta::inherit`] defines what is copied: counters are,
+/// in-flight progressive partition jobs are **not** (a job belongs to the
+/// exact piece it was created for).
+pub trait PieceMeta: Default {
+    /// Metadata for a child piece created by splitting the piece owning
+    /// `self`.
+    fn inherit(&self) -> Self;
+}
+
+impl PieceMeta for () {
+    fn inherit(&self) {}
+}
+
+/// A contiguous region of the cracked column and its key bounds.
+///
+/// The piece spans positions `[start, end)`. Its keys `k` satisfy
+/// `lo_key <= k < hi_key`, where `None` bounds mean "unbounded" (the first
+/// and last pieces). `left_crack`/`right_crack` are the index entries that
+/// delimit the piece, when they exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Piece {
+    /// First position of the piece.
+    pub start: usize,
+    /// One past the last position of the piece.
+    pub end: usize,
+    /// Greatest crack value `<=` every key in the piece (`None` for the
+    /// leftmost piece).
+    pub lo_key: Option<u64>,
+    /// Smallest crack value `>` every key in the piece (`None` for the
+    /// rightmost piece).
+    pub hi_key: Option<u64>,
+    /// Handle of the crack at `start`, if any.
+    pub left_crack: Option<NodeId>,
+    /// Handle of the crack at `end`, if any.
+    pub right_crack: Option<NodeId>,
+}
+
+impl Piece {
+    /// Number of elements in the piece.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the piece holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// The cracker index: crack values mapped to positions, seen as pieces.
+///
+/// Generic over per-piece metadata `M`; the plain engines use `()`,
+/// stochastic engines use counters/jobs (defined in `scrack-core`).
+///
+/// ```
+/// use scrack_index::CrackerIndex;
+///
+/// // A 100-element column cracked at keys 50 (position 48) and 80 (75).
+/// let mut idx: CrackerIndex<()> = CrackerIndex::new(100);
+/// idx.add_crack(50, 48);
+/// idx.add_crack(80, 75);
+///
+/// let piece = idx.piece_containing(60);
+/// assert_eq!((piece.start, piece.end), (48, 75));
+/// assert_eq!((piece.lo_key, piece.hi_key), (Some(50), Some(80)));
+/// assert_eq!(idx.piece_count(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CrackerIndex<M: PieceMeta> {
+    tree: AvlTree<M>,
+    column_len: usize,
+    /// Metadata of the leftmost piece, which has no left crack to hang it on.
+    head_meta: M,
+}
+
+impl<M: PieceMeta> CrackerIndex<M> {
+    /// An index over an uncracked column of `column_len` elements: a single
+    /// piece spanning everything.
+    pub fn new(column_len: usize) -> Self {
+        Self {
+            tree: AvlTree::new(),
+            column_len,
+            head_meta: M::default(),
+        }
+    }
+
+    /// Number of cracks.
+    pub fn crack_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Number of pieces (always `crack_count() + 1`).
+    pub fn piece_count(&self) -> usize {
+        self.tree.len() + 1
+    }
+
+    /// Length of the indexed column.
+    pub fn column_len(&self) -> usize {
+        self.column_len
+    }
+
+    /// Adjusts the column length (used by updates when tuples are inserted
+    /// or deleted at the physical end of the array).
+    pub fn set_column_len(&mut self, len: usize) {
+        self.column_len = len;
+    }
+
+    /// Drops all cracks, returning to the single-piece state.
+    pub fn clear(&mut self) {
+        self.tree.clear();
+        self.head_meta = M::default();
+    }
+
+    /// The piece whose key range contains `key`.
+    pub fn piece_containing(&self, key: u64) -> Piece {
+        let pred = self.tree.predecessor_or_equal(key);
+        let succ = self.tree.successor_strict(key);
+        Piece {
+            start: pred.map_or(0, |id| self.tree.pos(id)),
+            end: succ.map_or(self.column_len, |id| self.tree.pos(id)),
+            lo_key: pred.map(|id| self.tree.key(id)),
+            hi_key: succ.map(|id| self.tree.key(id)),
+            left_crack: pred,
+            right_crack: succ,
+        }
+    }
+
+    /// Registers the crack `(key, pos)`: positions `< pos` hold keys
+    /// `< key`, positions `>= pos` hold keys `>= key`.
+    ///
+    /// The new right-hand piece inherits metadata from the piece being
+    /// split. Returns the crack's handle; inserting a crack at an existing
+    /// value is a no-op returning the existing handle.
+    pub fn add_crack(&mut self, key: u64, pos: usize) -> NodeId {
+        debug_assert!(pos <= self.column_len);
+        // Inherit from the piece that `key` currently falls in.
+        let parent_meta = match self.tree.predecessor_or_equal(key) {
+            Some(id) => self.tree.meta(id).inherit(),
+            None => self.head_meta.inherit(),
+        };
+        let (id, fresh) = self.tree.insert(key, pos, parent_meta);
+        if fresh {
+            debug_assert!(
+                self.check_positions_monotone(),
+                "crack ({key},{pos}) broke position monotonicity"
+            );
+        } else {
+            debug_assert_eq!(
+                self.tree.pos(id),
+                pos,
+                "crack at existing value {key} must agree on position"
+            );
+        }
+        id
+    }
+
+    /// Metadata of `piece` (its left crack's, or the head metadata).
+    pub fn piece_meta(&self, piece: &Piece) -> &M {
+        match piece.left_crack {
+            Some(id) => self.tree.meta(id),
+            None => &self.head_meta,
+        }
+    }
+
+    /// Mutable metadata of `piece`.
+    pub fn piece_meta_mut(&mut self, piece: &Piece) -> &mut M {
+        match piece.left_crack {
+            Some(id) => self.tree.meta_mut(id),
+            None => &mut self.head_meta,
+        }
+    }
+
+    /// Direct read access to the underlying tree (for updates and tests).
+    pub fn tree(&self) -> &AvlTree<M> {
+        &self.tree
+    }
+
+    /// Direct mutable access to the underlying tree.
+    ///
+    /// The Ripple update algorithm shifts crack positions through node
+    /// handles; it must preserve the monotonicity of positions in key
+    /// order.
+    pub fn tree_mut(&mut self) -> &mut AvlTree<M> {
+        &mut self.tree
+    }
+
+    /// All pieces in position order. Allocates; intended for inspection,
+    /// tests and the hybrid engines' piece tables, not hot paths.
+    pub fn pieces(&self) -> Vec<Piece> {
+        let cracks: Vec<(u64, usize)> = self.tree.iter_asc().map(|(k, p, _)| (k, p)).collect();
+        let ids: Vec<NodeId> = cracks
+            .iter()
+            .map(|(k, _)| self.tree.find(*k).expect("crack key present"))
+            .collect();
+        let mut out = Vec::with_capacity(cracks.len() + 1);
+        let mut start = 0usize;
+        let mut lo_key = None;
+        let mut left = None;
+        for (i, (k, p)) in cracks.iter().enumerate() {
+            out.push(Piece {
+                start,
+                end: *p,
+                lo_key,
+                hi_key: Some(*k),
+                left_crack: left,
+                right_crack: Some(ids[i]),
+            });
+            start = *p;
+            lo_key = Some(*k);
+            left = Some(ids[i]);
+        }
+        out.push(Piece {
+            start,
+            end: self.column_len,
+            lo_key,
+            hi_key: None,
+            left_crack: left,
+            right_crack: None,
+        });
+        out
+    }
+
+    /// Whether crack positions are non-decreasing in key order and within
+    /// the column bounds.
+    pub fn check_positions_monotone(&self) -> bool {
+        let mut prev = 0usize;
+        for (_, pos, _) in self.tree.iter_asc() {
+            if pos < prev || pos > self.column_len {
+                return false;
+            }
+            prev = pos;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncracked_column_is_one_piece() {
+        let idx: CrackerIndex<()> = CrackerIndex::new(100);
+        assert_eq!(idx.piece_count(), 1);
+        let p = idx.piece_containing(42);
+        assert_eq!((p.start, p.end), (0, 100));
+        assert_eq!(p.lo_key, None);
+        assert_eq!(p.hi_key, None);
+        assert!(p.left_crack.is_none() && p.right_crack.is_none());
+    }
+
+    #[test]
+    fn piece_lookup_after_cracks() {
+        let mut idx: CrackerIndex<()> = CrackerIndex::new(100);
+        idx.add_crack(50, 48);
+        idx.add_crack(80, 75);
+        assert_eq!(idx.piece_count(), 3);
+
+        let p = idx.piece_containing(10);
+        assert_eq!((p.start, p.end), (0, 48));
+        assert_eq!((p.lo_key, p.hi_key), (None, Some(50)));
+
+        // Key equal to a crack value belongs to the right-hand piece.
+        let p = idx.piece_containing(50);
+        assert_eq!((p.start, p.end), (48, 75));
+        assert_eq!((p.lo_key, p.hi_key), (Some(50), Some(80)));
+
+        let p = idx.piece_containing(79);
+        assert_eq!((p.start, p.end), (48, 75));
+
+        let p = idx.piece_containing(99);
+        assert_eq!((p.start, p.end), (75, 100));
+        assert_eq!((p.lo_key, p.hi_key), (Some(80), None));
+    }
+
+    #[test]
+    fn add_crack_at_existing_value_is_noop() {
+        let mut idx: CrackerIndex<()> = CrackerIndex::new(100);
+        let a = idx.add_crack(50, 48);
+        let b = idx.add_crack(50, 48);
+        assert_eq!(a, b);
+        assert_eq!(idx.crack_count(), 1);
+    }
+
+    #[derive(Default, Debug, Clone, PartialEq)]
+    struct Counter {
+        count: u32,
+        job: Option<&'static str>,
+    }
+
+    impl PieceMeta for Counter {
+        fn inherit(&self) -> Self {
+            Counter {
+                count: self.count,
+                job: None, // jobs never survive a split
+            }
+        }
+    }
+
+    #[test]
+    fn meta_is_inherited_on_split_without_jobs() {
+        let mut idx: CrackerIndex<Counter> = CrackerIndex::new(100);
+        // Put state on the head piece.
+        let head = idx.piece_containing(0);
+        *idx.piece_meta_mut(&head) = Counter {
+            count: 7,
+            job: Some("active"),
+        };
+        // Splitting it inherits the counter but not the job.
+        idx.add_crack(50, 50);
+        let left = idx.piece_containing(0);
+        let right = idx.piece_containing(60);
+        assert_eq!(idx.piece_meta(&left).count, 7);
+        assert_eq!(
+            idx.piece_meta(&left).job,
+            Some("active"),
+            "parent keeps its job"
+        );
+        assert_eq!(idx.piece_meta(&right).count, 7, "child inherits counter");
+        assert_eq!(
+            idx.piece_meta(&right).job,
+            None,
+            "child must not inherit job"
+        );
+    }
+
+    #[test]
+    fn pieces_enumeration_covers_column() {
+        let mut idx: CrackerIndex<()> = CrackerIndex::new(1000);
+        for (k, p) in [(100u64, 90usize), (500, 520), (900, 905), (300, 280)] {
+            idx.add_crack(k, p);
+        }
+        let pieces = idx.pieces();
+        assert_eq!(pieces.len(), 5);
+        assert_eq!(pieces[0].start, 0);
+        assert_eq!(pieces.last().unwrap().end, 1000);
+        for w in pieces.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "pieces must tile the column");
+            assert_eq!(w[0].hi_key, w[1].lo_key);
+        }
+    }
+
+    #[test]
+    fn positions_monotonicity_check() {
+        let mut idx: CrackerIndex<()> = CrackerIndex::new(100);
+        idx.add_crack(10, 20);
+        idx.add_crack(20, 40);
+        assert!(idx.check_positions_monotone());
+        // Force a violation through the raw tree handle.
+        let id = idx.tree().find(20).unwrap();
+        idx.tree_mut().set_pos(id, 5);
+        assert!(!idx.check_positions_monotone());
+    }
+
+    #[test]
+    fn empty_pieces_are_representable() {
+        let mut idx: CrackerIndex<()> = CrackerIndex::new(100);
+        idx.add_crack(10, 30);
+        idx.add_crack(20, 30); // nothing between keys 10 and 20
+        let p = idx.piece_containing(15);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!((p.start, p.end), (30, 30));
+    }
+
+    #[test]
+    fn clear_returns_to_single_piece() {
+        let mut idx: CrackerIndex<()> = CrackerIndex::new(100);
+        idx.add_crack(10, 30);
+        idx.clear();
+        assert_eq!(idx.piece_count(), 1);
+        let p = idx.piece_containing(10);
+        assert_eq!((p.start, p.end), (0, 100));
+    }
+
+    #[test]
+    fn column_len_resize() {
+        let mut idx: CrackerIndex<()> = CrackerIndex::new(100);
+        idx.add_crack(10, 30);
+        idx.set_column_len(101);
+        let p = idx.piece_containing(50);
+        assert_eq!(p.end, 101);
+    }
+}

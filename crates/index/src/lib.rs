@@ -1,0 +1,26 @@
+//! The cracker index: structural knowledge over a cracked column.
+//!
+//! "A cracking DBMS maintains indexes showing which piece holds which value
+//! range, in a tree structure; original cracking uses AVL-trees" (Halim et
+//! al. 2012, §3; Idreos et al., CIDR 2007). This crate provides:
+//!
+//! * [`AvlTree`] — a from-scratch, arena-based AVL tree mapping crack
+//!   values (`u64`) to array positions, with per-node metadata;
+//! * [`CrackerIndex`] — the piece-oriented view on top of it: given a key,
+//!   find the piece `[start, end)` of the column that can contain it,
+//!   together with the piece's value bounds and metadata.
+//!
+//! A crack `(v, p)` asserts: positions `< p` hold keys `< v`, positions
+//! `>= p` hold keys `>= v`. Pieces are the gaps between consecutive cracks.
+//! Per-piece metadata carries the crack counters of selective stochastic
+//! cracking (ScrackMon) and the in-flight partition jobs of progressive
+//! cracking; metadata is inherited across piece splits via [`PieceMeta`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod avl;
+mod index;
+
+pub use avl::{AvlTree, NodeId};
+pub use index::{CrackerIndex, Piece, PieceMeta};

@@ -1,0 +1,101 @@
+//! Property tests: the AVL tree against a BTreeMap model, and cracker-index
+//! piece consistency under random crack sequences.
+
+use proptest::prelude::*;
+use scrack_index::{AvlTree, CrackerIndex};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    QueryPred(u64),
+    QuerySucc(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..200).prop_map(Op::Insert),
+        (0u64..200).prop_map(Op::Remove),
+        (0u64..200).prop_map(Op::QueryPred),
+        (0u64..200).prop_map(Op::QuerySucc),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn avl_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut tree: AvlTree<u64> = AvlTree::new();
+        let mut model: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Insert(k) => {
+                    let fresh_expected = !model.contains_key(&k);
+                    model.entry(k).or_insert(i);
+                    let (_, fresh) = tree.insert(k, i, k);
+                    prop_assert_eq!(fresh, fresh_expected);
+                }
+                Op::Remove(k) => {
+                    let expect = model.remove(&k);
+                    let got = tree.remove(k);
+                    prop_assert_eq!(got.map(|(p, _)| p), expect);
+                }
+                Op::QueryPred(k) => {
+                    let got = tree.predecessor_or_equal(k).map(|id| tree.key(id));
+                    let expect = model.range(..=k).next_back().map(|(k, _)| *k);
+                    prop_assert_eq!(got, expect);
+                }
+                Op::QuerySucc(k) => {
+                    let got = tree.successor_strict(k).map(|id| tree.key(id));
+                    let expect = model
+                        .range((std::ops::Bound::Excluded(k), std::ops::Bound::Unbounded))
+                        .next()
+                        .map(|(k, _)| *k);
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            tree.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        let got: Vec<u64> = tree.iter_asc().map(|(k, _, _)| k).collect();
+        let expect: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(tree.len(), model.len());
+    }
+
+    #[test]
+    fn cracker_index_pieces_always_tile_the_column(
+        cracks in proptest::collection::vec((0u64..1000, 0usize..1000), 0..100),
+        column_len in 1000usize..1001,
+    ) {
+        // Build cracks with positions made monotone-consistent: sort by key
+        // and force positions to be non-decreasing, as real cracking does.
+        let mut cracks = cracks;
+        cracks.sort_by_key(|(k, _)| *k);
+        cracks.dedup_by_key(|(k, _)| *k);
+        let mut pos_floor = 0usize;
+        let mut idx: CrackerIndex<()> = CrackerIndex::new(column_len);
+        for (k, p) in cracks.iter() {
+            let p = (*p).max(pos_floor).min(column_len);
+            pos_floor = p;
+            idx.add_crack(*k, p);
+        }
+        prop_assert!(idx.check_positions_monotone());
+        let pieces = idx.pieces();
+        prop_assert_eq!(pieces.len(), idx.piece_count());
+        prop_assert_eq!(pieces[0].start, 0);
+        prop_assert_eq!(pieces.last().unwrap().end, column_len);
+        for w in pieces.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        // Every probe key lands in the piece whose bounds contain it.
+        for probe in [0u64, 1, 250, 500, 999, 1000, 5000] {
+            let p = idx.piece_containing(probe);
+            if let Some(lo) = p.lo_key {
+                prop_assert!(lo <= probe);
+            }
+            if let Some(hi) = p.hi_key {
+                prop_assert!(probe < hi);
+            }
+        }
+    }
+}

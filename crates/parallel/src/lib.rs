@@ -1,0 +1,43 @@
+//! Concurrency extensions for cracked columns.
+//!
+//! §6 of Halim et al. 2012 lists concurrency control as open cracking
+//! work: "the physical reorganizations [of concurrent queries] have to be
+//! synchronized, possibly with proper fine grained locking". This crate
+//! prototypes the two standard answers on top of the stochastic engines:
+//!
+//! * [`ShardedCracker`] — partition-level parallelism: the column splits
+//!   into independent shards, each its own cracker; a select cracks all
+//!   shards concurrently (scoped threads) and merges the results. Shards
+//!   never contend: reorganization is embarrassingly parallel.
+//! * [`SharedCracker`] — a reader/writer-locked cracker column for
+//!   concurrent query streams against *one* physical column. Queries
+//!   whose bounds already exist as cracks answer under a read lock
+//!   (cracking is self-stabilizing: hot ranges stop needing
+//!   reorganization); everything else upgrades to a write lock and cracks
+//!   stochastically.
+//! * [`PieceLockedCracker`] — §6's "proper fine grained locking": one
+//!   lock per piece, so queries in different key regions crack
+//!   concurrently, with contention shrinking as the index converges.
+//!
+//! All preserve the workspace-wide invariant: results equal the scan
+//! oracle under any interleaving.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod piecelock;
+mod sharded;
+mod shared;
+
+pub use piecelock::PieceLockedCracker;
+pub use sharded::ShardedCracker;
+pub use shared::SharedCracker;
+
+/// Reorganization strategy run inside the concurrent wrappers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelStrategy {
+    /// Original cracking.
+    Crack,
+    /// Stochastic cracking (MDD1R).
+    Stochastic,
+}

@@ -1,0 +1,275 @@
+//! Shard-parallel cracking.
+
+use crate::ParallelStrategy;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scrack_core::{CrackConfig, CrackedColumn};
+use scrack_types::{Element, QueryRange, Stats};
+
+/// One shard: an independent cracker column plus its RNG stream.
+#[derive(Debug)]
+struct Shard<E: Element> {
+    col: CrackedColumn<E>,
+    rng: SmallRng,
+}
+
+impl<E: Element> Shard<E> {
+    /// Answers `q`, returning `(count, key_sum)` and appending qualifying
+    /// elements to `out` when collection is requested.
+    fn select(
+        &mut self,
+        q: QueryRange,
+        strategy: ParallelStrategy,
+        mut out: Option<&mut Vec<E>>,
+    ) -> (usize, u64) {
+        let res = match strategy {
+            ParallelStrategy::Crack => self.col.select_original(q),
+            ParallelStrategy::Stochastic => self.col.mdd1r_select(q, &mut self.rng),
+        };
+        let mut count = 0usize;
+        let mut sum = 0u64;
+        for e in res.resolve(self.col.data()) {
+            count += 1;
+            sum = sum.wrapping_add(e.key());
+            if let Some(buf) = out.as_deref_mut() {
+                buf.push(e);
+            }
+        }
+        (count, sum)
+    }
+}
+
+/// A column split into independently cracked shards, queried in parallel.
+///
+/// Each shard holds an arbitrary horizontal slice of the tuples (cracking
+/// makes no assumption about initial order, so a plain chunk split is
+/// correct). A select fans out to every shard on its own scoped thread;
+/// reorganizations never conflict because shards share nothing.
+#[derive(Debug)]
+pub struct ShardedCracker<E: Element> {
+    shards: Vec<Shard<E>>,
+    strategy: ParallelStrategy,
+}
+
+impl<E: Element> ShardedCracker<E> {
+    /// Splits `data` into `shard_count` near-equal shards.
+    ///
+    /// # Panics
+    /// If `shard_count` is zero.
+    pub fn new(
+        mut data: Vec<E>,
+        shard_count: usize,
+        strategy: ParallelStrategy,
+        config: CrackConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        let per = data.len().div_ceil(shard_count).max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut i = 0u64;
+        while !data.is_empty() {
+            let tail = data.split_off(per.min(data.len()));
+            shards.push(Shard {
+                col: CrackedColumn::new(data, config),
+                rng: SmallRng::seed_from_u64(seed.wrapping_add(i)),
+            });
+            data = tail;
+            i += 1;
+        }
+        if shards.is_empty() {
+            shards.push(Shard {
+                col: CrackedColumn::new(Vec::new(), config),
+                rng: SmallRng::seed_from_u64(seed),
+            });
+        }
+        Self { shards, strategy }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Parallel select: every shard cracks concurrently; returns the
+    /// total qualifying count and key sum (checksum against the oracle).
+    pub fn select_aggregate(&mut self, q: QueryRange) -> (usize, u64) {
+        let strategy = self.strategy;
+        let results: Vec<(usize, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|s| scope.spawn(move || s.select(q, strategy, None)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard panicked"))
+                .collect()
+        });
+        results
+            .into_iter()
+            .fold((0, 0u64), |(c, s), (dc, ds)| (c + dc, s.wrapping_add(ds)))
+    }
+
+    /// Parallel select materializing all qualifying elements (unordered).
+    pub fn select_collect(&mut self, q: QueryRange) -> Vec<E> {
+        let strategy = self.strategy;
+        let mut parts: Vec<Vec<E>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|s| {
+                    scope.spawn(move || {
+                        let mut buf = Vec::new();
+                        s.select(q, strategy, Some(&mut buf));
+                        buf
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard panicked"))
+                .collect()
+        });
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in &mut parts {
+            out.append(p);
+        }
+        out
+    }
+
+    /// Aggregated physical costs across shards.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        for shard in &self.shards {
+            s += shard.col.stats();
+        }
+        s
+    }
+
+    /// Full integrity check of every shard (tests only; O(n)).
+    pub fn check_integrity(&self) -> Result<(), String> {
+        for (i, s) in self.shards.iter().enumerate() {
+            s.col
+                .check_integrity()
+                .map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn permuted(n: u64) -> Vec<u64> {
+        (0..n).map(|i| (i * 48_271) % n).collect()
+    }
+
+    fn oracle_answer(data: &[u64], q: QueryRange) -> (usize, u64) {
+        data.iter()
+            .filter(|k| q.contains(**k))
+            .fold((0, 0u64), |(c, s), k| (c + 1, s.wrapping_add(*k)))
+    }
+
+    #[test]
+    fn sharded_select_matches_oracle() {
+        let data = permuted(20_000);
+        for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
+            let mut sc = ShardedCracker::new(data.clone(), 8, strategy, CrackConfig::default(), 3);
+            assert_eq!(sc.shard_count(), 8);
+            for i in 0..50u64 {
+                let a = (i * 390) % 19_000;
+                let q = QueryRange::new(a, a + 500);
+                let (count, sum) = sc.select_aggregate(q);
+                assert_eq!(
+                    (count, sum),
+                    oracle_answer(&data, q),
+                    "{strategy:?} query {i}"
+                );
+            }
+            sc.check_integrity().unwrap();
+        }
+    }
+
+    #[test]
+    fn collect_returns_exact_multiset() {
+        let data = permuted(5_000);
+        let mut sc = ShardedCracker::new(
+            data.clone(),
+            4,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            9,
+        );
+        let q = QueryRange::new(1_000, 2_000);
+        let mut got = sc.select_collect(q);
+        got.sort_unstable();
+        let mut expect: Vec<u64> = data.into_iter().filter(|k| q.contains(*k)).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn single_shard_and_empty_column() {
+        let mut sc = ShardedCracker::new(
+            permuted(100),
+            1,
+            ParallelStrategy::Crack,
+            CrackConfig::default(),
+            1,
+        );
+        assert_eq!(sc.shard_count(), 1);
+        assert_eq!(sc.select_aggregate(QueryRange::new(0, 100)).0, 100);
+
+        let mut empty: ShardedCracker<u64> = ShardedCracker::new(
+            vec![],
+            4,
+            ParallelStrategy::Crack,
+            CrackConfig::default(),
+            1,
+        );
+        assert_eq!(empty.select_aggregate(QueryRange::new(0, 10)).0, 0);
+    }
+
+    #[test]
+    fn more_shards_than_elements() {
+        let mut sc = ShardedCracker::new(
+            vec![5u64, 1, 3],
+            16,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            1,
+        );
+        let (count, sum) = sc.select_aggregate(QueryRange::new(0, 10));
+        assert_eq!((count, sum), (3, 9));
+    }
+
+    #[test]
+    fn sequential_workload_robustness_holds_per_shard() {
+        // The stochastic advantage must survive sharding.
+        let data = permuted(40_000);
+        let mut crack = ShardedCracker::new(
+            data.clone(),
+            4,
+            ParallelStrategy::Crack,
+            CrackConfig::default(),
+            3,
+        );
+        let mut scrack = ShardedCracker::new(
+            data,
+            4,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            3,
+        );
+        for i in 0..400u64 {
+            let a = i * 99;
+            let q = QueryRange::new(a, a + 10);
+            crack.select_aggregate(q);
+            scrack.select_aggregate(q);
+        }
+        let (c, s) = (crack.stats().touched, scrack.stats().touched);
+        assert!(c > 3 * s, "sharded stochastic must stay robust: {c} vs {s}");
+    }
+}

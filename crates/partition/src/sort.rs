@@ -1,0 +1,280 @@
+//! Introsort and binary search: the `Sort` full-index baseline substrate.
+//!
+//! The paper's `Sort` strategy "completely sorts the column with the first
+//! query" and answers every later query with binary search (§3). The C++
+//! original uses `std::sort`, i.e. Musser's introsort; this is a
+//! from-scratch implementation of the same algorithm: quicksort with
+//! median-of-3 pivots, heapsort under a depth budget, insertion sort for
+//! small runs.
+
+use scrack_types::{Element, Stats};
+
+/// Runs at or below this length are insertion-sorted.
+const SORT_INSERTION_CUTOFF: usize = 24;
+
+/// Sorts `data` ascending by key. Worst-case `O(n log n)` (introsort).
+pub fn introsort<E: Element>(data: &mut [E], stats: &mut Stats) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let depth_budget = 2 * (usize::BITS - n.leading_zeros());
+    introsort_rec(data, depth_budget, stats);
+    debug_assert!(is_sorted_by_key(data));
+}
+
+fn introsort_rec<E: Element>(data: &mut [E], depth_budget: u32, stats: &mut Stats) {
+    let mut slice = data;
+    let mut budget = depth_budget;
+    loop {
+        let n = slice.len();
+        if n <= SORT_INSERTION_CUTOFF {
+            insertion_sort(slice, stats);
+            return;
+        }
+        if budget == 0 {
+            heapsort(slice, stats);
+            return;
+        }
+        budget -= 1;
+        let pivot = median3_key(slice, stats);
+        let (lt, gt) = partition3_by_key(slice, pivot, stats);
+        // Recurse into the smaller side, loop on the larger: O(log n) stack.
+        if lt < n - gt {
+            let (left, rest) = slice.split_at_mut(lt);
+            introsort_rec(left, budget, stats);
+            slice = &mut rest[gt - lt..];
+        } else {
+            let (rest, right) = slice.split_at_mut(gt);
+            introsort_rec(right, budget, stats);
+            slice = &mut rest[..lt];
+        }
+    }
+}
+
+#[inline]
+fn median3_key<E: Element>(data: &[E], stats: &mut Stats) -> u64 {
+    let n = data.len();
+    let a = data[0].key();
+    let b = data[n / 2].key();
+    let c = data[n - 1].key();
+    stats.comparisons += 3;
+    a.max(b).min(a.min(b).max(c))
+}
+
+/// Dutch-flag partition identical to the one in `select_k`, duplicated here
+/// privately to keep the two modules independently readable.
+fn partition3_by_key<E: Element>(data: &mut [E], v: u64, stats: &mut Stats) -> (usize, usize) {
+    let mut lt = 0usize;
+    let mut i = 0usize;
+    let mut gt = data.len();
+    let mut touched = 0u64;
+    let mut swaps = 0u64;
+    while i < gt {
+        let k = data[i].key();
+        touched += 1;
+        if k < v {
+            if i != lt {
+                data.swap(i, lt);
+                swaps += 1;
+            }
+            lt += 1;
+            i += 1;
+        } else if k > v {
+            gt -= 1;
+            data.swap(i, gt);
+            swaps += 1;
+        } else {
+            i += 1;
+        }
+    }
+    stats.touched += touched;
+    stats.comparisons += touched;
+    stats.swaps += swaps;
+    (lt, gt)
+}
+
+/// Simple binary insertion-free insertion sort for small runs; also used by
+/// the BFPRT chunk step in `select_k`.
+pub(crate) fn insertion_sort<E: Element>(data: &mut [E], stats: &mut Stats) {
+    let mut comparisons = 0u64;
+    let mut swaps = 0u64;
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 {
+            comparisons += 1;
+            if data[j - 1].key() <= data[j].key() {
+                break;
+            }
+            data.swap(j - 1, j);
+            swaps += 1;
+            j -= 1;
+        }
+    }
+    stats.touched += data.len() as u64;
+    stats.comparisons += comparisons;
+    stats.swaps += swaps;
+}
+
+fn heapsort<E: Element>(data: &mut [E], stats: &mut Stats) {
+    let n = data.len();
+    for i in (0..n / 2).rev() {
+        sift_down(data, i, n, stats);
+    }
+    for end in (1..n).rev() {
+        data.swap(0, end);
+        stats.swaps += 1;
+        sift_down(data, 0, end, stats);
+    }
+    stats.touched += n as u64;
+}
+
+fn sift_down<E: Element>(data: &mut [E], mut root: usize, end: usize, stats: &mut Stats) {
+    loop {
+        let mut child = 2 * root + 1;
+        if child >= end {
+            return;
+        }
+        if child + 1 < end {
+            stats.comparisons += 1;
+            if data[child].key() < data[child + 1].key() {
+                child += 1;
+            }
+        }
+        stats.comparisons += 1;
+        if data[root].key() >= data[child].key() {
+            return;
+        }
+        data.swap(root, child);
+        stats.swaps += 1;
+        root = child;
+    }
+}
+
+/// Whether `data` is ascending by key.
+pub fn is_sorted_by_key<E: Element>(data: &[E]) -> bool {
+    data.windows(2).all(|w| w[0].key() <= w[1].key())
+}
+
+/// First position whose key is `>= key` in sorted `data` (a.k.a.
+/// `lower_bound`). The `Sort` baseline answers `[a, b)` as the view
+/// `[lower_bound(a), lower_bound(b))`.
+pub fn lower_bound<E: Element>(data: &[E], key: u64, stats: &mut Stats) -> usize {
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        stats.comparisons += 1;
+        stats.touched += 1;
+        if data[mid].key() < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// First position whose key is `> key` in sorted `data`.
+pub fn upper_bound<E: Element>(data: &[E], key: u64, stats: &mut Stats) -> usize {
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        stats.comparisons += 1;
+        stats.touched += 1;
+        if data[mid].key() <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrack_types::Tuple;
+
+    #[test]
+    fn sorts_permutations() {
+        for n in [0usize, 1, 2, 24, 25, 100, 1000, 4096] {
+            let mut d: Vec<u64> = (0..n as u64)
+                .map(|i| (i * 2654435761) % n.max(1) as u64)
+                .collect();
+            let mut expect = d.clone();
+            expect.sort_unstable();
+            let mut stats = Stats::new();
+            introsort(&mut d, &mut stats);
+            assert_eq!(d, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_inputs() {
+        let mut asc: Vec<u64> = (0..2000).collect();
+        let mut stats = Stats::new();
+        introsort(&mut asc, &mut stats);
+        assert!(is_sorted_by_key(&asc));
+
+        let mut desc: Vec<u64> = (0..2000).rev().collect();
+        introsort(&mut desc, &mut stats);
+        assert!(is_sorted_by_key(&desc));
+
+        let mut equal = vec![42u64; 2000];
+        introsort(&mut equal, &mut stats);
+        assert!(is_sorted_by_key(&equal));
+
+        let mut organ: Vec<u64> = (0..1000).chain((0..1000).rev()).collect();
+        introsort(&mut organ, &mut stats);
+        assert!(is_sorted_by_key(&organ));
+    }
+
+    #[test]
+    fn heapsort_fallback_directly() {
+        let mut d: Vec<u64> = (0..500).rev().collect();
+        let mut stats = Stats::new();
+        heapsort(&mut d, &mut stats);
+        assert!(is_sorted_by_key(&d));
+    }
+
+    #[test]
+    fn tuples_sort_by_key_keeping_rows() {
+        let mut d: Vec<Tuple> = (0..100u32)
+            .map(|i| Tuple::new((997 * i as u64) % 100, i))
+            .collect();
+        let mut stats = Stats::new();
+        introsort(&mut d, &mut stats);
+        assert!(is_sorted_by_key(&d));
+        for t in &d {
+            assert_eq!((997 * t.row as u64) % 100, t.key);
+        }
+    }
+
+    #[test]
+    fn bounds_on_sorted_data() {
+        let d: Vec<u64> = vec![1, 3, 3, 3, 7, 9];
+        let mut stats = Stats::new();
+        assert_eq!(lower_bound(&d, 0, &mut stats), 0);
+        assert_eq!(lower_bound(&d, 3, &mut stats), 1);
+        assert_eq!(upper_bound(&d, 3, &mut stats), 4);
+        assert_eq!(lower_bound(&d, 8, &mut stats), 5);
+        assert_eq!(lower_bound(&d, 10, &mut stats), 6);
+        assert_eq!(upper_bound(&d, 10, &mut stats), 6);
+        assert_eq!(lower_bound(&[] as &[u64], 5, &mut stats), 0);
+    }
+
+    #[test]
+    fn lower_bound_equals_std_partition_point() {
+        let d: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+        let mut stats = Stats::new();
+        for key in [0u64, 1, 2, 3, 1497, 2997, 5000] {
+            assert_eq!(
+                lower_bound(&d, key, &mut stats),
+                d.partition_point(|e| *e < key),
+                "key={key}"
+            );
+        }
+    }
+}

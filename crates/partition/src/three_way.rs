@@ -1,0 +1,128 @@
+//! Three-way partitioning for range selects whose bounds share a piece.
+
+use scrack_types::{Element, Stats};
+
+/// Partitions `data` into `key < a` | `a <= key < b` | `key >= b`.
+///
+/// Returns `(p1, p2)` such that `data[..p1]` holds keys `< a`,
+/// `data[p1..p2]` holds keys in `[a, b)`, and `data[p2..]` holds keys
+/// `>= b`. Requires `a <= b`.
+///
+/// This is the single-pass split the first query of Fig. 1 performs: the
+/// select `[a, b)` over an uncracked piece yields three pieces and the
+/// qualifying tuples end up in a contiguous area. It costs one inspection
+/// per element plus one extra inspection per element relocated from the
+/// tail (the classic Dutch-national-flag trade-off), which the `touched`
+/// counter reflects precisely.
+pub fn crack_in_three<E: Element>(
+    data: &mut [E],
+    a: u64,
+    b: u64,
+    stats: &mut Stats,
+) -> (usize, usize) {
+    debug_assert!(a <= b, "crack_in_three requires a <= b");
+    let mut lo = 0usize; // next slot of the < a region
+    let mut i = 0usize; // scan cursor
+    let mut hi = data.len(); // start of the >= b region
+    let mut touched = 0u64;
+    let mut swaps = 0u64;
+    while i < hi {
+        let k = data[i].key();
+        touched += 1;
+        if k < a {
+            if i != lo {
+                data.swap(i, lo);
+                swaps += 1;
+            }
+            lo += 1;
+            i += 1;
+        } else if k >= b {
+            hi -= 1;
+            data.swap(i, hi);
+            swaps += 1;
+            // data[i] now holds an unexamined element; do not advance i.
+        } else {
+            i += 1;
+        }
+    }
+    stats.touched += touched;
+    stats.comparisons += touched;
+    stats.swaps += swaps;
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(data: &mut [u64], a: u64, b: u64) -> (usize, usize) {
+        let mut before: Vec<u64> = data.to_vec();
+        before.sort_unstable();
+        let mut stats = Stats::new();
+        let (p1, p2) = crack_in_three(data, a, b, &mut stats);
+        assert!(p1 <= p2 && p2 <= data.len());
+        assert!(data[..p1].iter().all(|e| *e < a));
+        assert!(data[p1..p2].iter().all(|e| a <= *e && *e < b));
+        assert!(data[p2..].iter().all(|e| *e >= b));
+        let mut after: Vec<u64> = data.to_vec();
+        after.sort_unstable();
+        assert_eq!(before, after);
+        (p1, p2)
+    }
+
+    #[test]
+    fn empty() {
+        let mut d: [u64; 0] = [];
+        assert_eq!(check(&mut d, 3, 7), (0, 0));
+    }
+
+    #[test]
+    fn paper_figure_1_first_query() {
+        // Q1 from Fig. 1: select 10 < A < 14 over the example column,
+        // normalized to the half-open range [11, 14).
+        let mut d = [13u64, 16, 4, 9, 2, 12, 7, 1, 19, 3, 14, 11, 8, 6];
+        let (p1, p2) = check(&mut d, 11, 14);
+        // Keys 11, 12, 13 qualify.
+        let mut mid: Vec<u64> = d[p1..p2].to_vec();
+        mid.sort_unstable();
+        assert_eq!(mid, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn degenerate_equal_bounds() {
+        let mut d = [5u64, 1, 9, 5];
+        let (p1, p2) = check(&mut d, 5, 5);
+        assert_eq!(p1, p2, "empty range yields empty middle");
+    }
+
+    #[test]
+    fn whole_domain() {
+        let mut d = [5u64, 1, 9];
+        let (p1, p2) = check(&mut d, 0, 100);
+        assert_eq!((p1, p2), (0, 3));
+    }
+
+    #[test]
+    fn bounds_outside_data() {
+        let mut d = [5u64, 1, 9];
+        assert_eq!(check(&mut d, 100, 200), (3, 3));
+        let mut d = [5u64, 1, 9];
+        assert_eq!(check(&mut d, 0, 1), (0, 0));
+    }
+
+    #[test]
+    fn random_permutation() {
+        let mut d: Vec<u64> = (0..257).map(|i| (i * 101) % 257).collect();
+        let (p1, p2) = check(&mut d, 50, 150);
+        assert_eq!(p1, 50);
+        assert_eq!(p2, 150);
+    }
+
+    #[test]
+    fn duplicates_on_both_bounds() {
+        let mut d = [3u64, 7, 3, 7, 5, 3, 7];
+        let (p1, p2) = check(&mut d, 3, 7);
+        assert_eq!(p1, 0);
+        assert_eq!(p2, 4); // three 3s and one 5 qualify
+    }
+}

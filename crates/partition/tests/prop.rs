@@ -1,0 +1,134 @@
+//! Property-based tests for the reorganization kernel.
+
+use proptest::prelude::*;
+use scrack_partition::{
+    advance_job, crack_in_three, crack_in_two, introsort, is_sorted_by_key, lower_bound,
+    median_partition, scan_filter, select_nth_key, split_and_materialize, Fringe, JobStatus,
+    PartitionJob,
+};
+use scrack_types::{QueryRange, Stats};
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #[test]
+    fn crack_in_two_is_correct_partition(mut data in proptest::collection::vec(0u64..1000, 0..300), pivot in 0u64..1000) {
+        let before = sorted(data.clone());
+        let mut stats = Stats::new();
+        let p = crack_in_two(&mut data, pivot, &mut stats);
+        prop_assert!(data[..p].iter().all(|e| *e < pivot));
+        prop_assert!(data[p..].iter().all(|e| *e >= pivot));
+        prop_assert_eq!(before, sorted(data));
+    }
+
+    #[test]
+    fn crack_in_three_is_correct_partition(mut data in proptest::collection::vec(0u64..1000, 0..300), a in 0u64..1000, w in 0u64..1000) {
+        let b = a.saturating_add(w).min(1000);
+        let before = sorted(data.clone());
+        let mut stats = Stats::new();
+        let (p1, p2) = crack_in_three(&mut data, a, b, &mut stats);
+        prop_assert!(p1 <= p2);
+        prop_assert!(data[..p1].iter().all(|e| *e < a));
+        prop_assert!(data[p1..p2].iter().all(|e| a <= *e && *e < b));
+        prop_assert!(data[p2..].iter().all(|e| *e >= b));
+        prop_assert_eq!(before, sorted(data));
+    }
+
+    #[test]
+    fn split_and_materialize_collects_exact_result(mut data in proptest::collection::vec(0u64..1000, 0..300), pivot in 0u64..1000, a in 0u64..1000, w in 0u64..200) {
+        let q = QueryRange::new(a, a.saturating_add(w));
+        let expected: Vec<u64> = sorted(data.iter().copied().filter(|k| q.contains(*k)).collect());
+        let before = sorted(data.clone());
+        let mut out = Vec::new();
+        let mut stats = Stats::new();
+        let p = split_and_materialize(&mut data, pivot, Fringe::Both(q), &mut out, &mut stats);
+        prop_assert!(data[..p].iter().all(|e| *e < pivot));
+        prop_assert!(data[p..].iter().all(|e| *e >= pivot));
+        prop_assert_eq!(before, sorted(data));
+        prop_assert_eq!(expected, sorted(out));
+    }
+
+    #[test]
+    fn progressive_job_converges_to_same_partition(mut data in proptest::collection::vec(0u64..1000, 1..300), pivot in 0u64..1000, budget in 1u64..20) {
+        let mut reference = data.clone();
+        let mut stats = Stats::new();
+        let expect_p = crack_in_two(&mut reference, pivot, &mut stats);
+
+        let mut job = PartitionJob::new(pivot, 0, data.len());
+        let mut rounds = 0;
+        loop {
+            let mut out = Vec::new();
+            match advance_job(&mut data, &mut job, budget, Fringe::None, &mut out, &mut stats) {
+                JobStatus::Done { crack_pos } => {
+                    prop_assert_eq!(crack_pos, expect_p);
+                    break;
+                }
+                JobStatus::InProgress => {
+                    prop_assert!(data[..job.l].iter().all(|e| *e < pivot));
+                    prop_assert!(data[job.r..].iter().all(|e| *e >= pivot));
+                }
+            }
+            rounds += 1;
+            prop_assert!(rounds <= data.len() + 2);
+        }
+        prop_assert_eq!(sorted(reference), sorted(data));
+    }
+
+    #[test]
+    fn select_nth_matches_sorting(data in proptest::collection::vec(0u64..1000, 1..400), k_frac in 0.0f64..1.0) {
+        let k = ((data.len() - 1) as f64 * k_frac) as usize;
+        let expect = sorted(data.clone())[k];
+        let mut d = data;
+        let mut stats = Stats::new();
+        prop_assert_eq!(select_nth_key(&mut d, k, &mut stats), expect);
+    }
+
+    #[test]
+    fn median_partition_invariant(data in proptest::collection::vec(0u64..1000, 1..400)) {
+        let mut d = data.clone();
+        let mut stats = Stats::new();
+        let (pos, pivot) = median_partition(&mut d, &mut stats);
+        prop_assert!(d[..pos].iter().all(|e| *e < pivot));
+        prop_assert!(d[pos..].iter().all(|e| *e >= pivot));
+        prop_assert_eq!(sorted(data), sorted(d.clone()));
+        // The split is balanced: with duplicates the boundary may shift,
+        // but the median key itself must sit at rank len/2.
+        let rank = d.len() / 2;
+        let by_sort = {
+            let mut v = d.clone();
+            v.sort_unstable();
+            v[rank]
+        };
+        prop_assert_eq!(by_sort, pivot);
+    }
+
+    #[test]
+    fn introsort_sorts(data in proptest::collection::vec(0u64..10000, 0..600)) {
+        let expect = sorted(data.clone());
+        let mut d = data;
+        let mut stats = Stats::new();
+        introsort(&mut d, &mut stats);
+        prop_assert!(is_sorted_by_key(&d));
+        prop_assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn lower_bound_is_partition_point(data in proptest::collection::vec(0u64..1000, 0..300), key in 0u64..1000) {
+        let d = sorted(data);
+        let mut stats = Stats::new();
+        prop_assert_eq!(lower_bound(&d, key, &mut stats), d.partition_point(|e| *e < key));
+    }
+
+    #[test]
+    fn scan_filter_equals_std_filter(data in proptest::collection::vec(0u64..1000, 0..300), a in 0u64..1000, w in 0u64..300) {
+        let q = QueryRange::new(a, a.saturating_add(w));
+        let expect: Vec<u64> = data.iter().copied().filter(|k| q.contains(*k)).collect();
+        let mut out = Vec::new();
+        let mut stats = Stats::new();
+        scan_filter(&data, Fringe::Both(q), &mut out, &mut stats);
+        prop_assert_eq!(out, expect);
+    }
+}

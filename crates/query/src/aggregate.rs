@@ -1,0 +1,162 @@
+//! Aggregation over conjunctive queries, with select-pushdown.
+//!
+//! A column-store answers `SELECT agg(col) WHERE …` without building row
+//! sets when it can: the paper's select operator already returns the
+//! qualifying values as contiguous views, so aggregating *those* is a
+//! fold over the cracked array — no rowid materialization, no projection.
+//! This module provides that fast path (single predicate on the
+//! aggregated column itself) and the general path (arbitrary conjunction,
+//! rowid intersection, positional fetch) behind one call.
+
+use crate::predicate::Predicate;
+use crate::table::CrackedTable;
+
+/// The result of one aggregate evaluation: all machine aggregates are
+/// computed in a single pass, so callers pick what they need.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AggResult {
+    /// Number of qualifying rows.
+    pub count: u64,
+    /// Wrapping sum of the aggregated column over qualifying rows.
+    pub sum: u64,
+    /// Minimum value, `None` when no row qualifies.
+    pub min: Option<u64>,
+    /// Maximum value, `None` when no row qualifies.
+    pub max: Option<u64>,
+}
+
+impl AggResult {
+    /// Mean value, `None` when no row qualifies.
+    pub fn avg(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    #[inline]
+    fn fold(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+}
+
+impl CrackedTable {
+    /// Aggregates `column` over the rows satisfying `preds`.
+    ///
+    /// When the conjunction is a single predicate on `column` itself, the
+    /// qualifying values are exactly what the cracking select returns, so
+    /// the fold runs directly over the select's views and materialized
+    /// fringe (and the query still cracks the column as a side effect —
+    /// aggregation queries drive adaptation like any other).
+    ///
+    /// # Panics
+    /// If `column` or a predicate column does not exist.
+    pub fn aggregate(&mut self, preds: &[Predicate], column: &str) -> AggResult {
+        let mut acc = AggResult::default();
+        if let [single] = preds {
+            if single.column == column {
+                // Pushdown: the select's output *is* the aggregate input.
+                self.select_values(single, |v| acc.fold(v));
+                return acc;
+            }
+        }
+        let rows = self.query(preds);
+        for v in self.project(&rows, column) {
+            acc.fold(v);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrack_core::EngineKind;
+
+    fn table() -> (CrackedTable, Vec<u64>, Vec<u64>) {
+        let n = 5000u64;
+        let a: Vec<u64> = (0..n).map(|i| (i * 2654435761) % n).collect();
+        let b: Vec<u64> = (0..n).map(|i| i % 100).collect();
+        let mut t = CrackedTable::new();
+        t.add_column("a", a.clone(), EngineKind::Mdd1r, 1);
+        t.add_column("b", b.clone(), EngineKind::Crack, 2);
+        (t, a, b)
+    }
+
+    fn naive(values: impl Iterator<Item = u64>) -> AggResult {
+        let mut acc = AggResult::default();
+        for v in values {
+            acc.fold(v);
+        }
+        acc
+    }
+
+    #[test]
+    fn pushdown_path_matches_naive() {
+        let (mut t, a, _) = table();
+        for lo in [0u64, 100, 2500, 4990] {
+            let p = Predicate::range("a", lo, lo + 500);
+            let got = t.aggregate(std::slice::from_ref(&p), "a");
+            let expect = naive(a.iter().copied().filter(|v| p.range.contains(*v)));
+            assert_eq!(got, expect, "lo={lo}");
+        }
+    }
+
+    #[test]
+    fn general_path_matches_naive() {
+        let (mut t, a, b) = table();
+        let preds = [Predicate::range("a", 1000, 4000), Predicate::below("b", 50)];
+        let got = t.aggregate(&preds, "b");
+        let expect = naive(
+            (0..a.len())
+                .filter(|&r| (1000..4000).contains(&a[r]) && b[r] < 50)
+                .map(|r| b[r]),
+        );
+        assert_eq!(got, expect);
+        assert_eq!(got.avg(), expect.avg());
+    }
+
+    #[test]
+    fn cross_column_single_predicate_uses_general_path() {
+        // One predicate, but on a different column than the aggregate:
+        // must take the rowid path and still be exact.
+        let (mut t, a, b) = table();
+        let p = Predicate::range("b", 10, 20);
+        let got = t.aggregate(&[p], "a");
+        let expect = naive(
+            (0..a.len())
+                .filter(|&r| (10..20).contains(&b[r]))
+                .map(|r| a[r]),
+        );
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_result_has_no_extrema() {
+        let (mut t, _, _) = table();
+        let got = t.aggregate(&[Predicate::range("a", 90_000, 99_000)], "a");
+        assert_eq!(got.count, 0);
+        assert_eq!(got.min, None);
+        assert_eq!(got.max, None);
+        assert_eq!(got.avg(), None);
+    }
+
+    #[test]
+    fn aggregation_cracks_the_column() {
+        let (mut t, _, _) = table();
+        let before = t.stats().cracks;
+        for i in 0..10u64 {
+            t.aggregate(&[Predicate::range("a", i * 400, i * 400 + 300)], "a");
+        }
+        assert!(t.stats().cracks > before, "pushdown still adapts");
+    }
+
+    #[test]
+    fn empty_predicates_aggregate_everything() {
+        let (mut t, a, _) = table();
+        let got = t.aggregate(&[], "a");
+        assert_eq!(got.count, a.len() as u64);
+        assert_eq!(got.min, Some(0));
+        assert_eq!(got.max, Some(4999));
+    }
+}

@@ -1,0 +1,51 @@
+//! Multi-column conjunctive range queries over cracked columns.
+//!
+//! The paper applies cracking "at the attribute level; a query results in
+//! reorganizing the referenced column(s), not the complete table" (§2),
+//! with cross-column results assembled through rowids (the
+//! tuple-reconstruction path of its reference \[18\]). This crate builds
+//! that assembly: a [`CrackedTable`] holds rowid-aligned columns, each
+//! cracked independently by its own adaptive engine, and answers
+//! conjunctions of range predicates by intersecting the per-column
+//! qualifying rowid sets.
+//!
+//! Each column keeps **two** representations, as a column-store does:
+//!
+//! * the *cracker column* — `Tuple { key, row }` pairs the engine
+//!   physically reorders, one per select;
+//! * the *base column* — values in insertion order, answering "fetch
+//!   attribute of rowid r" projections in O(1).
+//!
+//! Intersection is adaptive ([`RowIdSet`]): sorted-merge for sparse
+//! results, bitmap for dense ones.
+//!
+//! # Example
+//!
+//! ```
+//! use scrack_query::{CrackedTable, Predicate};
+//! use scrack_core::EngineKind;
+//!
+//! let mut table = CrackedTable::new();
+//! table.add_column("age", (0..1000u64).map(|i| i % 90).collect(), EngineKind::Mdd1r, 1);
+//! table.add_column("salary", (0..1000u64).map(|i| i * 7 % 10_000).collect(), EngineKind::Crack, 2);
+//!
+//! let rows = table.query(&[
+//!     Predicate::range("age", 30, 40),
+//!     Predicate::range("salary", 1000, 5000),
+//! ]);
+//! let salaries = table.project(&rows, "salary");
+//! assert_eq!(salaries.len(), rows.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod predicate;
+mod rowset;
+mod table;
+
+pub use aggregate::AggResult;
+pub use predicate::Predicate;
+pub use rowset::RowIdSet;
+pub use table::{tuples_from, CrackedTable};

@@ -1,0 +1,68 @@
+//! Range predicates over named columns.
+
+use scrack_types::QueryRange;
+
+/// One conjunct: a half-open range condition on a named column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Predicate {
+    /// The column the condition applies to.
+    pub column: String,
+    /// The qualifying key range `[low, high)`.
+    pub range: QueryRange,
+}
+
+impl Predicate {
+    /// `column ∈ [low, high)`.
+    pub fn range(column: &str, low: u64, high: u64) -> Self {
+        Self {
+            column: column.to_string(),
+            range: QueryRange::new(low, high),
+        }
+    }
+
+    /// `column == value` (a width-1 range; keys are integers).
+    pub fn eq(column: &str, value: u64) -> Self {
+        Self::range(column, value, value + 1)
+    }
+
+    /// `column >= low` (unbounded above).
+    pub fn at_least(column: &str, low: u64) -> Self {
+        Self {
+            column: column.to_string(),
+            range: QueryRange::new(low, u64::MAX),
+        }
+    }
+
+    /// `column < high` (unbounded below).
+    pub fn below(column: &str, high: u64) -> Self {
+        Self::range(column, 0, high)
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} in {}", self.column, self.range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Predicate::eq("a", 5).range, QueryRange::new(5, 6));
+        assert_eq!(Predicate::below("a", 9).range, QueryRange::new(0, 9));
+        assert_eq!(
+            Predicate::at_least("a", 3).range,
+            QueryRange::new(3, u64::MAX)
+        );
+        assert!(Predicate::range("a", 1, 2).range.contains(1));
+    }
+
+    #[test]
+    fn display() {
+        let p = Predicate::range("age", 30, 40);
+        assert_eq!(p.to_string(), "age in [30, 40)");
+    }
+}

@@ -1,0 +1,160 @@
+//! Integration tests: conjunctive queries over mixed-engine tables match
+//! a naive row-filter oracle on arbitrary data and predicate streams.
+
+use proptest::prelude::*;
+use scrack_chooser::{ChooserEngine, PolicyKind};
+use scrack_core::{CrackConfig, EngineKind};
+use scrack_query::{tuples_from, CrackedTable, Predicate, RowIdSet};
+use scrack_types::QueryRange;
+
+/// Naive oracle: filter rows over the base columns directly.
+fn oracle(cols: &[(&str, &[u64])], preds: &[Predicate]) -> Vec<u32> {
+    let n = cols[0].1.len();
+    (0..n as u32)
+        .filter(|&r| {
+            preds.iter().all(|p| {
+                let (_, base) = cols
+                    .iter()
+                    .find(|(name, _)| *name == p.column)
+                    .expect("oracle column");
+                p.range.contains(base[r as usize])
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn mixed_engines_long_query_stream() {
+    let n = 20_000u64;
+    let a: Vec<u64> = (0..n).map(|i| (i * 2654435761) % n).collect();
+    let b: Vec<u64> = (0..n).map(|i| (i * 40503) % 1000).collect();
+    let c: Vec<u64> = (0..n).map(|i| i / 100).collect();
+
+    let mut t = CrackedTable::new();
+    t.add_column("a", a.clone(), EngineKind::Crack, 1);
+    t.add_column("b", b.clone(), EngineKind::Mdd1r, 2);
+    // Third column indexed by the §6 chooser, to prove foreign engines
+    // slot in through the same trait.
+    let chooser = ChooserEngine::from_kind(
+        tuples_from(&c),
+        CrackConfig::default(),
+        3,
+        PolicyKind::Ucb1,
+    );
+    t.add_column_with_engine("c", c.clone(), Box::new(chooser));
+
+    let cols: Vec<(&str, &[u64])> = vec![("a", &a), ("b", &b), ("c", &c)];
+    for i in 0..150u64 {
+        let preds = vec![
+            Predicate::range("a", (i * 131) % n, (i * 131) % n + 2000),
+            Predicate::range("b", (i * 7) % 900, (i * 7) % 900 + 120),
+            Predicate::range("c", i % 150, i % 150 + 30),
+        ];
+        let rows = t.query(&preds);
+        let expect = oracle(&cols, &preds);
+        assert_eq!(rows.as_slice(), expect.as_slice(), "query {i}");
+    }
+    assert!(t.stats().queries >= 450, "every predicate ran an engine select");
+}
+
+#[test]
+fn projections_reconstruct_tuples_after_heavy_cracking() {
+    let n = 10_000u64;
+    let key: Vec<u64> = (0..n).map(|i| (i * 48271) % n).collect();
+    let val: Vec<u64> = (0..n).map(|i| i * 10).collect();
+    let mut t = CrackedTable::new();
+    t.add_column("key", key.clone(), EngineKind::Mdd1r, 1);
+    t.add_column("val", val.clone(), EngineKind::Crack, 2);
+    for i in 0..100u64 {
+        let lo = (i * 97) % (n - 500);
+        let rows = t.query(&[Predicate::range("key", lo, lo + 311)]);
+        // Every projected (key, val) pair must match the base pairing:
+        // cracking must never detach a rowid from its values.
+        let keys = t.project(&rows, "key");
+        let vals = t.project(&rows, "val");
+        for ((r, k), v) in rows.iter().zip(&keys).zip(&vals) {
+            assert_eq!(*k, key[r as usize]);
+            assert_eq!(*v, val[r as usize]);
+            assert_eq!(*v, (r as u64) * 10);
+        }
+    }
+}
+
+#[test]
+fn point_queries_via_eq() {
+    let n = 5000u64;
+    let dupes: Vec<u64> = (0..n).map(|i| i % 50).collect();
+    let mut t = CrackedTable::new();
+    t.add_column("d", dupes.clone(), EngineKind::Dd1r, 9);
+    for v in 0..50u64 {
+        let rows = t.query(&[Predicate::eq("d", v)]);
+        assert_eq!(rows.len(), 100, "value {v}");
+        assert!(rows.iter().all(|r| dupes[r as usize] == v));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_tables_match_oracle(
+        n in 1usize..400,
+        col_seeds in prop::collection::vec(0u64..1000, 2..4),
+        queries in prop::collection::vec(
+            (0usize..3, 0u64..450, 0u64..450), 1..30),
+        engine_pick in 0usize..3,
+    ) {
+        let engines = [EngineKind::Crack, EngineKind::Mdd1r, EngineKind::Dd1r];
+        let names = ["x", "y", "z"];
+        let mut bases: Vec<Vec<u64>> = Vec::new();
+        let mut t = CrackedTable::new();
+        for (ci, seed) in col_seeds.iter().enumerate() {
+            let base: Vec<u64> = (0..n as u64).map(|i| (i * 73 + seed * 131) % 400).collect();
+            t.add_column(
+                names[ci],
+                base.clone(),
+                engines[(ci + engine_pick) % engines.len()],
+                *seed,
+            );
+            bases.push(base);
+        }
+        let cols: Vec<(&str, &[u64])> = bases
+            .iter()
+            .enumerate()
+            .map(|(ci, b)| (names[ci], b.as_slice()))
+            .collect();
+        for (ci, x, y) in queries {
+            let ci = ci % cols.len();
+            let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+            let preds = vec![Predicate {
+                column: names[ci].to_string(),
+                range: QueryRange::new(lo, hi),
+            }];
+            let rows = t.query(&preds);
+            let expect = oracle(&cols, &preds);
+            prop_assert_eq!(rows.as_slice(), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn rowset_ops_model_check(
+        a in prop::collection::vec(0u32..2000, 0..300),
+        b in prop::collection::vec(0u32..2000, 0..300),
+    ) {
+        use std::collections::BTreeSet;
+        let sa = RowIdSet::from_unsorted(a.clone());
+        let sb = RowIdSet::from_unsorted(b.clone());
+        let ma: BTreeSet<u32> = a.into_iter().collect();
+        let mb: BTreeSet<u32> = b.into_iter().collect();
+        let inter: Vec<u32> = ma.intersection(&mb).copied().collect();
+        let uni: Vec<u32> = ma.union(&mb).copied().collect();
+        let adaptive = sa.intersect(&sb);
+        let merge = sa.intersect_merge(&sb);
+        let bitmap = sa.intersect_bitmap(&sb);
+        let union = sa.union(&sb);
+        prop_assert_eq!(adaptive.as_slice(), inter.as_slice());
+        prop_assert_eq!(merge.as_slice(), inter.as_slice());
+        prop_assert_eq!(bitmap.as_slice(), inter.as_slice());
+        prop_assert_eq!(union.as_slice(), uni.as_slice());
+    }
+}

@@ -1,0 +1,324 @@
+//! Storage-restricted map sets: maps "dynamically created and deleted
+//! based on storage restrictions" (§2 of the stochastic cracking paper,
+//! describing reference [18]'s partial sideways cracking).
+//!
+//! [`SidewaysCracker`](crate::SidewaysCracker) materializes every touched
+//! `(select, project)` map and keeps it forever — fine for a handful of
+//! attribute pairs, unacceptable when a table has dozens of projected
+//! attributes (the map set is quadratic in attributes in the worst case).
+//! [`BudgetedSideways`] adds the storage dimension: a budget in resident
+//! pairs, enforced by least-recently-used *whole-map* eviction. An
+//! evicted map loses its accumulated cracker index and is rebuilt on next
+//! touch — the adaptive trade-off the storage restriction forces.
+//! (Reference [18] evicts at chunk granularity; whole-map LRU reproduces
+//! the behaviourally relevant part — rebuild cost on re-touch versus
+//! bounded memory — without the chunk bookkeeping.)
+
+use crate::map::{CrackerMap, MapStrategy};
+use scrack_columnstore::Table;
+use scrack_core::CrackConfig;
+use scrack_types::{QueryRange, Stats};
+
+struct Entry {
+    key: (String, String),
+    map: CrackerMap,
+    last_used: u64,
+}
+
+/// A sideways map set under a storage budget (see module docs).
+///
+/// ```
+/// use scrack_columnstore::Table;
+/// use scrack_core::CrackConfig;
+/// use scrack_sideways::{BudgetedSideways, MapStrategy};
+/// use scrack_types::QueryRange;
+///
+/// let mut table = Table::new();
+/// table.add_column("key", (0..10_000u64).rev().collect());
+/// table.add_column("payload", (0..10_000u64).map(|i| i * 3).collect());
+/// // Budget: one resident map of 10_000 pairs.
+/// let mut maps = BudgetedSideways::new(
+///     table, MapStrategy::Stochastic, CrackConfig::default(), 7, 10_000,
+/// );
+/// let tails = maps.select_project("key", QueryRange::new(100, 110), "payload");
+/// assert_eq!(tails.len(), 10);
+/// assert_eq!(maps.resident_maps(), 1);
+/// ```
+pub struct BudgetedSideways {
+    table: Table,
+    entries: Vec<Entry>,
+    strategy: MapStrategy,
+    config: CrackConfig,
+    seed: u64,
+    budget_pairs: usize,
+    tick: u64,
+    created: u64,
+    evictions: u64,
+    /// Stats of maps that were evicted (so totals stay monotone).
+    retired_stats: Stats,
+}
+
+impl BudgetedSideways {
+    /// Wraps `table` with a budget of `budget_pairs` resident pairs.
+    ///
+    /// # Panics
+    /// If the budget cannot hold even one map (`budget_pairs <` rows).
+    pub fn new(
+        table: Table,
+        strategy: MapStrategy,
+        config: CrackConfig,
+        seed: u64,
+        budget_pairs: usize,
+    ) -> Self {
+        assert!(
+            budget_pairs >= table.rows(),
+            "budget of {budget_pairs} pairs cannot hold one {}-row map",
+            table.rows()
+        );
+        Self {
+            table,
+            entries: Vec::new(),
+            strategy,
+            config,
+            seed,
+            budget_pairs,
+            tick: 0,
+            created: 0,
+            evictions: 0,
+            retired_stats: Stats::new(),
+        }
+    }
+
+    /// Number of currently resident maps.
+    pub fn resident_maps(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Resident pairs (always ≤ the budget).
+    pub fn resident_pairs(&self) -> usize {
+        self.entries.iter().map(|e| e.map.len()).sum()
+    }
+
+    /// Maps created over the lifetime (first touches + rebuilds).
+    pub fn maps_created(&self) -> u64 {
+        self.created
+    }
+
+    /// Maps evicted over the lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total physical cost across live and evicted maps.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.retired_stats;
+        for e in &self.entries {
+            s += e.map.stats();
+        }
+        s
+    }
+
+    /// `SELECT project_attr FROM t WHERE low <= select_attr < high`,
+    /// creating (or rebuilding) the map under the budget.
+    pub fn select_project(
+        &mut self,
+        select_attr: &str,
+        q: QueryRange,
+        project_attr: &str,
+    ) -> Vec<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let key = (select_attr.to_string(), project_attr.to_string());
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = tick;
+            return e.map.select_tails(q);
+        }
+        // Miss: make room, then build.
+        let rows = self.table.rows();
+        while self.resident_pairs() + rows > self.budget_pairs {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("budget holds one map, so residents exist on overflow");
+            let evicted = self.entries.swap_remove(lru);
+            self.retired_stats += evicted.map.stats();
+            self.evictions += 1;
+        }
+        let head = self
+            .table
+            .column(select_attr)
+            .unwrap_or_else(|| panic!("unknown attribute {select_attr:?}"));
+        let tail = self
+            .table
+            .column(project_attr)
+            .unwrap_or_else(|| panic!("unknown attribute {project_attr:?}"));
+        let seed = self
+            .seed
+            .wrapping_add(self.created)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut map = CrackerMap::from_columns(head, tail, self.strategy, self.config, seed);
+        self.created += 1;
+        let result = map.select_tails(q);
+        self.entries.push(Entry {
+            key,
+            map,
+            last_used: tick,
+        });
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: u64) -> Table {
+        let mut t = Table::new();
+        t.add_column("a", (0..n).map(|i| (i * 48_271) % n).collect());
+        t.add_column("b", (0..n).map(|i| i * 2).collect());
+        t.add_column("c", (0..n).map(|i| n - 1 - i).collect());
+        t
+    }
+
+    fn expect_tails(t: &Table, sel: &str, q: QueryRange, proj: &str) -> Vec<u64> {
+        let head = t.column(sel).expect("sel");
+        let tail = t.column(proj).expect("proj");
+        let mut v: Vec<u64> = head
+            .iter()
+            .zip(tail)
+            .filter(|(h, _)| q.contains(**h))
+            .map(|(_, t)| *t)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn check(got: Vec<u64>, mut expect: Vec<u64>, label: &str) {
+        let mut got = got;
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "{label}");
+    }
+
+    #[test]
+    fn budget_for_one_map_thrashes_but_stays_exact() {
+        let n = 2000u64;
+        let t = table(n);
+        let mut s = BudgetedSideways::new(
+            table(n),
+            MapStrategy::Stochastic,
+            CrackConfig::default(),
+            7,
+            n as usize, // exactly one resident map
+        );
+        for i in 0..30u64 {
+            let q = QueryRange::new((i * 61) % 1500, (i * 61) % 1500 + 200);
+            let (sel, proj) = if i % 2 == 0 { ("a", "b") } else { ("c", "b") };
+            check(
+                s.select_project(sel, q, proj),
+                expect_tails(&t, sel, q, proj),
+                &format!("query {i}"),
+            );
+            assert_eq!(s.resident_maps(), 1, "budget holds exactly one map");
+        }
+        assert!(s.evictions() >= 28, "alternating pairs must thrash");
+        assert_eq!(s.maps_created(), s.evictions() + s.resident_maps() as u64);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_map() {
+        let n = 1000u64;
+        let mut s = BudgetedSideways::new(
+            table(n),
+            MapStrategy::Crack,
+            CrackConfig::default(),
+            7,
+            2 * n as usize, // two resident maps
+        );
+        let q = QueryRange::new(100, 200);
+        s.select_project("a", q, "b"); // resident: (a,b)
+        s.select_project("c", q, "b"); // resident: (a,b), (c,b)
+        s.select_project("a", q, "b"); // refresh (a,b)
+        s.select_project("b", q, "c"); // must evict (c,b), the LRU
+        assert_eq!(s.evictions(), 1);
+        // (a,b) must still be resident: touching it creates nothing new.
+        let created = s.maps_created();
+        s.select_project("a", q, "b");
+        assert_eq!(s.maps_created(), created, "(a,b) survived as MRU");
+    }
+
+    #[test]
+    fn rebuilt_map_restarts_adaptation_but_answers_exactly() {
+        let n = 3000u64;
+        let t = table(n);
+        let mut s = BudgetedSideways::new(
+            table(n),
+            MapStrategy::Stochastic,
+            CrackConfig::default(),
+            7,
+            n as usize,
+        );
+        let q = QueryRange::new(500, 900);
+        s.select_project("a", q, "b");
+        s.select_project("c", q, "b"); // evicts (a,b) with its index
+        check(
+            s.select_project("a", q, "b"), // rebuild
+            expect_tails(&t, "a", q, "b"),
+            "after rebuild",
+        );
+        assert_eq!(s.evictions(), 2);
+        assert_eq!(s.maps_created(), 3);
+    }
+
+    #[test]
+    fn stats_survive_eviction() {
+        let n = 1000u64;
+        let mut s = BudgetedSideways::new(
+            table(n),
+            MapStrategy::Crack,
+            CrackConfig::default(),
+            7,
+            n as usize,
+        );
+        s.select_project("a", QueryRange::new(0, 500), "b");
+        let before = s.stats().touched;
+        s.select_project("c", QueryRange::new(0, 500), "b"); // evicts (a,b)
+        assert!(
+            s.stats().touched > before,
+            "retired stats must keep counting"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold one")]
+    fn budget_below_one_map_rejected() {
+        BudgetedSideways::new(
+            table(1000),
+            MapStrategy::Crack,
+            CrackConfig::default(),
+            7,
+            999,
+        );
+    }
+
+    #[test]
+    fn generous_budget_never_evicts() {
+        let n = 500u64;
+        let mut s = BudgetedSideways::new(
+            table(n),
+            MapStrategy::Stochastic,
+            CrackConfig::default(),
+            7,
+            10 * n as usize,
+        );
+        let q = QueryRange::new(0, 100);
+        for (sel, proj) in [("a", "b"), ("a", "c"), ("b", "c"), ("c", "a")] {
+            s.select_project(sel, q, proj);
+        }
+        assert_eq!(s.evictions(), 0);
+        assert_eq!(s.resident_maps(), 4);
+    }
+}

@@ -1,0 +1,39 @@
+//! Sideways cracking: adaptive cross-column maps.
+//!
+//! Original cracking reorganizes one column; real queries select on one
+//! attribute and *project* others. Sideways cracking (Idreos, Kersten,
+//! Manegold: "Self-organizing tuple reconstruction in column stores",
+//! SIGMOD 2009 — reference \[18\] of the stochastic cracking paper) keeps
+//! adaptively-created **cracker maps**: two-column `(head, tail)` arrays
+//! cracked on the head attribute, so that a select on `A` projecting `B`
+//! returns `B` values from a contiguous area without positional joins.
+//!
+//! This crate reproduces the core of that design on top of the stochastic
+//! cracking engines — demonstrating the paper's §6 point that stochastic
+//! cracking "does not violate the design principles and interfaces of
+//! original cracking" and composes with the sideways architecture:
+//!
+//! * [`Pair`] — a head/tail element; cracking moves both together;
+//! * [`CrackerMap`] — one `(A, B)` map wrapping a
+//!   [`CrackedColumn`](scrack_core::CrackedColumn) over pairs, cracked by
+//!   the configured strategy (original or stochastic);
+//! * [`SidewaysCracker`] — the self-organizing map set of a table: maps
+//!   are created lazily on first use and refined by every query.
+//!
+//! Maps are created whole on first touch (one fused scan).
+//! [`BudgetedSideways`] adds the storage dimension of \[18\] -- maps
+//! "dynamically created and deleted based on storage restrictions" --
+//! via whole-map LRU eviction under a resident-pair budget; the *chunk*-
+//! granular partial maps of the SIGMOD 2009 paper remain out of scope
+//! (see the `budget` module docs for what the simplification keeps).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod map;
+mod pair;
+
+pub use budget::BudgetedSideways;
+pub use map::{CrackerMap, MapStrategy, SidewaysCracker};
+pub use pair::Pair;

@@ -1,0 +1,55 @@
+//! The two-attribute element of a cracker map.
+
+use scrack_types::Element;
+
+/// One entry of a cracker map: the selection attribute (`head`) and the
+/// projected attribute (`tail`), physically reorganized together.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Pair {
+    /// The attribute the map is cracked on.
+    pub head: u64,
+    /// The attribute returned by projections.
+    pub tail: u64,
+}
+
+impl Pair {
+    /// Creates a head/tail pair.
+    #[inline]
+    pub fn new(head: u64, tail: u64) -> Self {
+        Self { head, tail }
+    }
+}
+
+impl Element for Pair {
+    #[inline(always)]
+    fn key(&self) -> u64 {
+        self.head
+    }
+
+    #[inline(always)]
+    fn from_key_row(key: u64, row: u32) -> Self {
+        // Only used by generic data generators; the tail defaults to the
+        // rowid until a real map zips actual columns.
+        Self {
+            head: key,
+            tail: u64::from(row),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_head() {
+        let p = Pair::new(5, 99);
+        assert_eq!(p.key(), 5);
+        assert_eq!(p.tail, 99);
+    }
+
+    #[test]
+    fn pair_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Pair>(), 16);
+    }
+}

@@ -1,0 +1,43 @@
+//! Property tests for sideways cracking: any select-project query stream
+//! over any (head, tail) pairing must equal the naive filter-and-project.
+
+use proptest::prelude::*;
+use scrack_columnstore::Table;
+use scrack_core::CrackConfig;
+use scrack_sideways::{MapStrategy, SidewaysCracker};
+use scrack_types::QueryRange;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn select_project_equals_naive(
+        stochastic in any::<bool>(),
+        seed in 0u64..200,
+        tails in proptest::collection::vec(0u64..10_000, 100..400),
+        raw_queries in proptest::collection::vec((0u64..500, 1u64..120), 1..30),
+    ) {
+        let n = tails.len() as u64;
+        // Heads: a permutation-ish spread over [0, n); tails arbitrary.
+        let heads: Vec<u64> = (0..n).map(|i| (i * 131 + seed) % n).collect();
+        let mut table = Table::new();
+        table.add_column("h", heads.clone());
+        table.add_column("t", tails.clone());
+        let strategy = if stochastic { MapStrategy::Stochastic } else { MapStrategy::Crack };
+        let mut sw = SidewaysCracker::new(table, strategy, CrackConfig::default(), seed);
+        for (a, w) in raw_queries {
+            let a = a % n;
+            let q = QueryRange::new(a, a + w);
+            let mut got = sw.select_project("h", q, "t");
+            got.sort_unstable();
+            let mut expect: Vec<u64> = heads
+                .iter()
+                .zip(&tails)
+                .filter(|(h, _)| q.contains(**h))
+                .map(|(_, t)| *t)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

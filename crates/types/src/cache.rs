@@ -1,0 +1,77 @@
+//! Cache-size configuration driving cracking thresholds.
+
+/// CPU cache sizes used to derive cracking thresholds.
+///
+/// The paper ties two knobs to the cache hierarchy:
+///
+/// * `CRACK_SIZE`, the piece size below which DDC/DDR stop introducing
+///   auxiliary cracks — "we found that the size of L1 cache as piece size
+///   threshold provides the best overall performance" (§4, Fig. 8 sweeps
+///   L1/4 … 3·L2);
+/// * the progressive-cracking cutoff — "progressive cracking occurs only as
+///   long as the targeted data piece is bigger than the L2 cache" (§4).
+///
+/// Sizes are configurable because the reproduction may run on machines with
+/// different caches; defaults match a typical x86 core (32 KiB L1d,
+/// 256 KiB L2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheProfile {
+    /// L1 data-cache size in bytes.
+    pub l1_bytes: usize,
+    /// L2 cache size in bytes.
+    pub l2_bytes: usize,
+}
+
+impl Default for CacheProfile {
+    fn default() -> Self {
+        Self {
+            l1_bytes: 32 * 1024,
+            l2_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl CacheProfile {
+    /// A profile with explicit sizes.
+    pub fn new(l1_bytes: usize, l2_bytes: usize) -> Self {
+        Self { l1_bytes, l2_bytes }
+    }
+
+    /// How many elements of size `elem_size` fit in L1.
+    #[inline]
+    pub fn l1_elems(&self, elem_size: usize) -> usize {
+        (self.l1_bytes / elem_size.max(1)).max(1)
+    }
+
+    /// How many elements of size `elem_size` fit in L2.
+    #[inline]
+    pub fn l2_elems(&self, elem_size: usize) -> usize {
+        (self.l2_bytes / elem_size.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_sane() {
+        let c = CacheProfile::default();
+        assert_eq!(c.l1_elems(8), 4096);
+        assert_eq!(c.l2_elems(8), 32768);
+        assert!(c.l1_bytes < c.l2_bytes);
+    }
+
+    #[test]
+    fn zero_sized_elements_do_not_panic() {
+        let c = CacheProfile::default();
+        assert!(c.l1_elems(0) >= 1);
+    }
+
+    #[test]
+    fn tiny_cache_still_reports_at_least_one_element() {
+        let c = CacheProfile::new(4, 8);
+        assert_eq!(c.l1_elems(8), 1);
+        assert_eq!(c.l2_elems(16), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! The element types a cracked column can store.
+
+/// A fixed-width value stored in a dense column array.
+///
+/// Database cracking physically reorders the column, so anything that must
+/// stay attached to a key (such as a rowid used for tuple reconstruction in
+/// a column-store) has to move together with it. Algorithms in this
+/// workspace are generic over `Element` and only ever order elements by
+/// [`Element::key`].
+///
+/// Two implementations are provided:
+///
+/// * `u64` — a bare key, matching the integer arrays used throughout the
+///   paper's evaluation;
+/// * [`Tuple`] — a key plus a 32-bit rowid, the layout a column-store needs
+///   when other attributes must be fetched after the select.
+///
+/// Elements are `Send + Sync` so columns can be cracked shard-parallel
+/// and shared across query threads; any `Copy + 'static` value type
+/// satisfies this automatically.
+pub trait Element: Copy + Send + Sync + std::fmt::Debug + 'static {
+    /// The ordering key cracking partitions by.
+    fn key(&self) -> u64;
+
+    /// Builds an element from a key, used by data generators and tests.
+    /// For [`Tuple`] the rowid is set to the generator-provided position.
+    fn from_key_row(key: u64, row: u32) -> Self;
+}
+
+impl Element for u64 {
+    #[inline(always)]
+    fn key(&self) -> u64 {
+        *self
+    }
+
+    #[inline(always)]
+    fn from_key_row(key: u64, _row: u32) -> Self {
+        key
+    }
+}
+
+/// A key with an attached rowid, for cracking with tuple reconstruction.
+///
+/// The rowid refers to the position of the tuple in the table's insertion
+/// order; after a cracked select, qualifying rowids are used to fetch the
+/// other attributes positionally (see `scrack-columnstore`'s `Table`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    /// The attribute value the column is cracked on.
+    pub key: u64,
+    /// Position of the tuple in table insertion order.
+    pub row: u32,
+}
+
+impl Tuple {
+    /// Creates a new key/rowid pair.
+    #[inline]
+    pub fn new(key: u64, row: u32) -> Self {
+        Self { key, row }
+    }
+}
+
+impl Element for Tuple {
+    #[inline(always)]
+    fn key(&self) -> u64 {
+        self.key
+    }
+
+    #[inline(always)]
+    fn from_key_row(key: u64, row: u32) -> Self {
+        Self { key, row }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_key_roundtrip() {
+        let e = u64::from_key_row(42, 7);
+        assert_eq!(e, 42);
+        assert_eq!(e.key(), 42);
+    }
+
+    #[test]
+    fn tuple_carries_row() {
+        let t = Tuple::from_key_row(42, 7);
+        assert_eq!(t.key(), 42);
+        assert_eq!(t.row, 7);
+        assert_eq!(t, Tuple::new(42, 7));
+    }
+
+    #[test]
+    fn tuple_is_16_bytes_or_less() {
+        // The layout matters: cracking moves elements with memcpy-style
+        // swaps, so the element must stay small.
+        assert!(std::mem::size_of::<Tuple>() <= 16);
+    }
+}

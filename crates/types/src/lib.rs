@@ -1,0 +1,27 @@
+//! Shared foundation types for the stochastic cracking workspace.
+//!
+//! This crate holds the small vocabulary shared by every layer of the
+//! reproduction of *Stochastic Database Cracking* (Halim et al., VLDB 2012):
+//!
+//! * [`Element`] — the unit stored in a column: either a bare key or a
+//!   key+rowid pair, so physical reorganization can move rowids along with
+//!   keys when tuple reconstruction is needed.
+//! * [`QueryRange`] — a half-open `[low, high)` range predicate over `u64`
+//!   keys, the select-operator argument every cracking algorithm consumes.
+//! * [`Stats`] — the cost counters the paper's evaluation is built on
+//!   (tuples touched, swaps, comparisons, cracks, materialized tuples).
+//! * [`CacheProfile`] — configurable L1/L2 sizes driving the paper's
+//!   `CRACK_SIZE` (Fig. 8) and progressive-cracking thresholds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod element;
+mod range;
+mod stats;
+
+pub use cache::CacheProfile;
+pub use element::{Element, Tuple};
+pub use range::QueryRange;
+pub use stats::Stats;

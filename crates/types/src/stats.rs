@@ -1,0 +1,119 @@
+//! Cost counters underlying the paper's evaluation.
+
+/// Physical-cost counters maintained by every reorganization primitive and
+/// engine.
+///
+/// The paper's analysis (§3) identifies *the amount of data the system has
+/// to touch per query* as the dominant cracking cost; Fig. 2(e) plots
+/// exactly that. All counters are plain `u64`s updated inline, cheap enough
+/// to leave permanently enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Tuples inspected during physical reorganization or scanning.
+    pub touched: u64,
+    /// Element swaps performed (the unit progressive cracking budgets).
+    pub swaps: u64,
+    /// Key comparisons performed.
+    pub comparisons: u64,
+    /// Cracks (index entries) added.
+    pub cracks: u64,
+    /// Tuples copied into materialized results.
+    pub materialized: u64,
+    /// Queries answered.
+    pub queries: u64,
+}
+
+impl Stats {
+    /// A zeroed counter set.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets all counters to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// The difference `self - earlier`, for per-query deltas.
+    ///
+    /// Counters are monotone, so a later snapshot minus an earlier one is
+    /// always well-defined; debug builds assert the ordering.
+    #[inline]
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        debug_assert!(self.touched >= earlier.touched);
+        Stats {
+            touched: self.touched - earlier.touched,
+            swaps: self.swaps - earlier.swaps,
+            comparisons: self.comparisons - earlier.comparisons,
+            cracks: self.cracks - earlier.cracks,
+            materialized: self.materialized - earlier.materialized,
+            queries: self.queries - earlier.queries,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Stats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.touched += rhs.touched;
+        self.swaps += rhs.swaps;
+        self.comparisons += rhs.comparisons;
+        self.cracks += rhs.cracks;
+        self.materialized += rhs.materialized;
+        self.queries += rhs.queries;
+    }
+}
+
+impl std::ops::Add for Stats {
+    type Output = Stats;
+    fn add(mut self, rhs: Self) -> Stats {
+        self += rhs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_between_snapshots() {
+        let mut s = Stats::new();
+        s.touched = 100;
+        s.swaps = 10;
+        let snap = s;
+        s.touched = 150;
+        s.swaps = 12;
+        s.queries = 1;
+        let d = s.since(&snap);
+        assert_eq!(d.touched, 50);
+        assert_eq!(d.swaps, 2);
+        assert_eq!(d.queries, 1);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = Stats {
+            touched: 1,
+            swaps: 2,
+            comparisons: 3,
+            cracks: 4,
+            materialized: 5,
+            queries: 6,
+        };
+        let b = a + a;
+        assert_eq!(b.touched, 2);
+        assert_eq!(b.queries, 12);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = Stats {
+            touched: 9,
+            ..Stats::new()
+        };
+        s.reset();
+        assert_eq!(s, Stats::new());
+    }
+}

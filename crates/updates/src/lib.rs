@@ -1,0 +1,29 @@
+//! Updates for cracked columns: pending queues merged with Ripple.
+//!
+//! "Updates are marked and collected as pending updates upon arrival.
+//! When a query Q requests values in a range where at least one pending
+//! update falls, then the qualifying updates for the given query are
+//! merged during cracking for Q. We use the Ripple algorithm to minimize
+//! the cost of merging, i.e., reorganizing dense arrays in a column-store"
+//! (Halim et al. 2012, §5, after Idreos et al., SIGMOD 2007).
+//!
+//! The Ripple idea: inserting into (or deleting from) the middle of a
+//! cracked dense array only needs **one element move per piece boundary**
+//! between the target piece and the array end — each piece donates its
+//! edge slot to its neighbor, and crack positions shift by one. Piece
+//! interiors are unordered, so moving an element from one edge of a piece
+//! to the other preserves every invariant.
+//!
+//! [`PendingUpdates`] holds the queued inserts/deletes; [`Updatable`]
+//! wraps any cracking `Engine` with on-demand merging.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pending;
+mod ripple;
+mod wrapper;
+
+pub use pending::PendingUpdates;
+pub use ripple::{ripple_delete, ripple_insert};
+pub use wrapper::{CrackAccess, Updatable};

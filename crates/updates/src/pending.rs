@@ -1,0 +1,154 @@
+//! Pending-update queues.
+
+use crate::ripple::{ripple_delete, ripple_insert};
+use scrack_core::CrackedColumn;
+use scrack_types::{Element, QueryRange};
+
+/// Updates that have arrived but not yet been merged into the cracked
+/// column.
+///
+/// Following the paper's update model, arriving updates cost (almost)
+/// nothing; a query pays only for the pending updates *qualifying for its
+/// range*, which are merged just before the query is answered ("the
+/// qualifying updates for the given query are merged during cracking for
+/// Q", §5). Inserts are merged before deletes, so a same-batch
+/// insert+delete of one key cancels out.
+#[derive(Debug, Clone, Default)]
+pub struct PendingUpdates<E> {
+    inserts: Vec<E>,
+    deletes: Vec<u64>,
+}
+
+impl<E: Element> PendingUpdates<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            inserts: Vec::new(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// Queues an insertion.
+    pub fn queue_insert(&mut self, elem: E) {
+        self.inserts.push(elem);
+    }
+
+    /// Queues a deletion (of one element with the given key).
+    pub fn queue_delete(&mut self, key: u64) {
+        self.deletes.push(key);
+    }
+
+    /// Number of pending inserts.
+    pub fn pending_inserts(&self) -> usize {
+        self.inserts.len()
+    }
+
+    /// Number of pending deletes.
+    pub fn pending_deletes(&self) -> usize {
+        self.deletes.len()
+    }
+
+    /// Merges every pending update whose key falls in `q` into the column,
+    /// returning how many updates were applied.
+    pub fn merge_qualifying(&mut self, col: &mut CrackedColumn<E>, q: QueryRange) -> usize {
+        let mut applied = 0;
+        let mut i = 0;
+        while i < self.inserts.len() {
+            if q.contains(self.inserts[i].key()) {
+                let e = self.inserts.swap_remove(i);
+                ripple_insert(col, e);
+                applied += 1;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.deletes.len() {
+            if q.contains(self.deletes[i]) {
+                let k = self.deletes.swap_remove(i);
+                // A delete whose key is absent simply evaporates (it may
+                // have targeted a never-inserted key).
+                let _ = ripple_delete(col, k);
+                applied += 1;
+            } else {
+                i += 1;
+            }
+        }
+        applied
+    }
+
+    /// Merges *all* pending updates unconditionally (e.g. at a checkpoint).
+    pub fn merge_all(&mut self, col: &mut CrackedColumn<E>) -> usize {
+        self.merge_qualifying(col, QueryRange::new(0, u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrack_core::CrackConfig;
+
+    fn column(n: u64) -> CrackedColumn<u64> {
+        let keys: Vec<u64> = (0..n).map(|i| (i * 311) % n).collect();
+        let mut col = CrackedColumn::new(keys, CrackConfig::default());
+        col.crack_on(n / 3);
+        col.crack_on(2 * n / 3);
+        col
+    }
+
+    #[test]
+    fn only_qualifying_updates_merge() {
+        let mut col = column(300);
+        let mut pending = PendingUpdates::new();
+        pending.queue_insert(50u64);
+        pending.queue_insert(250u64);
+        pending.queue_delete(60);
+        pending.queue_delete(260);
+        let applied = pending.merge_qualifying(&mut col, QueryRange::new(40, 70));
+        assert_eq!(applied, 2, "only the in-range insert and delete");
+        assert_eq!(pending.pending_inserts(), 1);
+        assert_eq!(pending.pending_deletes(), 1);
+        col.check_integrity().unwrap();
+        // 50 inserted (now twice), 60 gone.
+        let out = col.select_original(QueryRange::new(50, 51));
+        assert_eq!(out.len(), 2);
+        let out = col.select_original(QueryRange::new(60, 61));
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn merge_all_drains_queues() {
+        let mut col = column(100);
+        let mut pending = PendingUpdates::new();
+        for k in [5u64, 15, 25] {
+            pending.queue_insert(k);
+        }
+        pending.queue_delete(40);
+        assert_eq!(pending.merge_all(&mut col), 4);
+        assert_eq!(pending.pending_inserts(), 0);
+        assert_eq!(pending.pending_deletes(), 0);
+        assert_eq!(col.data().len(), 102);
+        col.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn insert_then_delete_same_key_cancels() {
+        let mut col = column(100);
+        let before = col.data().len();
+        let mut pending = PendingUpdates::new();
+        pending.queue_insert(1_000u64); // key outside original domain
+        pending.queue_delete(1_000);
+        pending.merge_all(&mut col);
+        assert_eq!(col.data().len(), before);
+        col.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn delete_of_absent_key_evaporates() {
+        let mut col = column(100);
+        let mut pending = PendingUpdates::new();
+        pending.queue_delete(9_999);
+        assert_eq!(pending.merge_all(&mut col), 1);
+        assert_eq!(col.data().len(), 100);
+    }
+}

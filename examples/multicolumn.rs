@@ -1,0 +1,90 @@
+//! Multi-attribute exploratory analysis over a cracked table.
+//!
+//! The scenario from the paper's introduction: a scientist explores a
+//! dataset with conjunctive range queries whose focus drifts (each answer
+//! shapes the next question). No index exists up front; every queried
+//! column indexes itself, each with the strategy that fits its access
+//! pattern — stochastic cracking on the drifting attribute, original
+//! cracking on the uniformly probed one.
+//!
+//! Run with: `cargo run --release --example multicolumn`
+
+use std::time::Instant;
+use stochastic_cracking::prelude::*;
+use stochastic_cracking::query::{CrackedTable, Predicate};
+
+const N: u64 = 2_000_000;
+const SEED: u64 = 20120827;
+
+fn main() {
+    // A synthetic sky-survey-ish table: position (drifting exploratory
+    // scans), brightness (uniform probes), epoch (coarse equality).
+    let mut s = SEED;
+    let mut rand = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let position: Vec<u64> = (0..N).map(|_| rand() % N).collect();
+    let brightness: Vec<u64> = (0..N).map(|_| rand() % 100_000).collect();
+    let epoch: Vec<u64> = (0..N).map(|_| rand() % 64).collect();
+
+    let mut table = CrackedTable::new();
+    table.add_column("position", position, EngineKind::Mdd1r, SEED);
+    table.add_column("brightness", brightness, EngineKind::Crack, SEED + 1);
+    table.add_column("epoch", epoch, EngineKind::Dd1r, SEED + 2);
+    println!(
+        "Table: {} rows x {:?}; no a-priori indexes.\n",
+        table.n_rows(),
+        table.column_names()
+    );
+
+    println!("{:<6} {:>26} {:>8} {:>11}", "query", "focus region", "rows", "time");
+    let t0 = Instant::now();
+    let mut total_rows = 0usize;
+    for i in 0..40u64 {
+        // The position focus drifts like a telescope scan; brightness and
+        // epoch conditions stay exploratory.
+        let focus = (i * N / 50) % (N - N / 20);
+        let preds = [
+            Predicate::range("position", focus, focus + N / 20),
+            Predicate::at_least("brightness", 60_000),
+            Predicate::range("epoch", i % 48, i % 48 + 16),
+        ];
+        let tq = Instant::now();
+        let rows = table.query(&preds);
+        let dt = tq.elapsed();
+        total_rows += rows.len();
+        if i < 10 || i % 10 == 0 {
+            println!(
+                "{:<6} [{:>10}, {:>10}) {:>8} {:>10.2?}",
+                i + 1,
+                focus,
+                focus + N / 20,
+                rows.len(),
+                dt
+            );
+        }
+        // Tuple reconstruction: fetch the brightness of the qualifying
+        // rows, as a downstream aggregation would.
+        let b = table.project(&rows, "brightness");
+        assert_eq!(b.len(), rows.len());
+        assert!(b.iter().all(|v| *v >= 60_000));
+    }
+    println!(
+        "\n40 conjunctive queries, {total_rows} result rows, {:.2?} total.",
+        t0.elapsed()
+    );
+    for (name, stats) in table.stats_per_column() {
+        println!(
+            "  {name:<11} cracks={:<6} touched={:<12} (adaptive investment so far)",
+            stats.cracks, stats.touched
+        );
+    }
+    println!(
+        "\nEach column pays only for the attention it gets — \"only those\n\
+         tables, columns, and key ranges that are queried are being\n\
+         optimized\" (§2), now across attributes."
+    );
+}

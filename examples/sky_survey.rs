@@ -1,0 +1,68 @@
+//! An exploratory astronomy session: the paper's motivating scenario.
+//!
+//! A scientist explores a sky-survey table ("scan one part of the sky at a
+//! time"), selecting on right ascension and fetching the matching
+//! brightness values through rowids — adaptive indexing with tuple
+//! reconstruction. Compares original cracking against stochastic cracking
+//! on a SkyServer-shaped query trace.
+//!
+//! Run with: `cargo run --release --example sky_survey`
+
+use std::time::Instant;
+use stochastic_cracking::prelude::*;
+
+fn main() {
+    // A table of 2M "objects": right ascension (the cracked attribute)
+    // and a brightness value reconstructed per result row.
+    let n: u64 = 2_000_000;
+    let ra: Vec<u64> = unique_permutation(n, 7);
+    let brightness: Vec<u64> = ra.iter().map(|r| (r * 2654435761) % 30_000).collect();
+    let mut table = Table::new();
+    table.add_column("ra", ra);
+    table.add_column("brightness", brightness);
+
+    // The exploratory query trace: focused scans drifting across the sky.
+    let trace = skyserver_trace(SkyServerConfig::new(n, 20_000, 99));
+    println!(
+        "Replaying {} exploratory queries over {} objects...\n",
+        trace.len(),
+        table.rows()
+    );
+
+    for kind in [EngineKind::Crack, EngineKind::Mdd1r] {
+        // Crack a (key, rowid) copy of the ra column.
+        let col = table.cracker_column("ra");
+        let mut engine = build_engine(kind, col.into_vec(), CrackConfig::default(), 7);
+        let label = if kind == EngineKind::Mdd1r {
+            "Scrack"
+        } else {
+            "Crack"
+        };
+
+        let t0 = Instant::now();
+        let mut brightest = 0u64;
+        let mut results = 0u64;
+        for q in &trace {
+            let out = engine.select(*q);
+            results += out.len() as u64;
+            // Tuple reconstruction: rowids -> brightness, as a column-store
+            // would fetch the next attribute.
+            let rows = out.resolve(engine.data()).map(|t| t.row);
+            for b in table.fetch("brightness", rows) {
+                brightest = brightest.max(b);
+            }
+        }
+        println!(
+            "{label:>7}: {:>8.2?} total, {results} qualifying objects, \
+             brightest={brightest}, {} cracks, {} tuples touched",
+            t0.elapsed(),
+            engine.stats().cracks,
+            engine.stats().touched
+        );
+    }
+    println!(
+        "\nThe focused trace leaves large unindexed areas that original \
+         cracking re-scans over and over;\nstochastic cracking's random \
+         cracks dissolve them — same answers, far less data touched."
+    );
+}

@@ -1,0 +1,61 @@
+//! The paper's headline result as a demo: original cracking is fragile
+//! across workload patterns, stochastic cracking is robust.
+//!
+//! Runs every Fig. 7 workload pattern against Crack and Scrack (MDD1R)
+//! and prints the cumulative-time table (the shape of the paper's
+//! Fig. 17).
+//!
+//! Run with: `cargo run --release --example workload_robustness`
+
+use std::time::Instant;
+use stochastic_cracking::prelude::*;
+
+fn run_total(kind: EngineKind, data: Vec<u64>, queries: &[QueryRange]) -> std::time::Duration {
+    let mut engine = build_engine(kind, data, CrackConfig::default(), 1);
+    let t0 = Instant::now();
+    let mut acc = 0usize;
+    for q in queries {
+        acc += engine.select(*q).len();
+    }
+    std::hint::black_box(acc);
+    t0.elapsed()
+}
+
+fn main() {
+    let n: u64 = 1_000_000;
+    let q = 2_000;
+    let data: Vec<u64> = unique_permutation(n, 3);
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "workload", "Crack", "Scrack", "ratio"
+    );
+    println!("{}", "-".repeat(52));
+    let mut worst: (f64, &str) = (0.0, "");
+    for kind in WorkloadKind::all_concrete()
+        .into_iter()
+        .chain([WorkloadKind::Mixed])
+    {
+        let queries = WorkloadSpec::new(kind, n, q, 5).generate();
+        let crack = run_total(EngineKind::Crack, data.clone(), &queries);
+        let scrack = run_total(EngineKind::Mdd1r, data.clone(), &queries);
+        let ratio = crack.as_secs_f64() / scrack.as_secs_f64().max(1e-9);
+        if ratio > worst.0 {
+            worst = (ratio, kind.label());
+        }
+        println!(
+            "{:<16} {:>12.2?} {:>12.2?} {:>8.1}x",
+            kind.label(),
+            crack,
+            scrack,
+            ratio
+        );
+    }
+    println!(
+        "\nOriginal cracking collapses on the focused patterns (worst: \
+         {} at {:.0}x), while stochastic\ncracking stays within a small \
+         constant of its best case everywhere — the robustness the paper \
+         is about.",
+        worst.1, worst.0
+    );
+}
