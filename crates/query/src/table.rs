@@ -323,7 +323,7 @@ mod tests {
             .filter(|&r| {
                 let a = r as u64;
                 let c = r as u64 % 10;
-                a < 50 || a >= 950 || c == 7
+                !(50..950).contains(&a) || c == 7
             })
             .collect();
         assert_eq!(rows.as_slice(), expect.as_slice());

@@ -1,0 +1,123 @@
+//! Stochastic database cracking — the facade crate.
+//!
+//! One dependency that re-exports the whole workspace: the adaptive
+//! indexing engines of *Halim, Idreos, Karras, Yap: Stochastic Database
+//! Cracking (VLDB 2012)* together with the substrate and extension layers
+//! they are built from. Each sub-crate stays usable on its own; this crate
+//! exists so examples and downstream users can write
+//!
+//! ```
+//! use stochastic_cracking::prelude::*;
+//!
+//! let data: Vec<u64> = unique_permutation(10_000, 42);
+//! let oracle = Oracle::new(&data);
+//! let mut engine = build_engine(EngineKind::Mdd1r, data, CrackConfig::default(), 42);
+//! let q = QueryRange::new(100, 200);
+//! assert_eq!(engine.select(q).len(), oracle.count(q));
+//! ```
+//!
+//! # Layer map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `scrack_types` | `Element`, `QueryRange`, `Stats`, `CacheProfile` |
+//! | [`columnstore`] | `scrack_columnstore` | `Column`, `QueryOutput`, `Table` |
+//! | [`index`] | `scrack_index` | AVL cracker index |
+//! | [`partition`] | `scrack_partition` | crack-in-two/three, MDD1R split, introselect |
+//! | [`core`] | `scrack_core` | every engine: Crack, DDC/DDR, DD1C/DD1R, MDD1R, … |
+//! | [`query`] | `scrack_query` | multi-column tables, predicates, aggregates |
+//! | [`workloads`] | `scrack_workloads` | Fig. 7 workload suite, SkyServer trace, data gens |
+//! | [`chooser`] | `scrack_chooser` | bandit algorithm selection (§6) |
+//! | [`external`] | `scrack_external` | paged/disk-resident cracking (§6) |
+//! | [`hybrids`] | `scrack_hybrids` | hybrid crack/sort engines |
+//! | [`sideways`] | `scrack_sideways` | sideways cracking under storage budgets |
+//! | [`updates`] | `scrack_updates` | Ripple merge of pending updates |
+//! | [`parallel`] | `scrack_parallel` | sharded / shared / piece-locked cracking |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Shared foundation types ([`scrack_types`]).
+pub mod types {
+    pub use scrack_types::*;
+}
+
+/// Column-store substrate ([`scrack_columnstore`]).
+pub mod columnstore {
+    pub use scrack_columnstore::*;
+}
+
+/// The AVL cracker index ([`scrack_index`]).
+pub mod index {
+    pub use scrack_index::*;
+}
+
+/// Physical reorganization kernel ([`scrack_partition`]).
+pub mod partition {
+    pub use scrack_partition::*;
+}
+
+/// The adaptive indexing engines ([`scrack_core`]).
+pub mod core {
+    pub use scrack_core::*;
+}
+
+/// Multi-column query layer ([`scrack_query`]).
+pub mod query {
+    pub use scrack_query::*;
+}
+
+/// Workload and data generators ([`scrack_workloads`]).
+pub mod workloads {
+    pub use scrack_workloads::*;
+}
+
+/// Bandit-driven algorithm selection ([`scrack_chooser`]).
+pub mod chooser {
+    pub use scrack_chooser::*;
+}
+
+/// Disk-resident cracking behind a buffer pool ([`scrack_external`]).
+pub mod external {
+    pub use scrack_external::*;
+}
+
+/// Hybrid crack/sort engines ([`scrack_hybrids`]).
+pub mod hybrids {
+    pub use scrack_hybrids::*;
+}
+
+/// Sideways cracking with storage budgets ([`scrack_sideways`]).
+pub mod sideways {
+    pub use scrack_sideways::*;
+}
+
+/// Updates under adaptive indexing ([`scrack_updates`]).
+pub mod updates {
+    pub use scrack_updates::*;
+}
+
+/// Parallel cracking ([`scrack_parallel`]).
+pub mod parallel {
+    pub use scrack_parallel::*;
+}
+
+/// The working vocabulary: everything the examples and most users need.
+pub mod prelude {
+    pub use scrack_chooser::{ChooserEngine, PolicyKind};
+    pub use scrack_columnstore::{Column, QueryOutput, Table};
+    pub use scrack_core::{
+        build_engine, CrackConfig, CrackEngine, CrackedColumn, Dd1cEngine, Dd1rEngine, DdcEngine,
+        DdrEngine, Engine, EngineKind, Mdd1rEngine, Oracle, ProgressiveEngine, ScanEngine,
+        SelectiveEngine, SelectivePolicy, SortEngine,
+    };
+    pub use scrack_hybrids::{HybridEngine, HybridKind};
+    pub use scrack_parallel::{
+        ParallelStrategy, PieceLockedCracker, ShardedCracker, SharedCracker,
+    };
+    pub use scrack_sideways::{BudgetedSideways, CrackerMap, MapStrategy, SidewaysCracker};
+    pub use scrack_types::{CacheProfile, Element, QueryRange, Stats, Tuple};
+    pub use scrack_updates::Updatable;
+    pub use scrack_workloads::data::unique_permutation;
+    pub use scrack_workloads::{skyserver_trace, SkyServerConfig, WorkloadKind, WorkloadSpec};
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], [`Throughput`], [`BenchmarkId`], [`black_box`] — with a
+//! simple wall-clock measurement loop instead of criterion's statistical
+//! machinery. Honors the CLI contract cargo relies on: a positional
+//! filter, `--bench` (ignored) and `--test` (run each bench exactly once).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (one input per measured call).
+    LargeInput,
+    /// One fresh input per iteration.
+    PerIteration,
+}
+
+/// Units-of-work annotation for a group's reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A bench identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The measurement context handed to each bench closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` over this bencher's iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure `routine` on inputs built (unmeasured) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] but passing the input by `&mut`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+/// The top-level bench driver.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real-criterion flags that consume a value; their value must not
+        // be mistaken for the positional filter.
+        const VALUE_FLAGS: &[&str] = &[
+            "--sample-size",
+            "--measurement-time",
+            "--warm-up-time",
+            "--nresamples",
+            "--noise-threshold",
+            "--confidence-level",
+            "--significance-level",
+            "--save-baseline",
+            "--baseline",
+            "--baseline-lenient",
+            "--load-baseline",
+            "--profile-time",
+            "--color",
+            "--colour",
+            "--output-format",
+            "--format",
+        ];
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                s if VALUE_FLAGS.contains(&s) => skip_value = true,
+                s if s.starts_with('-') => {} // ignore unknown flags (incl. --flag=value)
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { settings: Settings { filter, test_mode, sample_size: 10 } }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; argument handling happens in
+    /// [`Criterion::default`].
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Set the per-bench iteration count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a single named bench.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let settings = self.settings.clone();
+        run_one(&settings, None, &id.into().id, f);
+        self
+    }
+
+    /// Open a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+}
+
+/// A named group with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-bench iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness is not time-budgeted.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benches with units of work per iteration.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one bench within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.settings, Some(&self.name), &id.into().id, f);
+        self
+    }
+
+    /// Run one bench parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.settings, Some(&self.name), &id.into().id, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    settings: &Settings,
+    group: Option<&str>,
+    id: &str,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &settings.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let iters = if settings.test_mode { 1 } else { settings.sample_size as u64 };
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.checked_div(iters as u32).unwrap_or_default();
+    println!("bench: {full:<48} {per_iter:>12.2?}/iter ({iters} iters)");
+}
+
+/// Bundle bench functions into a group runner, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $group;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,16 @@
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_case_number(a in 10u64..20) {
+        prop_assert!(a < 15, "a was {}", a);
+    }
+
+    #[test]
+    fn passing_case(a in 0u64..5) {
+        prop_assert!(a < 5);
+        prop_assert_eq!(a, a, "identity for {}", a);
+        prop_assert_ne!(a + 1, a);
+    }
+}

@@ -1,0 +1,85 @@
+//! Uniform sampling from range expressions.
+//!
+//! Mirrors rand's shape — a single generic impl of [`SampleRange`] for
+//! `Range<T>` / `RangeInclusive<T>` over a [`SampleUniform`] trait — so
+//! that integer-literal type inference behaves exactly as with real rand.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A range that can be sampled uniformly — the receiver of
+/// [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T> {
+    /// Draw one value; panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with uniform sampling over half-open and inclusive ranges.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Multiply-shift bounded draw: maps a full 64-bit word onto `[0, span)`.
+fn bounded(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + bounded(rng, span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "gen_range on empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    // Full domain: every 64-bit word is a valid draw.
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + bounded(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "gen_range on empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = lo + (hi - lo) * unit as $t;
+                // lo + (hi-lo)*unit can round up to hi; keep [lo, hi) half-open.
+                if v < hi { v } else { hi.next_down().max(lo) }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "gen_range on empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + (hi - lo) * unit as $t
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
