@@ -17,6 +17,7 @@ fn smoke_cfg() -> ExpConfig {
         seed: 7,
         out_dir: None,
         verify: false,
+        ..ExpConfig::default()
     }
 }
 

@@ -1,0 +1,98 @@
+//! Criterion benches: branchy vs branchless reorganization kernels.
+//!
+//! The machine-readable counterpart (medians as JSON) is the
+//! `scrack_bench` binary; this target gives the interactive
+//! `cargo bench --bench kernels` view across piece sizes and, for the
+//! filter scan, selectivities.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use scrack_bench::bench_data;
+use scrack_partition::{
+    crack_in_three, crack_in_three_branchless, crack_in_two, crack_in_two_branchless,
+    scan_filter, scan_filter_branchless, Fringe,
+};
+use scrack_types::{QueryRange, Stats};
+
+const SIZES: [u64; 3] = [65_536, 1_048_576, 4_194_304];
+const SELECTIVITIES: [(u64, &str); 3] = [(100, "1%"), (2, "50%"), (1, "99%")];
+
+fn bench_two_way_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels_crack_in_two");
+    for n in SIZES {
+        let data = bench_data(n);
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("branchy/n={n}"), |b| {
+            b.iter_batched_ref(
+                || data.clone(),
+                |d| crack_in_two(d, n / 2, &mut Stats::new()),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("branchless/n={n}"), |b| {
+            b.iter_batched_ref(
+                || data.clone(),
+                |d| crack_in_two_branchless(d, n / 2, &mut Stats::new()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_three_way_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels_crack_in_three");
+    for n in SIZES {
+        let data = bench_data(n);
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("branchy/n={n}"), |b| {
+            b.iter_batched_ref(
+                || data.clone(),
+                |d| crack_in_three(d, n / 3, 2 * n / 3, &mut Stats::new()),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("branchless/n={n}"), |b| {
+            b.iter_batched_ref(
+                || data.clone(),
+                |d| crack_in_three_branchless(d, n / 3, 2 * n / 3, &mut Stats::new()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan_filter_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels_scan_filter");
+    let n = 1_048_576u64;
+    let data = bench_data(n);
+    g.throughput(Throughput::Elements(n));
+    for (divisor, label) in SELECTIVITIES {
+        // A centered range covering n/divisor keys of the dense domain.
+        let width = (n as f64 * if divisor == 1 { 0.99 } else { 1.0 / divisor as f64 }) as u64;
+        let q = QueryRange::new((n - width) / 2, (n - width) / 2 + width);
+        g.bench_function(format!("branchy/sel={label}"), |b| {
+            b.iter_batched_ref(
+                || Vec::with_capacity(n as usize),
+                |out| scan_filter(&data, Fringe::Both(q), out, &mut Stats::new()),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("branchless/sel={label}"), |b| {
+            b.iter_batched_ref(
+                || Vec::with_capacity(n as usize),
+                |out| scan_filter_branchless(&data, Fringe::Both(q), out, &mut Stats::new()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_two_way_kernels,
+    bench_three_way_kernels,
+    bench_scan_filter_kernels
+);
+criterion_main!(benches);

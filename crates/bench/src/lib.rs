@@ -3,12 +3,20 @@
 //! The benches live in `benches/`:
 //!
 //! * `partition` — the reorganization kernel primitives;
+//! * `kernels` — branchy vs branchless kernel variants, per size and
+//!   selectivity;
 //! * `index` — cracker-index (AVL) operations;
 //! * `engines` — whole-select costs per strategy;
 //! * `figures` — scaled-down regenerations of the paper's figures, so
 //!   `cargo bench` exercises every experiment path end to end.
+//!
+//! The `scrack_bench` binary (`src/bin/scrack_bench.rs`) runs the
+//! [`kernels_report`] harness and writes the machine-readable
+//! `BENCH_*.json` perf baseline.
 
 #![forbid(unsafe_code)]
+
+pub mod kernels_report;
 
 use scrack_types::QueryRange;
 use scrack_workloads::{WorkloadKind, WorkloadSpec};

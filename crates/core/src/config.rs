@@ -1,5 +1,6 @@
 //! Tuning knobs shared by all cracking engines.
 
+use scrack_partition::KernelPolicy;
 use scrack_types::CacheProfile;
 
 /// Configuration of the cracking engines.
@@ -16,6 +17,12 @@ use scrack_types::CacheProfile;
 ///   ("progressive cracking occurs only as long as the targeted data piece
 ///   is bigger than the L2 cache", §4). Defaults to the elements fitting
 ///   in L2.
+///
+/// The **kernel policy** selects between the branchy and branchless
+/// implementations of the reorganization primitives per touched piece.
+/// Both produce bit-identical results and cost counters, so this is a
+/// pure wall-clock knob; the default `Auto` takes the branchless path for
+/// pieces past `scrack_partition::AUTO_BRANCHLESS_THRESHOLD`.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CrackConfig {
     /// Cache sizes the defaults are derived from.
@@ -24,6 +31,8 @@ pub struct CrackConfig {
     pub crack_size_override: Option<usize>,
     /// Explicit progressive threshold in elements; `None` derives from L2.
     pub progressive_threshold_override: Option<usize>,
+    /// Which reorganization-kernel implementation the engines run.
+    pub kernel: KernelPolicy,
 }
 
 impl CrackConfig {
@@ -52,6 +61,12 @@ impl CrackConfig {
         self.progressive_threshold_override = Some(elems);
         self
     }
+
+    /// Convenience: a config with an explicit kernel policy.
+    pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +87,12 @@ mod tests {
             .with_progressive_threshold(999);
         assert_eq!(c.crack_size(8), 128);
         assert_eq!(c.progressive_threshold(8), 999);
+    }
+
+    #[test]
+    fn kernel_policy_defaults_to_auto_and_overrides() {
+        assert_eq!(CrackConfig::default().kernel, KernelPolicy::Auto);
+        let c = CrackConfig::default().with_kernel(KernelPolicy::Branchless);
+        assert_eq!(c.kernel, KernelPolicy::Branchless);
     }
 }

@@ -18,8 +18,8 @@ use rand::Rng;
 use scrack_columnstore::QueryOutput;
 use scrack_index::{CrackerIndex, Piece};
 use scrack_partition::{
-    advance_job, crack_in_three, crack_in_two, median_partition, scan_filter,
-    split_and_materialize, Fringe, JobStatus, PartitionJob,
+    advance_job, crack_in_three_policy, crack_in_two_policy, median_partition_policy,
+    scan_filter_policy, split_and_materialize, Fringe, JobStatus, PartitionJob,
 };
 use scrack_types::{Element, QueryRange, Stats};
 
@@ -193,7 +193,13 @@ impl<E: Element> CrackedColumn<E> {
             // The boundary already exists; nothing to touch.
             return piece.start;
         }
-        let rel = crack_in_two(&mut self.data[piece.start..piece.end], key, &mut self.stats);
+        let kernel = self.config.kernel;
+        let rel = crack_in_two_policy(
+            &mut self.data[piece.start..piece.end],
+            key,
+            kernel,
+            &mut self.stats,
+        );
         let pos = piece.start + rel;
         self.register_crack(key, pos);
         pos
@@ -221,10 +227,12 @@ impl<E: Element> CrackedColumn<E> {
         let pa = self.index.piece_containing(q.low);
         let pb = self.index.piece_containing(q.high);
         if pa == pb && pa.lo_key != Some(q.low) && q.high < pa.hi_key.unwrap_or(u64::MAX) {
-            let (r1, r2) = crack_in_three(
+            let kernel = self.config.kernel;
+            let (r1, r2) = crack_in_three_policy(
                 &mut self.data[pa.start..pa.end],
                 q.low,
                 q.high,
+                kernel,
                 &mut self.stats,
             );
             let (lo, hi) = (pa.start + r1, pa.start + r2);
@@ -283,16 +291,19 @@ impl<E: Element> CrackedColumn<E> {
             return piece.start;
         }
         let crack_size = self.crack_size();
+        let kernel = self.config.kernel;
         let (mut lo, mut hi) = (piece.start, piece.end);
         while hi - lo > crack_size {
             let (pos, pivot) = match rng.as_deref_mut() {
                 Some(rng) => {
                     let pivot = self.data[rng.gen_range(lo..hi)].key();
-                    let rel = crack_in_two(&mut self.data[lo..hi], pivot, &mut self.stats);
+                    let rel =
+                        crack_in_two_policy(&mut self.data[lo..hi], pivot, kernel, &mut self.stats);
                     (lo + rel, pivot)
                 }
                 None => {
-                    let (rel, pivot) = median_partition(&mut self.data[lo..hi], &mut self.stats);
+                    let (rel, pivot) =
+                        median_partition_policy(&mut self.data[lo..hi], kernel, &mut self.stats);
                     (lo + rel, pivot)
                 }
             };
@@ -312,7 +323,7 @@ impl<E: Element> CrackedColumn<E> {
                 break;
             }
         }
-        let rel = crack_in_two(&mut self.data[lo..hi], key, &mut self.stats);
+        let rel = crack_in_two_policy(&mut self.data[lo..hi], key, kernel, &mut self.stats);
         let pos = lo + rel;
         self.register_crack(key, pos);
         pos
@@ -404,9 +415,10 @@ impl<E: Element> CrackedColumn<E> {
     ) {
         if piece.len() < 2 {
             // Nothing to split; just filter the (≤1) element.
-            scan_filter(
+            scan_filter_policy(
                 &self.data[piece.start..piece.end],
                 fringe,
+                self.config.kernel,
                 out.mat_mut(),
                 &mut self.stats,
             );
@@ -561,17 +573,20 @@ impl<E: Element> CrackedColumn<E> {
                 PartitionJob::new(pivot, piece.start, piece.end)
             }
         };
+        let kernel = self.config.kernel;
         // 1. The regions settled by previous queries still need filtering
         //    for *this* query's result.
-        scan_filter(
+        scan_filter_policy(
             &self.data[piece.start..job.l],
             fringe,
+            kernel,
             out.mat_mut(),
             &mut self.stats,
         );
-        scan_filter(
+        scan_filter_policy(
             &self.data[job.r..piece.end],
             fringe,
+            kernel,
             out.mat_mut(),
             &mut self.stats,
         );
@@ -593,9 +608,10 @@ impl<E: Element> CrackedColumn<E> {
             }
             JobStatus::InProgress => {
                 // 3. The untouched middle still holds unfiltered tuples.
-                scan_filter(
+                scan_filter_policy(
                     &self.data[job.l..job.r],
                     fringe,
+                    kernel,
                     out.mat_mut(),
                     &mut self.stats,
                 );

@@ -6,7 +6,7 @@
 //! This guards the randomized engines' seeding paths (DDR and MDD1R draw
 //! their pivots from the seeded RNG) as much as the deterministic ones.
 
-use scrack_core::{build_engine, CrackConfig, EngineKind};
+use scrack_core::{build_engine, CrackConfig, EngineKind, KernelPolicy};
 use scrack_types::QueryRange;
 
 const N: u64 = 50_000;
@@ -44,8 +44,13 @@ fn column(n: u64) -> Vec<u64> {
 /// One full run: per-query (result length, key checksum), then the final
 /// crack count and the final physical order's checksum.
 fn run(kind: EngineKind, seed: u64) -> (Vec<(usize, u64)>, u64, u64) {
+    run_with(kind, seed, CrackConfig::default())
+}
+
+/// [`run`] under an explicit config (kernel-policy sweeps).
+fn run_with(kind: EngineKind, seed: u64, config: CrackConfig) -> (Vec<(usize, u64)>, u64, u64) {
     let data = column(N);
-    let mut engine = build_engine(kind, data, CrackConfig::default(), seed);
+    let mut engine = build_engine(kind, data, config, seed);
     let mut per_query = Vec::with_capacity(QUERIES);
     for q in query_sequence(N, QUERIES) {
         let out = engine.select(q);
@@ -106,6 +111,67 @@ fn mdd1r_is_deterministic() {
 #[test]
 fn progressive_is_deterministic() {
     assert_deterministic(EngineKind::Progressive { swap_pct: 10 });
+}
+
+/// The engines under test for the kernel-policy sweeps: every strategy
+/// family that reaches the reorganization kernels.
+fn kernel_sensitive_kinds() -> [EngineKind; 6] {
+    [
+        EngineKind::Crack,
+        EngineKind::Ddc,
+        EngineKind::Ddr,
+        EngineKind::Dd1r,
+        EngineKind::Mdd1r,
+        EngineKind::Progressive { swap_pct: 10 },
+    ]
+}
+
+/// Same `EngineKind` + seed + `KernelPolicy` must reproduce identical
+/// per-query results and crack counts across runs — the branchless
+/// kernels may not introduce any nondeterminism.
+#[test]
+fn branchless_policy_is_deterministic() {
+    let cfg = CrackConfig::default().with_kernel(KernelPolicy::Branchless);
+    for kind in kernel_sensitive_kinds() {
+        let (results_a, cracks_a, order_a) = run_with(kind, SEED, cfg);
+        let (results_b, cracks_b, order_b) = run_with(kind, SEED, cfg);
+        assert_eq!(
+            results_a, results_b,
+            "{kind:?}: branchless run must give identical per-query results"
+        );
+        assert_eq!(cracks_a, cracks_b, "{kind:?}: branchless crack counts");
+        assert_eq!(order_a, order_b, "{kind:?}: branchless physical order");
+    }
+}
+
+/// Stronger still: the kernels are bit-identical, so the *same seed under
+/// different kernel policies* must agree on every result, crack count and
+/// the final physical order. This pins the equivalence contract at full
+/// engine scale.
+#[test]
+fn kernel_policy_does_not_change_any_result() {
+    for kind in kernel_sensitive_kinds() {
+        let branchy = run_with(
+            kind,
+            SEED,
+            CrackConfig::default().with_kernel(KernelPolicy::Branchy),
+        );
+        let branchless = run_with(
+            kind,
+            SEED,
+            CrackConfig::default().with_kernel(KernelPolicy::Branchless),
+        );
+        let auto = run_with(
+            kind,
+            SEED,
+            CrackConfig::default().with_kernel(KernelPolicy::Auto),
+        );
+        assert_eq!(
+            branchy, branchless,
+            "{kind:?}: branchy and branchless runs must be bit-identical"
+        );
+        assert_eq!(branchy, auto, "{kind:?}: auto must match the fixed policies");
+    }
 }
 
 /// Different seeds must actually diverge for the randomized engines —

@@ -11,7 +11,7 @@ use super::{fresh_data, heading, workload};
 use crate::report::{format_secs, Table};
 use crate::runner::ExpConfig;
 use scrack_chooser::{ChooserEngine, PolicyKind};
-use scrack_core::{build_engine, CrackConfig, Engine, EngineKind};
+use scrack_core::{build_engine, Engine, EngineKind};
 use scrack_types::QueryRange;
 use scrack_workloads::WorkloadKind;
 use std::time::Instant;
@@ -49,7 +49,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             let mut engine = build_engine(
                 fixed,
                 fresh_data(cfg),
-                CrackConfig::default(),
+                cfg.crack_config(),
                 cfg.seed_for("extch"),
             );
             let (secs, _) = time_engine(engine.as_mut(), &queries);
@@ -63,7 +63,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         ] {
             let mut engine = ChooserEngine::from_kind(
                 fresh_data(cfg),
-                CrackConfig::default(),
+                cfg.crack_config(),
                 cfg.seed_for("extch-p"),
                 policy,
             );

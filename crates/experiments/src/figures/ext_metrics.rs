@@ -18,7 +18,7 @@ use super::{heading, run_kind, workload};
 use crate::metrics::{analyze, by_time};
 use crate::report::Table;
 use crate::runner::ExpConfig;
-use scrack_core::{CrackConfig, EngineKind};
+use scrack_core::{EngineKind};
 use scrack_workloads::WorkloadKind;
 
 fn fmt_opt(q: Option<usize>) -> String {
@@ -37,8 +37,8 @@ pub fn run(cfg: &ExpConfig) -> String {
     );
     for wk in [WorkloadKind::Random, WorkloadKind::Sequential] {
         let queries = workload(cfg, wk);
-        let scan = run_kind(cfg, EngineKind::Scan, CrackConfig::default(), &queries, "m-scan");
-        let sort = run_kind(cfg, EngineKind::Sort, CrackConfig::default(), &queries, "m-sort");
+        let scan = run_kind(cfg, EngineKind::Scan, cfg.crack_config(), &queries, "m-scan");
+        let sort = run_kind(cfg, EngineKind::Sort, cfg.crack_config(), &queries, "m-sort");
         let mut table = Table::new(&[
             "engine",
             "1st query vs Scan",
@@ -56,7 +56,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             EngineKind::Mdd1r,
             EngineKind::Progressive { swap_pct: 10 },
         ] {
-            let r = run_kind(cfg, kind, CrackConfig::default(), &queries, "m-eng");
+            let r = run_kind(cfg, kind, cfg.crack_config(), &queries, "m-eng");
             let m = analyze(&r, &scan, &sort, by_time, 16.0, 8);
             table.row(vec![
                 m.name,

@@ -12,7 +12,7 @@ use crate::report::{format_secs, Table};
 use crate::runner::ExpConfig;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use scrack_core::{CrackConfig, CrackEngine, Engine, Mdd1rEngine};
+use scrack_core::{CrackEngine, Engine, Mdd1rEngine};
 use scrack_types::QueryRange;
 use scrack_updates::{CrackAccess, Updatable};
 use scrack_workloads::WorkloadKind;
@@ -65,7 +65,7 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut table = Table::new(&["scenario", "Crack", "Scrack", "Crack/Scrack"]);
     for (label, period, batch) in scenarios {
         let crack = run_total(
-            Updatable::new(CrackEngine::new(fresh_data(cfg), CrackConfig::default())),
+            Updatable::new(CrackEngine::new(fresh_data(cfg), cfg.crack_config())),
             &queries,
             cfg.n,
             cfg.seed_for("extu-c"),
@@ -75,7 +75,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         let scrack = run_total(
             Updatable::new(Mdd1rEngine::new(
                 fresh_data(cfg),
-                CrackConfig::default(),
+                cfg.crack_config(),
                 cfg.seed_for("extu-s"),
             )),
             &queries,

@@ -4,7 +4,7 @@
 use super::{fresh_data, heading, workload};
 use crate::report::{format_secs, Table};
 use crate::runner::{run_engine, ExpConfig};
-use scrack_core::{CrackConfig, DdcEngine, Engine, Oracle};
+use scrack_core::{DdcEngine, Engine, Oracle};
 use scrack_types::CacheProfile;
 use scrack_workloads::WorkloadKind;
 
@@ -32,7 +32,7 @@ pub fn run(cfg: &ExpConfig) -> String {
     for (label, elems) in sweeps {
         let data = fresh_data(cfg);
         let oracle = cfg.verify.then(|| Oracle::new(&data));
-        let crack_cfg = CrackConfig::default().with_crack_size(elems.max(1));
+        let crack_cfg = cfg.crack_config().with_crack_size(elems.max(1));
         let mut engine = DdcEngine::new(data, crack_cfg);
         let r = run_engine(
             &mut engine as &mut dyn Engine<u64>,

@@ -9,7 +9,7 @@ use crate::report::{format_secs, Table};
 use crate::runner::{run_engine, ExpConfig, RunResult};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use scrack_core::{build_engine, CrackConfig, EngineKind, Oracle};
+use scrack_core::{build_engine, EngineKind, Oracle};
 use scrack_types::QueryRange;
 use scrack_workloads::{WorkloadKind, WorkloadSpec};
 
@@ -63,7 +63,7 @@ fn run_cell(cfg: &ExpConfig, kind: EngineKind, queries: &[QueryRange]) -> RunRes
     let mut engine = build_engine(
         kind,
         data,
-        CrackConfig::default(),
+        cfg.crack_config(),
         cfg.seed_for(&format!("fig11-{}", kind.label())),
     );
     run_engine(engine.as_mut(), queries, oracle.as_ref())

@@ -6,7 +6,7 @@ use crate::report::{cumulative_table, write_series};
 use crate::runner::{ExpConfig, RunResult};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use scrack_core::{CrackConfig, CrackEngine, Engine, Mdd1rEngine};
+use scrack_core::{CrackEngine, Engine, Mdd1rEngine};
 use scrack_types::QueryRange;
 use scrack_updates::{CrackAccess, Updatable};
 use scrack_workloads::WorkloadKind;
@@ -65,10 +65,10 @@ pub fn run(cfg: &ExpConfig) -> String {
          does not disturb either behaviour.",
     );
     let queries = workload(cfg, WorkloadKind::Sequential);
-    let crack = Updatable::new(CrackEngine::new(fresh_data(cfg), CrackConfig::default()));
+    let crack = Updatable::new(CrackEngine::new(fresh_data(cfg), cfg.crack_config()));
     let scrack = Updatable::new(Mdd1rEngine::new(
         fresh_data(cfg),
-        CrackConfig::default(),
+        cfg.crack_config(),
         cfg.seed_for("fig15-scrack"),
     ));
     let results = vec![

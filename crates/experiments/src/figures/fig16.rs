@@ -4,7 +4,7 @@
 use super::{fresh_data, heading};
 use crate::report::{cumulative_table, format_secs, write_series};
 use crate::runner::{run_engine, ExpConfig, RunResult};
-use scrack_core::{build_engine, CrackConfig, EngineKind, Oracle};
+use scrack_core::{build_engine, EngineKind, Oracle};
 use scrack_types::QueryRange;
 use scrack_workloads::{skyserver_trace, SkyServerConfig};
 
@@ -38,7 +38,7 @@ pub fn run(cfg: &ExpConfig) -> String {
     ] {
         let data = fresh_data(cfg);
         let oracle = cfg.verify.then(|| Oracle::new(&data));
-        let mut engine = build_engine(kind, data, CrackConfig::default(), cfg.seed_for("fig16"));
+        let mut engine = build_engine(kind, data, cfg.crack_config(), cfg.seed_for("fig16"));
         results.push(run_engine(engine.as_mut(), &queries, oracle.as_ref()));
     }
     results[1].name = "Scrack".into();

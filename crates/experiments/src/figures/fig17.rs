@@ -5,14 +5,14 @@ use super::fig16;
 use super::{fresh_data, heading, workload};
 use crate::report::{format_secs, Table};
 use crate::runner::{run_engine, ExpConfig};
-use scrack_core::{build_engine, CrackConfig, EngineKind, Oracle};
+use scrack_core::{build_engine, EngineKind, Oracle};
 use scrack_types::QueryRange;
 use scrack_workloads::WorkloadKind;
 
 fn cell(cfg: &ExpConfig, kind: EngineKind, queries: &[QueryRange], tag: &str) -> f64 {
     let data = fresh_data(cfg);
     let oracle = cfg.verify.then(|| Oracle::new(&data));
-    let mut engine = build_engine(kind, data, CrackConfig::default(), cfg.seed_for(tag));
+    let mut engine = build_engine(kind, data, cfg.crack_config(), cfg.seed_for(tag));
     run_engine(engine.as_mut(), queries, oracle.as_ref()).total_secs()
 }
 

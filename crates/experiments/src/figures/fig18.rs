@@ -5,7 +5,7 @@ use super::fig16;
 use super::{fresh_data, heading};
 use crate::report::{format_secs, Table};
 use crate::runner::{run_engine, ExpConfig};
-use scrack_core::{build_engine, CrackConfig, EngineKind, Oracle};
+use scrack_core::{build_engine, EngineKind, Oracle};
 
 /// Runs the experiment and renders the report section.
 pub fn run(cfg: &ExpConfig) -> String {
@@ -26,7 +26,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         let mut engine = build_engine(
             kind,
             data,
-            CrackConfig::default(),
+            cfg.crack_config(),
             cfg.seed_for(&format!("fig18-{x}")),
         );
         let r = run_engine(engine.as_mut(), &queries, oracle.as_ref());

@@ -4,7 +4,7 @@
 use super::{fresh_data, heading, workload};
 use crate::report::{format_secs, Table};
 use crate::runner::{run_engine, ExpConfig, RunResult};
-use scrack_core::{build_engine, CrackConfig, EngineKind, Oracle};
+use scrack_core::{build_engine, EngineKind, Oracle};
 use scrack_workloads::WorkloadKind;
 
 /// Runs the experiment and renders the report section.
@@ -30,7 +30,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             let mut engine = build_engine(
                 *kind,
                 data,
-                CrackConfig::default(),
+                cfg.crack_config(),
                 cfg.seed_for(&format!("fig20-{}", kind.label())),
             );
             run_engine(engine.as_mut(), &queries, oracle.as_ref())

@@ -62,7 +62,7 @@ pub(crate) fn run_kinds(
 ) -> Vec<RunResult> {
     let results: Vec<RunResult> = kinds
         .iter()
-        .map(|k| run_kind(cfg, *k, CrackConfig::default(), queries, &k.label()))
+        .map(|k| run_kind(cfg, *k, cfg.crack_config(), queries, &k.label()))
         .collect();
     let refs: Vec<&RunResult> = results.iter().collect();
     write_series(cfg, series_file, &refs);

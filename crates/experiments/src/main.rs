@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [FIGURES...] [--n N] [--queries Q] [--seed S]
 //!             [--out DIR] [--verify] [--quick]
+//!             [--kernel branchy|branchless|auto]
 //!
 //! FIGURES: fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
 //!          fig17 fig18 fig19 fig20 | all (default: all)
@@ -41,12 +42,19 @@ fn main() {
                 cfg.n = 100_000;
                 cfg.queries = 1_000;
             }
+            "--kernel" => {
+                i += 1;
+                cfg.kernel = scrack_core::KernelPolicy::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!("--kernel takes branchy|branchless|auto, got {}", args[i]);
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [fig2|fig8|...|fig20|ext-updates|\
                      ext-io|ext-chooser|all]... \
                      [--n N] [--queries Q] [--seed S] [--out DIR] \
-                     [--verify] [--quick]"
+                     [--verify] [--quick] [--kernel branchy|branchless|auto]"
                 );
                 return;
             }
@@ -78,8 +86,8 @@ fn main() {
         lock,
         "# Stochastic Database Cracking — experiment run\n\n\
          Reproduction of Halim et al., VLDB 2012. Scale: N={}, Q={}, \
-         seed={}, verify={}.\n",
-        cfg.n, cfg.queries, cfg.seed, cfg.verify
+         seed={}, verify={}, kernel={}.\n",
+        cfg.n, cfg.queries, cfg.seed, cfg.verify, cfg.kernel
     );
     for fig in &figures_wanted {
         let t0 = std::time::Instant::now();

@@ -1,6 +1,6 @@
 //! Timed query-sequence execution.
 
-use scrack_core::{Engine, Oracle};
+use scrack_core::{CrackConfig, Engine, KernelPolicy, Oracle};
 use scrack_types::{Element, QueryRange, Stats};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -20,6 +20,11 @@ pub struct ExpConfig {
     /// Validate every query result against the oracle (adds overhead to
     /// the *reported* times of view-based engines; off for timing runs).
     pub verify: bool,
+    /// Reorganization-kernel implementation the in-memory engines run
+    /// (`--kernel branchy|branchless|auto`). Results are identical under
+    /// every policy; per-query wall-clock differs, so figures can be
+    /// regenerated per kernel and compared.
+    pub kernel: KernelPolicy,
 }
 
 impl Default for ExpConfig {
@@ -30,11 +35,19 @@ impl Default for ExpConfig {
             seed: 20120827, // the paper's presentation date at VLDB
             out_dir: None,
             verify: false,
+            kernel: KernelPolicy::default(),
         }
     }
 }
 
 impl ExpConfig {
+    /// The engine configuration every figure builds on: defaults plus
+    /// this run's kernel policy. Figure-specific overrides (Fig. 8's
+    /// crack-size sweep, …) chain on top.
+    pub fn crack_config(&self) -> CrackConfig {
+        CrackConfig::default().with_kernel(self.kernel)
+    }
+
     /// A derived seed for a named sub-experiment, so runs are independent
     /// but reproducible.
     pub fn seed_for(&self, tag: &str) -> u64 {

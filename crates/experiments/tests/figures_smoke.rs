@@ -11,6 +11,7 @@ fn cfg() -> ExpConfig {
         seed: 3,
         out_dir: None,
         verify: true, // every figure run doubles as a correctness check
+        ..ExpConfig::default()
     }
 }
 

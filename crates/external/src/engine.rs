@@ -7,7 +7,9 @@
 //! causes prohibitive write I/O once the column lives on disk.
 
 use crate::column::PagedColumn;
-use crate::kernel::{crack_in_three_paged, crack_in_two_paged, split_and_materialize_paged};
+use crate::kernel::{
+    crack_in_three_paged_policy, crack_in_two_paged_policy, split_and_materialize_paged,
+};
 use crate::output::ExternalOutput;
 use crate::page::PoolConfig;
 use crate::pool::IoStats;
@@ -15,6 +17,7 @@ use crate::sort::{external_merge_sort, paged_lower_bound};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scrack_index::CrackerIndex;
+use scrack_partition::KernelPolicy;
 use scrack_types::{Element, QueryRange, Stats};
 
 /// A range-select engine over disk-resident data.
@@ -97,10 +100,31 @@ pub fn build_paged_engine<E: Element>(
     config: PoolConfig,
     seed: u64,
 ) -> Box<dyn PagedEngine<E>> {
+    build_paged_engine_with_kernel(kind, data, config, seed, KernelPolicy::Branchy)
+}
+
+/// [`build_paged_engine`] with an explicit reorganization-kernel policy.
+///
+/// Tuple-level results and `Stats` are identical under every policy; only
+/// the page access order of the partition passes changes, so the
+/// branchless kernels are opt-in on the paged path (they pay off once the
+/// working set is pool-resident and the pass is CPU-bound). The policy
+/// currently drives the partition-only engine (`Crack`); the fused
+/// materializing passes of `MDD1R`/progressive remain single-variant,
+/// exactly as in memory.
+pub fn build_paged_engine_with_kernel<E: Element>(
+    kind: PagedEngineKind,
+    data: &[E],
+    config: PoolConfig,
+    seed: u64,
+    kernel: KernelPolicy,
+) -> Box<dyn PagedEngine<E>> {
     match kind {
         PagedEngineKind::Scan => Box::new(ExternalScanEngine::new(data, config)),
         PagedEngineKind::Sort => Box::new(ExternalSortEngine::new(data, config)),
-        PagedEngineKind::Crack => Box::new(ExternalCrackEngine::new(data, config)),
+        PagedEngineKind::Crack => {
+            Box::new(ExternalCrackEngine::new(data, config).with_kernel(kernel))
+        }
         PagedEngineKind::Mdd1r => Box::new(ExternalMdd1rEngine::new(data, config, seed)),
         PagedEngineKind::Progressive(pct) => Box::new(
             crate::progressive::ExternalPmdd1rEngine::new(data, config, seed, f64::from(pct)),
@@ -244,16 +268,27 @@ impl<E: Element> PagedEngine<E> for ExternalSortEngine<E> {
 pub struct ExternalCrackEngine<E: Element> {
     col: PagedColumn<E>,
     index: CrackerIndex<()>,
+    kernel: KernelPolicy,
 }
 
 impl<E: Element> ExternalCrackEngine<E> {
-    /// Lays `data` out on pages under `config`.
+    /// Lays `data` out on pages under `config`. Partition passes default
+    /// to the branchy kernels (the paged engines' page-traffic baseline);
+    /// opt into the predicated ones via [`with_kernel`](Self::with_kernel).
     pub fn new(data: &[E], config: PoolConfig) -> Self {
         let len = data.len();
         Self {
             col: PagedColumn::new(data, config),
             index: CrackerIndex::new(len),
+            kernel: KernelPolicy::Branchy,
         }
+    }
+
+    /// Selects the reorganization-kernel policy (results are identical
+    /// under every policy; see `kernel.rs`).
+    pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// The cracker index (tests).
@@ -268,7 +303,8 @@ impl<E: Element> ExternalCrackEngine<E> {
         if piece.lo_key == Some(key) {
             return piece.start;
         }
-        let pos = crack_in_two_paged(&mut self.col, piece.start, piece.end, key);
+        let pos =
+            crack_in_two_paged_policy(&mut self.col, piece.start, piece.end, key, self.kernel);
         self.index.add_crack(key, pos);
         self.col.stats_mut().cracks += 1;
         pos
@@ -291,7 +327,14 @@ impl<E: Element> PagedEngine<E> for ExternalCrackEngine<E> {
         // Both bounds strictly inside one piece: single three-way pass,
         // as the in-memory select does.
         if p1 == p2 && p1.lo_key != Some(q.low) && p1.lo_key != Some(q.high) {
-            let (lo, hi) = crack_in_three_paged(&mut self.col, p1.start, p1.end, q.low, q.high);
+            let (lo, hi) = crack_in_three_paged_policy(
+                &mut self.col,
+                p1.start,
+                p1.end,
+                q.low,
+                q.high,
+                self.kernel,
+            );
             self.index.add_crack(q.low, lo);
             self.index.add_crack(q.high, hi);
             self.col.stats_mut().cracks += 2;

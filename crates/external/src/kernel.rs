@@ -6,8 +6,21 @@
 //! two-ended passes touch at most two pages at a time (one per cursor), so
 //! they run without thrashing in any pool of at least two frames — the
 //! floor [`PoolConfig`](crate::PoolConfig) enforces.
+//!
+//! Like the in-memory layer, the partition passes exist in two variants:
+//! the classic branchy loops and predicated/blockwise branchless twins
+//! ([`crack_in_two_paged_branchless`], [`crack_in_three_paged_branchless`])
+//! with bit-identical results and tuple-level [`Stats`] deltas. The
+//! *page*-level traffic of the blockwise pass differs (it batches its
+//! exchanges), so the branchless path is opt-in for paged engines —
+//! worthwhile once the working set is pool-resident and the pass is
+//! CPU-bound rather than fault-bound. [`crack_in_two_paged_policy`] and
+//! [`crack_in_three_paged_policy`] dispatch per call.
+//!
+//! [`Stats`]: scrack_types::Stats
 
 use crate::column::PagedColumn;
+use scrack_partition::{KernelPolicy, KERNEL_BLOCK};
 use scrack_types::{Element, QueryRange};
 
 /// Partitions `[start, end)` of `col` around `pivot`: afterwards keys
@@ -56,6 +69,94 @@ pub fn crack_in_two_paged<E: Element>(
     lo
 }
 
+/// Blockwise predicated two-way partition over paged storage: same
+/// contract, result and tuple-level `Stats` delta as
+/// [`crack_in_two_paged`], with the per-element pivot branch replaced by
+/// offset-collection arithmetic over [`KERNEL_BLOCK`]-wide chunks.
+///
+/// The exchange pairing replicates the Hoare pass (leftmost misplaced
+/// with rightmost misplaced, outside-in), so the resulting physical order
+/// and swap count are bit-identical to the branchy kernel; only the page
+/// access *order* differs (scan a chunk per side, then batch the
+/// exchanges), which is why the paged engines keep this variant opt-in.
+pub fn crack_in_two_paged_branchless<E: Element>(
+    col: &mut PagedColumn<E>,
+    start: usize,
+    end: usize,
+    pivot: u64,
+) -> usize {
+    assert!(start <= end && end <= col.len(), "piece out of bounds");
+    let mut offs_l = [0u8; KERNEL_BLOCK];
+    let mut offs_r = [0u8; KERNEL_BLOCK];
+    let mut lo = start;
+    let mut hi = end;
+    let (mut num_l, mut start_l) = (0usize, 0usize);
+    let (mut num_r, mut start_r) = (0usize, 0usize);
+    while hi - lo > 2 * KERNEL_BLOCK {
+        if num_l == 0 {
+            start_l = 0;
+            for i in 0..KERNEL_BLOCK {
+                col.stats_mut().comparisons += 1;
+                offs_l[num_l] = i as u8;
+                num_l += (col.get(lo + i).key() >= pivot) as usize;
+            }
+        }
+        if num_r == 0 {
+            start_r = 0;
+            for i in 0..KERNEL_BLOCK {
+                col.stats_mut().comparisons += 1;
+                offs_r[num_r] = i as u8;
+                num_r += (col.get(hi - 1 - i).key() < pivot) as usize;
+            }
+        }
+        let m = num_l.min(num_r);
+        for k in 0..m {
+            col.swap(
+                lo + offs_l[start_l + k] as usize,
+                hi - 1 - offs_r[start_r + k] as usize,
+            );
+        }
+        num_l -= m;
+        num_r -= m;
+        start_l += m;
+        start_r += m;
+        if num_l == 0 {
+            lo += KERNEL_BLOCK;
+        }
+        if num_r == 0 {
+            hi -= KERNEL_BLOCK;
+        }
+    }
+    // Scalar tail over the remaining window (pending offsets lie inside
+    // it and are re-derived), completing the identical exchange sequence.
+    // At most one side still has a partially consumed chunk; the tail
+    // re-inspects its KERNEL_BLOCK elements, so back out that double
+    // count to keep the paged layer's dynamic touched/comparisons
+    // accounting identical to the branchy kernel's one-inspection-per-
+    // element total.
+    if num_l > 0 || num_r > 0 {
+        col.stats_mut().touched -= KERNEL_BLOCK as u64;
+        col.stats_mut().comparisons -= KERNEL_BLOCK as u64;
+    }
+    crack_in_two_paged(col, lo, hi, pivot)
+}
+
+/// Policy dispatch for the paged two-way partition.
+#[inline]
+pub fn crack_in_two_paged_policy<E: Element>(
+    col: &mut PagedColumn<E>,
+    start: usize,
+    end: usize,
+    pivot: u64,
+    policy: KernelPolicy,
+) -> usize {
+    if policy.use_branchless(end.saturating_sub(start)) {
+        crack_in_two_paged_branchless(col, start, end, pivot)
+    } else {
+        crack_in_two_paged(col, start, end, pivot)
+    }
+}
+
 /// Three-way partition of `[start, end)` by the query bounds `(a, b)`:
 /// afterwards `[start, p) < a`, `[p, q)` holds `a <= key < b`, and
 /// `[q, end) >= b`. Returns `(p, q)`. Used when both bounds of a select
@@ -88,6 +189,56 @@ pub fn crack_in_three_paged<E: Element>(
         }
     }
     (lt, gt)
+}
+
+/// Predicated three-way partition over paged storage: same contract,
+/// result and tuple-level `Stats` delta as [`crack_in_three_paged`], with
+/// the per-element three-way branch replaced by an arithmetically
+/// selected swap target (a self-exchange — which [`PagedColumn::swap`]
+/// drops without cost — when the element is already placed).
+pub fn crack_in_three_paged_branchless<E: Element>(
+    col: &mut PagedColumn<E>,
+    start: usize,
+    end: usize,
+    a: u64,
+    b: u64,
+) -> (usize, usize) {
+    assert!(a <= b, "bounds must be ordered");
+    assert!(start <= end && end <= col.len(), "piece out of bounds");
+    let mut lt = start;
+    let mut i = start;
+    let mut gt = end;
+    while i < gt {
+        let k = col.get(i).key();
+        col.stats_mut().comparisons += 2;
+        let is_lt = (k < a) as usize;
+        let is_ge = (k >= b) as usize;
+        let is_mid = 1 - is_lt - is_ge;
+        let new_gt = gt - is_ge;
+        let target = is_lt * lt + is_ge * new_gt + is_mid * i;
+        col.swap(i, target);
+        lt += is_lt;
+        gt = new_gt;
+        i += is_lt + is_mid; // the >= b case re-examines the swapped-in element
+    }
+    (lt, gt)
+}
+
+/// Policy dispatch for the paged three-way partition.
+#[inline]
+pub fn crack_in_three_paged_policy<E: Element>(
+    col: &mut PagedColumn<E>,
+    start: usize,
+    end: usize,
+    a: u64,
+    b: u64,
+    policy: KernelPolicy,
+) -> (usize, usize) {
+    if policy.use_branchless_three_way(end.saturating_sub(start)) {
+        crack_in_three_paged_branchless(col, start, end, a, b)
+    } else {
+        crack_in_three_paged(col, start, end, a, b)
+    }
 }
 
 /// MDD1R's fused operation (paper Fig. 5) over paged storage: partitions
@@ -245,6 +396,79 @@ mod tests {
         );
         assert_eq!(p, 0);
         assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn branchless_two_way_is_bit_identical_to_branchy() {
+        // Sizes straddling 2 * KERNEL_BLOCK and pivots at the extremes.
+        for n in [0usize, 1, 100, 256, 257, 1000, 4096] {
+            for pivot in [0u64, 1, n as u64 / 2, n as u64] {
+                let data = shuffled(n as u64);
+                let mut branchy = paged(&data, 4);
+                let mut branchless = paged(&data, 4);
+                let pa = crack_in_two_paged(&mut branchy, 0, n, pivot);
+                let pb = crack_in_two_paged_branchless(&mut branchless, 0, n, pivot);
+                assert_eq!(pa, pb, "boundary n={n} pivot={pivot}");
+                assert_eq!(
+                    branchy.snapshot(),
+                    branchless.snapshot(),
+                    "order n={n} pivot={pivot}"
+                );
+                assert_eq!(
+                    branchy.stats(),
+                    branchless.stats(),
+                    "stats n={n} pivot={pivot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_two_way_inner_piece_leaves_outside_untouched() {
+        let data = shuffled(2000);
+        let mut col = paged(&data, 4);
+        let p = crack_in_two_paged_branchless(&mut col, 300, 1700, 1000);
+        let snap = col.snapshot();
+        assert_eq!(snap[..300], data[..300]);
+        assert_eq!(snap[1700..], data[1700..]);
+        assert!(snap[300..p].iter().all(|k| *k < 1000));
+        assert!(snap[p..1700].iter().all(|k| *k >= 1000));
+    }
+
+    #[test]
+    fn branchless_three_way_is_bit_identical_to_branchy() {
+        for n in [0usize, 1, 100, 1000] {
+            let data = shuffled(n as u64);
+            let (a, b) = (n as u64 / 4, 3 * n as u64 / 4);
+            let mut branchy = paged(&data, 4);
+            let mut branchless = paged(&data, 4);
+            let ra = crack_in_three_paged(&mut branchy, 0, n, a, b);
+            let rb = crack_in_three_paged_branchless(&mut branchless, 0, n, a, b);
+            assert_eq!(ra, rb, "boundaries n={n}");
+            assert_eq!(branchy.snapshot(), branchless.snapshot(), "order n={n}");
+            assert_eq!(branchy.stats(), branchless.stats(), "stats n={n}");
+        }
+    }
+
+    #[test]
+    fn policy_dispatch_matches_reference() {
+        use scrack_partition::KernelPolicy;
+        let data = shuffled(4096);
+        let mut reference = paged(&data, 8);
+        let expect = crack_in_two_paged(&mut reference, 0, 4096, 2048);
+        for policy in [
+            KernelPolicy::Branchy,
+            KernelPolicy::Branchless,
+            KernelPolicy::Auto,
+        ] {
+            let mut col = paged(&data, 8);
+            let p = crack_in_two_paged_policy(&mut col, 0, 4096, 2048, policy);
+            assert_eq!(p, expect, "{policy}");
+            assert_eq!(col.snapshot(), reference.snapshot(), "{policy}");
+            let mut col3 = paged(&data, 8);
+            let (p1, p2) = crack_in_three_paged_policy(&mut col3, 0, 4096, 1000, 3000, policy);
+            assert_eq!((p1, p2), (1000, 3000), "{policy}");
+        }
     }
 
     #[test]

@@ -53,9 +53,13 @@ pub mod progressive;
 mod sort;
 
 pub use column::PagedColumn;
-pub use engine::{build_paged_engine, PagedEngine, PagedEngineKind};
+pub use engine::{
+    build_paged_engine, build_paged_engine_with_kernel, PagedEngine, PagedEngineKind,
+};
 pub use output::ExternalOutput;
 pub use page::{DiskStore, PageId, PoolConfig};
 pub use pool::{BufferPool, IoStats};
 pub use progressive::{ExtPieceState, ExternalPmdd1rEngine};
+// The kernel-policy knob, shared verbatim with the in-memory layer.
+pub use scrack_partition::KernelPolicy;
 pub use sort::{external_merge_sort, SortReport};

@@ -1,0 +1,521 @@
+//! Branchless / predicated variants of the reorganization primitives, and
+//! the kernel-selection policy that picks between them.
+//!
+//! Every engine in the paper bottoms out in the same three primitives —
+//! [`crack_in_two`], [`crack_in_three`], [`scan_filter`] — whose classic
+//! implementations branch on a comparison against the pivot for every
+//! element. On random data that branch is taken ~50% of the time, i.e. it
+//! is unpredictable, and the resulting mispredictions dominate the cost of
+//! the pass. The multi-core adaptive-indexing follow-up (Alvarez et al.)
+//! identifies predication as the prerequisite for making cracking kernels
+//! run at memory speed; this module provides those predicated variants:
+//!
+//! * [`crack_in_two_branchless`] — a blockwise two-ended partition in the
+//!   style of BlockQuicksort: misplaced-element offsets are collected with
+//!   pure `(key < pivot) as usize` cursor arithmetic over fixed-width
+//!   chunks from both ends, then exchanged pairwise. The exchange pairing
+//!   replicates the Hoare pass exactly, so the result (boundary, physical
+//!   order, swap count) is **bit-identical** to [`crack_in_two`].
+//! * [`crack_in_three_branchless`] — the Dutch-national-flag pass with the
+//!   per-element three-way branch replaced by an arithmetically selected
+//!   swap target; state evolution is identical to [`crack_in_three`].
+//! * [`scan_filter_branchless`] — a two-pass count-then-fill filter: a
+//!   branch-free (auto-vectorizable) counting pass sizes the output
+//!   exactly, then a cursor-arithmetic fill pass writes it without any
+//!   per-element branch or reallocation.
+//!
+//! All variants keep the `Stats` contract of their branchy twins to the
+//! counter: `touched`/`comparisons` follow the paper's §3 convention of
+//! charging one logical inspection per element (independent of physical
+//! passes), and `swaps` counts the same exchanges in the same order.
+//!
+//! [`KernelPolicy`] selects a variant per call; [`crack_in_two_policy`],
+//! [`crack_in_three_policy`] and [`scan_filter_policy`] are the dispatch
+//! points the engines route through.
+
+use crate::materialize::{scan_filter, Fringe};
+use crate::three_way::crack_in_three;
+use crate::two_way::{crack_in_two, hoare_partition};
+use scrack_types::{Element, Stats};
+
+/// Width of the fixed chunks the blockwise two-way partition processes
+/// from each end. 128 offsets fit a `u8` index array comfortably in
+/// registers/L1 while amortizing the loop bookkeeping.
+pub const KERNEL_BLOCK: usize = 128;
+
+/// Piece size (in elements) above which [`KernelPolicy::Auto`] picks the
+/// branchless two-way and filter kernels.
+///
+/// A fixed, bench-measured crossover (not derived from
+/// `CacheProfile` — the switch point is set by branch-misprediction
+/// economics, which the `kernels` bench measures directly, rather than
+/// by cache geometry): below it the scalar loop's mispredictions are
+/// cheap relative to the blockwise bookkeeping; above it the predicated
+/// kernels win (see `BENCH_2.json`). Retune by rerunning
+/// `scrack_bench --sizes ...` on the target machine.
+pub const AUTO_BRANCHLESS_THRESHOLD: usize = 4096;
+
+/// [`KernelPolicy::Auto`]'s threshold for the *three-way* kernel, whose
+/// predicated variant pays an unconditional exchange per element and only
+/// overtakes the branchy pass on pieces too big for L1 (measured
+/// crossover ≈ 8K elements on x86-64; see `BENCH_2.json`).
+pub const AUTO_BRANCHLESS_THREE_WAY_THRESHOLD: usize = 8192;
+
+/// Which implementation of the reorganization primitives to run.
+///
+/// Both variants produce bit-identical results (boundaries, physical
+/// order, stats), so the policy is purely a performance knob and can be
+/// changed between queries without affecting any answer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelPolicy {
+    /// The classic loops with data-dependent branches (the seed kernels).
+    Branchy,
+    /// The predicated/blockwise kernels of this module.
+    Branchless,
+    /// Branchless for pieces of at least [`AUTO_BRANCHLESS_THRESHOLD`]
+    /// elements, branchy below.
+    #[default]
+    Auto,
+}
+
+impl KernelPolicy {
+    /// Whether a piece of `len` elements should take the branchless path
+    /// (two-way and filter kernels).
+    #[inline(always)]
+    pub fn use_branchless(self, len: usize) -> bool {
+        self.use_branchless_above(len, AUTO_BRANCHLESS_THRESHOLD)
+    }
+
+    /// Whether a piece of `len` elements should take the branchless
+    /// three-way path (higher `Auto` crossover; see
+    /// [`AUTO_BRANCHLESS_THREE_WAY_THRESHOLD`]).
+    #[inline(always)]
+    pub fn use_branchless_three_way(self, len: usize) -> bool {
+        self.use_branchless_above(len, AUTO_BRANCHLESS_THREE_WAY_THRESHOLD)
+    }
+
+    #[inline(always)]
+    fn use_branchless_above(self, len: usize, threshold: usize) -> bool {
+        match self {
+            KernelPolicy::Branchy => false,
+            KernelPolicy::Branchless => true,
+            KernelPolicy::Auto => len >= threshold,
+        }
+    }
+
+    /// Parses a CLI spelling (`branchy` | `branchless` | `auto`).
+    pub fn parse(s: &str) -> Option<KernelPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "branchy" => Some(KernelPolicy::Branchy),
+            "branchless" => Some(KernelPolicy::Branchless),
+            "auto" => Some(KernelPolicy::Auto),
+            _ => None,
+        }
+    }
+
+    /// The CLI/report spelling.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelPolicy::Branchy => "branchy",
+            KernelPolicy::Branchless => "branchless",
+            KernelPolicy::Auto => "auto",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Two-way
+// ---------------------------------------------------------------------
+
+/// Blockwise predicated two-way partition: same contract, result and
+/// [`Stats`] delta as [`crack_in_two`], minus the per-element branch.
+///
+/// The pass scans a [`KERNEL_BLOCK`]-wide chunk from each end, collecting
+/// the offsets of misplaced elements with branch-free cursor arithmetic
+/// (`idx += (key >= pivot) as usize`), then exchanges the leftmost
+/// misplaced left element with the rightmost misplaced right element,
+/// pairwise — exactly the exchange sequence of the Hoare pass, so the
+/// physical outcome is bit-identical to the branchy kernel. The final
+/// sub-2-chunk window falls back to the shared scalar Hoare tail.
+pub fn crack_in_two_branchless<E: Element>(
+    data: &mut [E],
+    pivot: u64,
+    stats: &mut Stats,
+) -> usize {
+    stats.touched += data.len() as u64;
+    stats.comparisons += data.len() as u64;
+    let mut offs_l = [0u8; KERNEL_BLOCK];
+    let mut offs_r = [0u8; KERNEL_BLOCK];
+    let mut l = 0usize; // data[..l] settled < pivot
+    let mut r = data.len(); // data[r..] settled >= pivot
+    let (mut num_l, mut start_l) = (0usize, 0usize);
+    let (mut num_r, mut start_r) = (0usize, 0usize);
+    let mut swaps = 0u64;
+    while r - l > 2 * KERNEL_BLOCK {
+        if num_l == 0 {
+            // Scan a fresh left chunk: record offsets of keys >= pivot.
+            start_l = 0;
+            let block = &data[l..l + KERNEL_BLOCK];
+            for (i, e) in block.iter().enumerate() {
+                offs_l[num_l] = i as u8;
+                num_l += (e.key() >= pivot) as usize;
+            }
+        }
+        if num_r == 0 {
+            // Scan a fresh right chunk from the outside in: record offsets
+            // (as distance from r-1) of keys < pivot.
+            start_r = 0;
+            let block = &data[r - KERNEL_BLOCK..r];
+            for i in 0..KERNEL_BLOCK {
+                offs_r[num_r] = i as u8;
+                num_r += (block[KERNEL_BLOCK - 1 - i].key() < pivot) as usize;
+            }
+        }
+        // Exchange pairs outside-in: k-th misplaced-from-the-left with
+        // k-th misplaced-from-the-right — the Hoare pairing.
+        let m = num_l.min(num_r);
+        for k in 0..m {
+            data.swap(
+                l + offs_l[start_l + k] as usize,
+                r - 1 - offs_r[start_r + k] as usize,
+            );
+        }
+        swaps += m as u64;
+        num_l -= m;
+        num_r -= m;
+        start_l += m;
+        start_r += m;
+        // A chunk whose misplaced elements are all fixed is fully settled.
+        if num_l == 0 {
+            l += KERNEL_BLOCK;
+        }
+        if num_r == 0 {
+            r -= KERNEL_BLOCK;
+        }
+    }
+    // Tail: at most one side still has pending offsets, and they lie
+    // inside [l, r); the scalar Hoare pass re-derives and finishes the
+    // identical exchange sequence over the remaining window.
+    let (rel, tail_swaps) = hoare_partition(&mut data[l..r], pivot);
+    stats.swaps += swaps + tail_swaps;
+    l + rel
+}
+
+/// Policy dispatch for the two-way partition.
+#[inline]
+pub fn crack_in_two_policy<E: Element>(
+    data: &mut [E],
+    pivot: u64,
+    policy: KernelPolicy,
+    stats: &mut Stats,
+) -> usize {
+    if policy.use_branchless(data.len()) {
+        crack_in_two_branchless(data, pivot, stats)
+    } else {
+        crack_in_two(data, pivot, stats)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Three-way
+// ---------------------------------------------------------------------
+
+/// Predicated three-way partition: same contract, result and [`Stats`]
+/// delta as [`crack_in_three`], with the per-element three-way branch
+/// replaced by an arithmetically selected swap target.
+///
+/// Each iteration computes `lt = (key < a)`, `ge = (key >= b)` and derives
+/// the swap destination as `lt·lo + ge·(hi-1) + mid·i`, then exchanges
+/// unconditionally (a self-swap when the element is already in place) and
+/// advances all three cursors by arithmetic on the two flags. The state
+/// evolution — including which exchanges are counted as swaps — matches
+/// the branchy Dutch-national-flag pass step for step.
+pub fn crack_in_three_branchless<E: Element>(
+    data: &mut [E],
+    a: u64,
+    b: u64,
+    stats: &mut Stats,
+) -> (usize, usize) {
+    debug_assert!(a <= b, "crack_in_three requires a <= b");
+    let mut lo = 0usize; // next slot of the < a region
+    let mut i = 0usize; // scan cursor
+    let mut hi = data.len(); // start of the >= b region
+    let mut touched = 0u64;
+    let mut swaps = 0u64;
+    while i < hi {
+        let k = data[i].key();
+        touched += 1;
+        let lt = (k < a) as usize;
+        let ge = (k >= b) as usize;
+        let mid = 1 - lt - ge;
+        let new_hi = hi - ge;
+        let target = lt * lo + ge * new_hi + mid * i;
+        data.swap(i, target);
+        // The branchy pass skips the self-swap in the `< a` case but
+        // counts every `>= b` exchange; mirror that accounting exactly.
+        swaps += (lt & usize::from(i != lo)) as u64 + ge as u64;
+        lo += lt;
+        hi = new_hi;
+        i += lt + mid; // the >= b case re-examines the swapped-in element
+    }
+    stats.touched += touched;
+    stats.comparisons += touched;
+    stats.swaps += swaps;
+    (lo, hi)
+}
+
+/// Policy dispatch for the three-way partition.
+#[inline]
+pub fn crack_in_three_policy<E: Element>(
+    data: &mut [E],
+    a: u64,
+    b: u64,
+    policy: KernelPolicy,
+    stats: &mut Stats,
+) -> (usize, usize) {
+    if policy.use_branchless_three_way(data.len()) {
+        crack_in_three_branchless(data, a, b, stats)
+    } else {
+        crack_in_three(data, a, b, stats)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scan + filter
+// ---------------------------------------------------------------------
+
+/// Two-pass count-then-fill filter scan: same contract, output and
+/// [`Stats`] delta as [`scan_filter`], without per-element branches or
+/// mid-scan reallocation.
+///
+/// The first pass counts qualifiers with pure flag arithmetic (LLVM
+/// vectorizes it), the output is grown to the exact final size once, and
+/// the second pass writes every element to the current cursor slot,
+/// advancing the cursor only for keepers — non-keepers are overwritten by
+/// the next keeper, and one scratch slot past the end absorbs the final
+/// overwrites before the vector is truncated to the counted size.
+pub fn scan_filter_branchless<E: Element>(
+    data: &[E],
+    fringe: Fringe,
+    out: &mut Vec<E>,
+    stats: &mut Stats,
+) -> usize {
+    // Monomorphize per filter shape, as the branchy kernel does.
+    match fringe {
+        Fringe::Both(q) => fill_branchless(data, |k| q.contains(k), out, stats),
+        Fringe::Low(a) => fill_branchless(data, |k| k >= a, out, stats),
+        Fringe::High(b) => fill_branchless(data, |k| k < b, out, stats),
+        Fringe::None => {
+            stats.touched += data.len() as u64;
+            stats.comparisons += data.len() as u64;
+            0
+        }
+    }
+}
+
+#[inline]
+fn fill_branchless<E: Element>(
+    data: &[E],
+    keep: impl Fn(u64) -> bool,
+    out: &mut Vec<E>,
+    stats: &mut Stats,
+) -> usize {
+    let count: usize = data.iter().map(|e| keep(e.key()) as usize).sum();
+    if count > 0 {
+        let base = out.len();
+        // One scratch slot past the counted size keeps the unconditional
+        // cursor write in bounds after the last keeper.
+        out.resize(base + count + 1, data[0]);
+        let dst = &mut out[base..];
+        let mut w = 0usize;
+        for e in data {
+            dst[w] = *e;
+            w += keep(e.key()) as usize;
+        }
+        out.truncate(base + count);
+    }
+    // §3 convention: one logical inspection per element, regardless of
+    // physical passes — identical to the branchy kernel's delta.
+    stats.touched += data.len() as u64;
+    stats.comparisons += data.len() as u64;
+    stats.materialized += count as u64;
+    count
+}
+
+/// Policy dispatch for the filter scan.
+#[inline]
+pub fn scan_filter_policy<E: Element>(
+    data: &[E],
+    fringe: Fringe,
+    policy: KernelPolicy,
+    out: &mut Vec<E>,
+    stats: &mut Stats,
+) -> usize {
+    if policy.use_branchless(data.len()) {
+        scan_filter_branchless(data, fringe, out, stats)
+    } else {
+        scan_filter(data, fringe, out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrack_types::{QueryRange, Tuple};
+
+    fn xorshift_data(n: usize, mut state: u64) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % (n as u64).max(1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_way_is_bit_identical_to_branchy() {
+        // Cross the 2-chunk boundary in both directions, with pivots at
+        // the extremes and the middle.
+        for n in [0, 1, 5, 255, 256, 257, 400, 1000, 5000] {
+            for pivot_frac in [0u64, 1, 2, 4] {
+                let base = xorshift_data(n, 0x5EED + n as u64);
+                let pivot = (n as u64).checked_div(pivot_frac).unwrap_or(0);
+                let mut branchy = base.clone();
+                let mut branchless = base.clone();
+                let mut sa = Stats::new();
+                let mut sb = Stats::new();
+                let pa = crack_in_two(&mut branchy, pivot, &mut sa);
+                let pb = crack_in_two_branchless(&mut branchless, pivot, &mut sb);
+                assert_eq!(pa, pb, "boundary n={n} pivot={pivot}");
+                assert_eq!(branchy, branchless, "order n={n} pivot={pivot}");
+                assert_eq!(sa, sb, "stats n={n} pivot={pivot}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_way_branchless_partitions_tuples() {
+        let mut d: Vec<Tuple> = (0..1000u64)
+            .map(|i| Tuple::new((i * 7919) % 1000, i as u32))
+            .collect();
+        let mut stats = Stats::new();
+        let p = crack_in_two_branchless(&mut d, 500, &mut stats);
+        assert!(d[..p].iter().all(|t| t.key < 500));
+        assert!(d[p..].iter().all(|t| t.key >= 500));
+        // Rowids stay attached through blockwise exchanges.
+        for t in &d {
+            assert_eq!((u64::from(t.row) * 7919) % 1000, t.key);
+        }
+    }
+
+    #[test]
+    fn three_way_matches_branchy_exactly() {
+        for n in [0, 1, 7, 300, 1024] {
+            let base = xorshift_data(n, 0xC0FFEE + n as u64);
+            let (a, b) = (n as u64 / 4, 3 * n as u64 / 4);
+            let mut branchy = base.clone();
+            let mut branchless = base.clone();
+            let mut sa = Stats::new();
+            let mut sb = Stats::new();
+            let ra = crack_in_three(&mut branchy, a, b, &mut sa);
+            let rb = crack_in_three_branchless(&mut branchless, a, b, &mut sb);
+            assert_eq!(ra, rb, "boundaries n={n}");
+            assert_eq!(branchy, branchless, "order n={n}");
+            assert_eq!(sa, sb, "stats n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_filter_matches_branchy_for_every_fringe() {
+        let data = xorshift_data(500, 0xF11);
+        let q = QueryRange::new(100, 300);
+        for fringe in [
+            Fringe::Both(q),
+            Fringe::Low(250),
+            Fringe::High(250),
+            Fringe::None,
+        ] {
+            let mut out_a = vec![7u64]; // non-empty: appends, not replaces
+            let mut out_b = vec![7u64];
+            let mut sa = Stats::new();
+            let mut sb = Stats::new();
+            let ka = scan_filter(&data, fringe, &mut out_a, &mut sa);
+            let kb = scan_filter_branchless(&data, fringe, &mut out_b, &mut sb);
+            assert_eq!(ka, kb, "{fringe:?}");
+            assert_eq!(out_a, out_b, "{fringe:?}");
+            assert_eq!(sa, sb, "{fringe:?}");
+        }
+    }
+
+    #[test]
+    fn scan_filter_branchless_no_realloc_after_count() {
+        let data: Vec<u64> = (0..1000).collect();
+        let mut out = Vec::new();
+        let mut stats = Stats::new();
+        scan_filter_branchless(&data, Fringe::Low(0), &mut out, &mut stats);
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn auto_policy_switches_on_threshold() {
+        assert!(!KernelPolicy::Auto.use_branchless(AUTO_BRANCHLESS_THRESHOLD - 1));
+        assert!(KernelPolicy::Auto.use_branchless(AUTO_BRANCHLESS_THRESHOLD));
+        assert!(KernelPolicy::Branchless.use_branchless(0));
+        assert!(!KernelPolicy::Branchy.use_branchless(usize::MAX));
+        // The three-way kernel crosses over later.
+        assert!(!KernelPolicy::Auto.use_branchless_three_way(AUTO_BRANCHLESS_THRESHOLD));
+        assert!(
+            KernelPolicy::Auto.use_branchless_three_way(AUTO_BRANCHLESS_THREE_WAY_THRESHOLD)
+        );
+        assert!(KernelPolicy::Branchless.use_branchless_three_way(0));
+    }
+
+    #[test]
+    fn policy_parse_roundtrip() {
+        for p in [
+            KernelPolicy::Branchy,
+            KernelPolicy::Branchless,
+            KernelPolicy::Auto,
+        ] {
+            assert_eq!(KernelPolicy::parse(p.label()), Some(p));
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(KernelPolicy::parse("BRANCHLESS"), Some(KernelPolicy::Branchless));
+        assert_eq!(KernelPolicy::parse("simd"), None);
+    }
+
+    #[test]
+    fn dispatchers_honor_policy() {
+        let base = xorshift_data(10_000, 0xD15);
+        for policy in [
+            KernelPolicy::Branchy,
+            KernelPolicy::Branchless,
+            KernelPolicy::Auto,
+        ] {
+            let mut d = base.clone();
+            let mut stats = Stats::new();
+            let p = crack_in_two_policy(&mut d, 5000, policy, &mut stats);
+            assert!(d[..p].iter().all(|k| *k < 5000), "{policy}");
+            let (p1, p2) = crack_in_three_policy(&mut d, 2000, 8000, policy, &mut stats);
+            assert!(p1 <= p2, "{policy}");
+            let mut out = Vec::new();
+            let kept = scan_filter_policy(
+                &d,
+                Fringe::Both(QueryRange::new(0, 100)),
+                policy,
+                &mut out,
+                &mut stats,
+            );
+            assert_eq!(kept, out.len(), "{policy}");
+        }
+    }
+}

@@ -21,12 +21,20 @@
 //! * [`introsort`] / [`lower_bound`] — the full-index `Sort` baseline's
 //!   substrate.
 //!
+//! Each partitioning primitive exists in two bit-identical variants: the
+//! classic branchy loop and a predicated/blockwise branchless kernel (the
+//! `kernels` module). [`KernelPolicy`] selects between them per call via
+//! [`crack_in_two_policy`], [`crack_in_three_policy`] and
+//! [`scan_filter_policy`]; results are identical either way, only the
+//! wall-clock cost differs.
+//!
 //! [`Element`]: scrack_types::Element
 //! [`Stats`]: scrack_types::Stats
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod kernels;
 mod materialize;
 mod progressive;
 mod select_k;
@@ -34,9 +42,14 @@ mod sort;
 mod three_way;
 mod two_way;
 
-pub use materialize::{scan_filter, split_and_materialize, Fringe};
+pub use kernels::{
+    crack_in_three_branchless, crack_in_three_policy, crack_in_two_branchless,
+    crack_in_two_policy, scan_filter_branchless, scan_filter_policy, KernelPolicy,
+    AUTO_BRANCHLESS_THREE_WAY_THRESHOLD, AUTO_BRANCHLESS_THRESHOLD, KERNEL_BLOCK,
+};
+pub use materialize::{scan_filter, split_and_materialize, Fringe, RESERVE_CAP};
 pub use progressive::{advance_job, JobStatus, PartitionJob};
-pub use select_k::{median_partition, select_nth_key};
+pub use select_k::{median_partition, median_partition_policy, select_nth_key};
 pub use sort::{introsort, is_sorted_by_key, lower_bound, upper_bound};
 pub use three_way::crack_in_three;
 pub use two_way::crack_in_two;

@@ -22,6 +22,16 @@ pub enum Fringe {
     None,
 }
 
+/// Cap (in elements) on the speculative output reservation of the fused
+/// single-pass kernels. They cannot know the qualifying count without a
+/// second scan, so they reserve `min(piece_len, cap)`: small and medium
+/// results never reallocate mid-scan, while a low-selectivity query over
+/// a huge piece is not charged gigabytes of speculative capacity (beyond
+/// the cap, `Vec`'s doubling growth is amortized against a result that
+/// large). The two-pass branchless `scan_filter` reserves the exact count
+/// instead.
+pub const RESERVE_CAP: usize = 1 << 20;
+
 impl Fringe {
     /// Whether a key qualifies under this filter.
     #[inline(always)]
@@ -46,6 +56,7 @@ impl Fringe {
 /// Each element is inspected exactly once; exchanged elements are filter-
 /// checked at exchange time rather than re-visited (an equivalent, slightly
 /// tighter formulation of the paper's loop).
+#[inline]
 pub fn split_and_materialize<E: Element>(
     data: &mut [E],
     pivot: u64,
@@ -71,6 +82,10 @@ fn split_inner<E: Element>(
     out: &mut Vec<E>,
     stats: &mut Stats,
 ) -> usize {
+    // Worst case every element qualifies; a capped up-front reservation
+    // keeps the fused loop free of mid-scan reallocation for every piece
+    // up to RESERVE_CAP without charging huge pieces speculative memory.
+    out.reserve(data.len().min(RESERVE_CAP));
     let mut l = 0usize;
     let mut r = data.len();
     let mut swaps = 0u64;
@@ -129,6 +144,7 @@ fn split_inner<E: Element>(
 /// Used by progressive cracking for the settled prefix/suffix of a piece
 /// whose partition job is still in flight, and by the plain `Scan`
 /// baseline.
+#[inline]
 pub fn scan_filter<E: Element>(
     data: &[E],
     fringe: Fringe,
@@ -136,6 +152,12 @@ pub fn scan_filter<E: Element>(
     stats: &mut Stats,
 ) -> usize {
     let before = out.len();
+    // Capped upper-bound reservation: no mid-scan reallocation up to
+    // RESERVE_CAP qualifying tuples (the branchless twin in `kernels.rs`
+    // reserves the exact count instead, at the cost of a second pass).
+    if !matches!(fringe, Fringe::None) {
+        out.reserve(data.len().min(RESERVE_CAP));
+    }
     match fringe {
         Fringe::Both(q) => {
             for e in data {

@@ -14,6 +14,7 @@ use scrack_types::{Element, Stats};
 /// per element plus one extra inspection per element relocated from the
 /// tail (the classic Dutch-national-flag trade-off), which the `touched`
 /// counter reflects precisely.
+#[inline]
 pub fn crack_in_three<E: Element>(
     data: &mut [E],
     a: u64,

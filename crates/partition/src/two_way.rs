@@ -25,7 +25,20 @@ use scrack_types::{Element, Stats};
 /// assert!(col[p..].iter().all(|k| *k >= 10));
 /// assert_eq!(p, 5);
 /// ```
+#[inline]
 pub fn crack_in_two<E: Element>(data: &mut [E], pivot: u64, stats: &mut Stats) -> usize {
+    let (p, swaps) = hoare_partition(data, pivot);
+    stats.touched += data.len() as u64;
+    stats.comparisons += data.len() as u64;
+    stats.swaps += swaps;
+    p
+}
+
+/// The raw Hoare pass: boundary position plus the number of exchanges, no
+/// stats. Shared between [`crack_in_two`] and the branchless kernel's
+/// scalar tail (`kernels.rs`), which must replicate this exact exchange
+/// sequence to stay bit-identical with the branchy kernel.
+pub(crate) fn hoare_partition<E: Element>(data: &mut [E], pivot: u64) -> (usize, u64) {
     let mut l = 0usize;
     let mut r = data.len();
     let mut swaps = 0u64;
@@ -47,10 +60,7 @@ pub fn crack_in_two<E: Element>(data: &mut [E], pivot: u64, stats: &mut Stats) -
         l += 1;
         r -= 1;
     }
-    stats.touched += data.len() as u64;
-    stats.comparisons += data.len() as u64;
-    stats.swaps += swaps;
-    l
+    (l, swaps)
 }
 
 #[cfg(test)]

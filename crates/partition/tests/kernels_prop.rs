@@ -1,0 +1,128 @@
+//! Property-based equivalence of the branchy and branchless kernels.
+//!
+//! The branchless kernels promise more than semantic equivalence: for any
+//! input they must produce the *same boundary*, the *same physical order*
+//! (hence the same multiset on each side), and the *identical `Stats`
+//! delta* as their branchy twins. That contract is what lets
+//! `KernelPolicy` be a pure performance knob — engines can switch kernels
+//! per piece without perturbing any result, checksum, or cost counter.
+//!
+//! Sizes deliberately straddle `2 * KERNEL_BLOCK` so both the blockwise
+//! main loop and the scalar tail are exercised.
+
+use proptest::prelude::*;
+use scrack_partition::{
+    crack_in_three, crack_in_three_branchless, crack_in_three_policy, crack_in_two,
+    crack_in_two_branchless, crack_in_two_policy, scan_filter, scan_filter_branchless,
+    scan_filter_policy, Fringe, KernelPolicy,
+};
+use scrack_types::{QueryRange, Stats};
+
+fn fringe_strategy() -> impl Strategy<Value = Fringe> {
+    (0u64..1000, 0u64..1000, 0u8..4).prop_map(|(a, w, shape)| match shape {
+        0 => Fringe::Both(QueryRange::new(a, a.saturating_add(w))),
+        1 => Fringe::Low(a),
+        2 => Fringe::High(a),
+        _ => Fringe::None,
+    })
+}
+
+proptest! {
+    #[test]
+    fn two_way_kernels_are_equivalent(
+        data in proptest::collection::vec(0u64..1000, 0..1200),
+        pivot in 0u64..1000,
+    ) {
+        let mut branchy = data.clone();
+        let mut branchless = data;
+        let mut sa = Stats::new();
+        let mut sb = Stats::new();
+        let pa = crack_in_two(&mut branchy, pivot, &mut sa);
+        let pb = crack_in_two_branchless(&mut branchless, pivot, &mut sb);
+        prop_assert_eq!(pa, pb, "boundary positions differ");
+        // Bit-identical physical order implies same multiset per side.
+        prop_assert_eq!(&branchy, &branchless, "physical orders differ");
+        prop_assert_eq!(sa, sb, "stats deltas differ");
+        prop_assert!(branchless[..pb].iter().all(|k| *k < pivot));
+        prop_assert!(branchless[pb..].iter().all(|k| *k >= pivot));
+    }
+
+    #[test]
+    fn three_way_kernels_are_equivalent(
+        data in proptest::collection::vec(0u64..1000, 0..1200),
+        a in 0u64..1000,
+        w in 0u64..1000,
+    ) {
+        let b = a.saturating_add(w).min(1000);
+        let mut branchy = data.clone();
+        let mut branchless = data;
+        let mut sa = Stats::new();
+        let mut sb = Stats::new();
+        let ra = crack_in_three(&mut branchy, a, b, &mut sa);
+        let rb = crack_in_three_branchless(&mut branchless, a, b, &mut sb);
+        prop_assert_eq!(ra, rb, "boundary pairs differ");
+        prop_assert_eq!(&branchy, &branchless, "physical orders differ");
+        prop_assert_eq!(sa, sb, "stats deltas differ");
+        let (p1, p2) = rb;
+        prop_assert!(branchless[..p1].iter().all(|k| *k < a));
+        prop_assert!(branchless[p1..p2].iter().all(|k| a <= *k && *k < b));
+        prop_assert!(branchless[p2..].iter().all(|k| *k >= b));
+    }
+
+    #[test]
+    fn scan_filter_kernels_are_equivalent(
+        data in proptest::collection::vec(0u64..1000, 0..1200),
+        fringe in fringe_strategy(),
+    ) {
+        // Start from a non-empty output to check append (not replace)
+        // semantics on both paths.
+        let mut out_a = vec![u64::MAX];
+        let mut out_b = vec![u64::MAX];
+        let mut sa = Stats::new();
+        let mut sb = Stats::new();
+        let ka = scan_filter(&data, fringe, &mut out_a, &mut sa);
+        let kb = scan_filter_branchless(&data, fringe, &mut out_b, &mut sb);
+        prop_assert_eq!(ka, kb, "kept counts differ");
+        prop_assert_eq!(&out_a, &out_b, "materialized outputs differ");
+        prop_assert_eq!(sa, sb, "stats deltas differ");
+        let expect: Vec<u64> = data.iter().copied().filter(|k| fringe.keeps(*k)).collect();
+        prop_assert_eq!(&out_b[1..], &expect[..], "filter semantics drifted");
+    }
+
+    #[test]
+    fn policy_dispatch_is_result_transparent(
+        data in proptest::collection::vec(0u64..1000, 0..1200),
+        pivot in 0u64..1000,
+    ) {
+        // Every policy must yield the identical outcome; Auto sits between
+        // the two fixed policies depending on piece size.
+        let mut reference = data.clone();
+        let mut ref_stats = Stats::new();
+        let ref_p = crack_in_two(&mut reference, pivot, &mut ref_stats);
+        for policy in [KernelPolicy::Branchy, KernelPolicy::Branchless, KernelPolicy::Auto] {
+            let mut d = data.clone();
+            let mut stats = Stats::new();
+            let p = crack_in_two_policy(&mut d, pivot, policy, &mut stats);
+            prop_assert_eq!(p, ref_p, "{} boundary", policy);
+            prop_assert_eq!(&d, &reference, "{} order", policy);
+            prop_assert_eq!(stats, ref_stats, "{} stats", policy);
+
+            let mut d3 = data.clone();
+            let mut s3 = Stats::new();
+            let lo = pivot / 2;
+            let (p1, p2) = crack_in_three_policy(&mut d3, lo, pivot, policy, &mut s3);
+            prop_assert!(p1 <= p2 && p2 <= d3.len(), "{} three-way bounds", policy);
+
+            let mut out = Vec::new();
+            let mut sf = Stats::new();
+            let kept = scan_filter_policy(
+                &data,
+                Fringe::Both(QueryRange::new(lo, pivot)),
+                policy,
+                &mut out,
+                &mut sf,
+            );
+            prop_assert_eq!(kept, out.len(), "{} scan_filter", policy);
+        }
+    }
+}

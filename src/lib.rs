@@ -108,8 +108,8 @@ pub mod prelude {
     pub use scrack_columnstore::{Column, QueryOutput, Table};
     pub use scrack_core::{
         build_engine, CrackConfig, CrackEngine, CrackedColumn, Dd1cEngine, Dd1rEngine, DdcEngine,
-        DdrEngine, Engine, EngineKind, Mdd1rEngine, Oracle, ProgressiveEngine, ScanEngine,
-        SelectiveEngine, SelectivePolicy, SortEngine,
+        DdrEngine, Engine, EngineKind, KernelPolicy, Mdd1rEngine, Oracle, ProgressiveEngine,
+        ScanEngine, SelectiveEngine, SelectivePolicy, SortEngine,
     };
     pub use scrack_hybrids::{HybridEngine, HybridKind};
     pub use scrack_parallel::{
