@@ -197,6 +197,7 @@ fn bench_concurrent_crackers(c: &mut Criterion) {
                 Arc::new(PieceLockedCracker::new(
                     data.clone(),
                     ParallelStrategy::Stochastic,
+                    CrackConfig::default(),
                     SEED,
                 ))
             },

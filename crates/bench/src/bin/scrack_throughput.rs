@@ -1,0 +1,135 @@
+//! The concurrency throughput reporter.
+//!
+//! ```text
+//! scrack_throughput [--threads N,N,...] [--n N] [--queries Q]
+//!                   [--batch B] [--samples K] [--smoke]
+//!                   [--json PATH] [--check]
+//! ```
+//!
+//! Sweeps `threads × strategy × workload` over the `scrack_parallel`
+//! wrappers and prints a summary table; `--json PATH` also writes the
+//! machine-readable report committed as `BENCH_3.json`. `--check` exits
+//! nonzero if any threads/strategy/workload cell is missing — the CI
+//! throughput-smoke gate (coverage only, never a perf threshold: CI
+//! boxes are too noisy to gate on queries/sec).
+
+use scrack_bench::throughput_report::{ThroughputConfig, ThroughputReport};
+use std::io::Write as _;
+
+/// The flag's value operand, or a usage error (exit 2) if it is missing.
+fn value_of<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    args.get(i).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("{flag} requires a value (try --help)");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ThroughputConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                cfg.threads = value_of(&args, i, "--threads")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads takes integers"))
+                    .collect();
+            }
+            "--n" => {
+                i += 1;
+                cfg.n = value_of(&args, i, "--n").parse().expect("--n takes an integer");
+            }
+            "--queries" => {
+                i += 1;
+                cfg.queries = value_of(&args, i, "--queries")
+                    .parse()
+                    .expect("--queries takes an integer");
+            }
+            "--batch" => {
+                i += 1;
+                cfg.batch = value_of(&args, i, "--batch")
+                    .parse()
+                    .expect("--batch takes an integer");
+            }
+            "--samples" => {
+                i += 1;
+                cfg.samples = value_of(&args, i, "--samples")
+                    .parse()
+                    .expect("--samples takes an integer");
+            }
+            "--smoke" => {
+                // Smoke scale: small column, short stream, two thread
+                // counts, one sample — seconds, not minutes, and still
+                // one cell per threads/strategy/workload combination.
+                cfg.n = 50_000;
+                cfg.queries = 500;
+                cfg.batch = 64;
+                cfg.samples = 1;
+                cfg.threads = vec![1, 2];
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(value_of(&args, i, "--json").to_string());
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: scrack_throughput [--threads N,N,...] [--n N] \
+                     [--queries Q] [--batch B] [--samples K] [--smoke] \
+                     [--json PATH] [--check]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "measuring {} workloads x {} strategies x {:?} threads, \
+         N={}, Q={}, batch={}, {} sample(s) each ...",
+        scrack_bench::throughput_report::WORKLOADS.len(),
+        scrack_bench::throughput_report::STRATEGIES.len(),
+        cfg.threads,
+        cfg.n,
+        cfg.queries,
+        cfg.batch,
+        cfg.samples,
+    );
+    let report = ThroughputReport::measure(&cfg);
+
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let _ = writeln!(
+        lock,
+        "# Throughput bench — median queries/sec ({} host CPUs)\n",
+        report.host_cpus
+    );
+    let _ = writeln!(lock, "{}", report.render_table());
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).expect("write JSON report");
+        let _ = writeln!(lock, "wrote {path}");
+    }
+
+    if check {
+        let missing = report.missing_cells();
+        if !missing.is_empty() {
+            eprintln!("coverage check FAILED; missing cells: {missing:?}");
+            std::process::exit(1);
+        }
+        let _ = writeln!(
+            lock,
+            "coverage check passed: {} cells, all threads/strategy/workload \
+             combinations present",
+            report.cells.len()
+        );
+    }
+}

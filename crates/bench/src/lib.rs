@@ -11,12 +11,14 @@
 //!   `cargo bench` exercises every experiment path end to end.
 //!
 //! The `scrack_bench` binary (`src/bin/scrack_bench.rs`) runs the
-//! [`kernels_report`] harness and writes the machine-readable
-//! `BENCH_*.json` perf baseline.
+//! [`kernels_report`] harness and the `scrack_throughput` binary
+//! (`src/bin/scrack_throughput.rs`) the [`throughput_report`] harness;
+//! both write machine-readable `BENCH_*.json` perf baselines.
 
 #![forbid(unsafe_code)]
 
 pub mod kernels_report;
+pub mod throughput_report;
 
 use scrack_types::QueryRange;
 use scrack_workloads::{WorkloadKind, WorkloadSpec};

@@ -1,0 +1,414 @@
+//! The concurrency throughput harness: queries/sec vs threads, as data.
+//!
+//! The kernel harness ([`crate::kernels_report`]) tracks single-threaded
+//! ns/element; this module tracks the ROADMAP's other axis — sustained
+//! **query throughput** under concurrent execution. It sweeps
+//! `threads × strategy × workload` over the `scrack_parallel` wrappers
+//! and emits a stable JSON document (`BENCH_3.json` in the repo root,
+//! regenerated via `cargo run --release -p scrack_bench --bin
+//! scrack_throughput -- --json BENCH_3.json`).
+//!
+//! Per cell the harness reports:
+//!
+//! * `qps_median` — median queries/sec over the sample runs (medians for
+//!   the same reason as the kernel harness: shared-box tail noise);
+//! * `p99_latency_us` — the 99th-percentile latency of one *unit of
+//!   work* in microseconds. For the `batch` strategy the unit is one
+//!   batch (`BatchScheduler::execute` call); for `piecelock` and
+//!   `shared` it is one query.
+//!
+//! All strategies run MDD1R-style stochastic cracking (the paper's
+//! robust engine) under the session's
+//! [`KernelPolicy`](scrack_core::KernelPolicy); answers are the
+//! same `(count, key_sum)` aggregates the parallel crate's tests pin
+//! against the scan oracle.
+
+use scrack_core::CrackConfig;
+use scrack_parallel::{BatchScheduler, ParallelStrategy, PieceLockedCracker, SharedCracker};
+use scrack_types::QueryRange;
+use scrack_workloads::data::unique_permutation;
+use scrack_workloads::{WorkloadKind, WorkloadSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The concurrent execution strategies the sweep covers.
+pub const STRATEGIES: [&str; 3] = ["batch", "piecelock", "shared"];
+
+/// The workload patterns the sweep covers (Fig. 7 names).
+pub const WORKLOADS: [&str; 3] = ["random", "sequential", "skew"];
+
+/// Default thread counts.
+pub const DEFAULT_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Scale and sweep settings for one harness run.
+#[derive(Clone, Debug)]
+pub struct ThroughputConfig {
+    /// Column size / key domain `N`.
+    pub n: u64,
+    /// Queries per (strategy, workload, threads, sample) run.
+    pub queries: usize,
+    /// Batch size for the `batch` strategy.
+    pub batch: usize,
+    /// Runs per cell; the reported qps is their median.
+    pub samples: usize,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// RNG seed for data and workloads.
+    pub seed: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        Self {
+            n: 1_000_000,
+            queries: 5_000,
+            batch: 256,
+            samples: 3,
+            threads: DEFAULT_THREADS.to_vec(),
+            seed: 0xBE7C,
+        }
+    }
+}
+
+/// One `(threads, strategy, workload)` measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputCell {
+    /// Worker/shard thread count.
+    pub threads: usize,
+    /// Execution strategy (one of [`STRATEGIES`]).
+    pub strategy: &'static str,
+    /// Workload pattern (one of [`WORKLOADS`]).
+    pub workload: &'static str,
+    /// Median queries per second across samples.
+    pub qps_median: f64,
+    /// Median (across samples) of the per-run p99 unit-of-work latency,
+    /// in microseconds (see module docs for the unit per strategy).
+    pub p99_latency_us: f64,
+}
+
+/// The full harness output: every threads/strategy/workload cell.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// The configuration the cells were measured under.
+    pub config: ThroughputConfig,
+    /// CPUs available to the measuring process (context for the sweep).
+    pub host_cpus: usize,
+    /// All cells, workload-major then strategy then threads.
+    pub cells: Vec<ThroughputCell>,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let m = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[m]
+    } else {
+        (xs[m - 1] + xs[m]) / 2.0
+    }
+}
+
+/// The `p`-th percentile (nearest-rank) of `xs` in place.
+fn percentile(xs: &mut [f64], p: f64) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = ((p / 100.0) * xs.len() as f64).ceil() as usize;
+    xs[rank.clamp(1, xs.len()) - 1]
+}
+
+fn workload_kind(name: &str) -> WorkloadKind {
+    match name {
+        "random" => WorkloadKind::Random,
+        "sequential" => WorkloadKind::Sequential,
+        "skew" => WorkloadKind::Skew,
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// One timed run; returns `(wall_seconds, unit_latencies_ns, checksum)`.
+fn run_once(
+    strategy: &str,
+    threads: usize,
+    data: &[u64],
+    queries: &[QueryRange],
+    batch: usize,
+    seed: u64,
+) -> (f64, Vec<f64>, u64) {
+    let config = CrackConfig::default();
+    match strategy {
+        "batch" => {
+            let mut sched = BatchScheduler::new(
+                data.to_vec(),
+                threads,
+                ParallelStrategy::Stochastic,
+                config,
+                seed,
+            );
+            let mut latencies = Vec::with_capacity(queries.len().div_ceil(batch));
+            let mut checksum = 0u64;
+            let t0 = Instant::now();
+            for chunk in queries.chunks(batch) {
+                let b0 = Instant::now();
+                let results = sched.execute(chunk);
+                latencies.push(b0.elapsed().as_nanos() as f64);
+                for (c, s) in results {
+                    checksum = checksum.wrapping_add(c as u64).wrapping_add(s);
+                }
+            }
+            (t0.elapsed().as_secs_f64(), latencies, checksum)
+        }
+        "piecelock" => {
+            let plc = Arc::new(PieceLockedCracker::new(
+                data.to_vec(),
+                ParallelStrategy::Stochastic,
+                config,
+                seed,
+            ));
+            run_query_threads(threads, queries, move |q| plc.select_aggregate(q))
+        }
+        "shared" => {
+            let sc = Arc::new(SharedCracker::new(
+                data.to_vec(),
+                ParallelStrategy::Stochastic,
+                config,
+                seed,
+            ));
+            run_query_threads(threads, queries, move |q| sc.select_aggregate(q))
+        }
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+/// Drives `select` from `threads` workers over a strided split of
+/// `queries`, timing each query individually.
+fn run_query_threads(
+    threads: usize,
+    queries: &[QueryRange],
+    select: impl Fn(QueryRange) -> (usize, u64) + Send + Sync,
+) -> (f64, Vec<f64>, u64) {
+    let select = &select;
+    let t0 = Instant::now();
+    let per_thread: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut checksum = 0u64;
+                    for q in queries.iter().skip(t).step_by(threads) {
+                        let q0 = Instant::now();
+                        let (c, s) = select(*q);
+                        latencies.push(q0.elapsed().as_nanos() as f64);
+                        checksum = checksum.wrapping_add(c as u64).wrapping_add(s);
+                    }
+                    (latencies, checksum)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query worker panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut latencies = Vec::new();
+    let mut checksum = 0u64;
+    for (lat, sum) in per_thread {
+        latencies.extend(lat);
+        checksum = checksum.wrapping_add(sum);
+    }
+    (wall, latencies, checksum)
+}
+
+impl ThroughputReport {
+    /// Runs the harness: every workload × strategy × thread count,
+    /// `config.samples` timed runs each (plus checksum cross-checks:
+    /// every strategy must agree on the total result checksum per
+    /// workload).
+    pub fn measure(config: &ThroughputConfig) -> ThroughputReport {
+        assert!(config.samples > 0, "need at least one sample");
+        assert!(config.batch > 0, "need a positive batch size");
+        assert!(config.queries > 0, "need at least one query");
+        assert!(
+            !config.threads.is_empty() && config.threads.iter().all(|t| *t > 0),
+            "need at least one nonzero thread count"
+        );
+        let data = unique_permutation::<u64>(config.n, config.seed);
+        let mut cells = Vec::new();
+        for workload in WORKLOADS {
+            let queries =
+                WorkloadSpec::new(workload_kind(workload), config.n, config.queries, config.seed)
+                    .with_selectivity((config.n / 1_000).max(10))
+                    .generate();
+            let mut checksum_seen: Option<u64> = None;
+            for strategy in STRATEGIES {
+                for &threads in &config.threads {
+                    let mut qps_runs = Vec::with_capacity(config.samples);
+                    let mut p99_runs = Vec::with_capacity(config.samples);
+                    for sample in 0..config.samples {
+                        let (wall, mut latencies, checksum) = run_once(
+                            strategy,
+                            threads,
+                            &data,
+                            &queries,
+                            config.batch,
+                            config.seed.wrapping_add(sample as u64),
+                        );
+                        // Stochastic pivots differ per strategy/seed, but
+                        // the *answers* may not: any checksum divergence
+                        // is a correctness bug, caught here at bench time.
+                        let seen = *checksum_seen.get_or_insert(checksum);
+                        assert_eq!(
+                            seen, checksum,
+                            "{workload}/{strategy}/t{threads}: result checksum diverged"
+                        );
+                        qps_runs.push(queries.len() as f64 / wall.max(1e-12));
+                        p99_runs.push(percentile(&mut latencies, 99.0) / 1_000.0);
+                    }
+                    cells.push(ThroughputCell {
+                        threads,
+                        strategy,
+                        workload,
+                        qps_median: median(qps_runs),
+                        p99_latency_us: median(p99_runs),
+                    });
+                }
+            }
+        }
+        ThroughputReport {
+            config: config.clone(),
+            host_cpus: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            cells,
+        }
+    }
+
+    /// The cell for (threads, strategy, workload), if measured.
+    pub fn cell(&self, threads: usize, strategy: &str, workload: &str) -> Option<&ThroughputCell> {
+        self.cells
+            .iter()
+            .find(|c| c.threads == threads && c.strategy == strategy && c.workload == workload)
+    }
+
+    /// Every threads/strategy/workload combination missing from the
+    /// report (empty = full coverage). The CI throughput-smoke step
+    /// gates on this.
+    pub fn missing_cells(&self) -> Vec<String> {
+        let mut missing = Vec::new();
+        for workload in WORKLOADS {
+            for strategy in STRATEGIES {
+                for &threads in &self.config.threads {
+                    if self.cell(threads, strategy, workload).is_none() {
+                        missing.push(format!("{workload}/{strategy}/t={threads}"));
+                    }
+                }
+            }
+        }
+        missing
+    }
+
+    /// Serializes the report as JSON (hand-rolled, as the workspace
+    /// builds offline without serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"scrack-throughput-bench/v1\",\n");
+        s.push_str(&format!("  \"n\": {},\n", self.config.n));
+        s.push_str(&format!("  \"queries\": {},\n", self.config.queries));
+        s.push_str(&format!("  \"batch_size\": {},\n", self.config.batch));
+        s.push_str(&format!("  \"samples\": {},\n", self.config.samples));
+        s.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        let threads: Vec<String> = self.config.threads.iter().map(|t| t.to_string()).collect();
+        s.push_str(&format!("  \"threads\": [{}],\n", threads.join(", ")));
+        let quoted = |names: &[&str]| -> String {
+            names
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        s.push_str(&format!("  \"strategies\": [{}],\n", quoted(&STRATEGIES)));
+        s.push_str(&format!("  \"workloads\": [{}],\n", quoted(&WORKLOADS)));
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \
+                 \"qps_median\": {:.1}, \"p99_latency_us\": {:.2}}}{}\n",
+                c.workload,
+                c.strategy,
+                c.threads,
+                c.qps_median,
+                c.p99_latency_us,
+                if i + 1 < self.cells.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// A human-readable summary table (markdown).
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str("| workload | strategy | threads | queries/sec | p99 latency (µs) |\n");
+        s.push_str("|---|---|---|---|---|\n");
+        for c in &self.cells {
+            s.push_str(&format!(
+                "| {} | {} | {} | {:.0} | {:.1} |\n",
+                c.workload, c.strategy, c.threads, c.qps_median, c.p99_latency_us
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ThroughputConfig {
+        ThroughputConfig {
+            n: 4_000,
+            queries: 120,
+            batch: 32,
+            samples: 1,
+            threads: vec![1, 2],
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn covers_every_cell_with_finite_numbers() {
+        let r = ThroughputReport::measure(&tiny_config());
+        assert_eq!(r.cells.len(), WORKLOADS.len() * STRATEGIES.len() * 2);
+        assert!(r.missing_cells().is_empty(), "{:?}", r.missing_cells());
+        for c in &r.cells {
+            assert!(c.qps_median.is_finite() && c.qps_median > 0.0, "{c:?}");
+            assert!(c.p99_latency_us.is_finite() && c.p99_latency_us >= 0.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn json_is_structurally_sound_and_complete() {
+        let r = ThroughputReport::measure(&tiny_config());
+        let json = r.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "schema", "n", "queries", "batch_size", "samples", "host_cpus", "threads",
+            "strategies", "workloads", "cells",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        for name in STRATEGIES.iter().chain(WORKLOADS.iter()) {
+            assert!(json.contains(name), "missing {name}");
+        }
+        assert!(!json.contains(",\n  ]"), "trailing comma before ]");
+        assert!(!json.contains(",\n}"), "trailing comma before }}");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&mut xs, 99.0), 99.0);
+        assert_eq!(percentile(&mut xs, 100.0), 100.0);
+        let mut one = vec![42.0];
+        assert_eq!(percentile(&mut one, 99.0), 42.0);
+    }
+}

@@ -4,10 +4,13 @@
 //! experiments [FIGURES...] [--n N] [--queries Q] [--seed S]
 //!             [--out DIR] [--verify] [--quick]
 //!             [--kernel branchy|branchless|auto]
+//!             [--threads N,N,...] [--batch B]
 //!
 //! FIGURES: fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-//!          fig17 fig18 fig19 fig20 | all (default: all)
+//!          fig17 fig18 fig19 fig20 | ext-parallel ... | all (default: all)
 //! --quick: N=10^5, Q=10^3 — smoke-test scale
+//! --threads/--batch: the ext-parallel concurrency sweep's thread counts
+//!                    and BatchScheduler batch size
 //! ```
 
 use scrack_experiments::figures;
@@ -49,12 +52,25 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads takes integers"))
+                    .collect();
+                assert!(!cfg.threads.is_empty(), "--threads needs at least one count");
+            }
+            "--batch" => {
+                i += 1;
+                cfg.batch = args[i].parse().expect("--batch takes an integer");
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [fig2|fig8|...|fig20|ext-updates|\
-                     ext-io|ext-chooser|all]... \
+                     ext-io|ext-chooser|ext-parallel|all]... \
                      [--n N] [--queries Q] [--seed S] [--out DIR] \
-                     [--verify] [--quick] [--kernel branchy|branchless|auto]"
+                     [--verify] [--quick] [--kernel branchy|branchless|auto] \
+                     [--threads N,N,...] [--batch B]"
                 );
                 return;
             }
@@ -73,7 +89,7 @@ fn main() {
             "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
             "fig16",
             "fig17", "fig18", "fig19", "fig20", "ext-updates", "ext-io", "ext-chooser",
-            "ext-metrics",
+            "ext-metrics", "ext-parallel",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -111,6 +127,7 @@ fn main() {
             "ext-io" => figures::ext_io::run(&cfg),
             "ext-chooser" => figures::ext_chooser::run(&cfg),
             "ext-metrics" => figures::ext_metrics::run(&cfg),
+            "ext-parallel" => figures::ext_parallel::run(&cfg),
             other => {
                 eprintln!("unknown figure: {other}");
                 continue;

@@ -25,6 +25,11 @@ pub struct ExpConfig {
     /// every policy; per-query wall-clock differs, so figures can be
     /// regenerated per kernel and compared.
     pub kernel: KernelPolicy,
+    /// Thread counts the concurrency experiment sweeps (`--threads`).
+    pub threads: Vec<usize>,
+    /// Queries per `BatchScheduler` batch in the concurrency experiment
+    /// (`--batch`).
+    pub batch: usize,
 }
 
 impl Default for ExpConfig {
@@ -36,6 +41,8 @@ impl Default for ExpConfig {
             out_dir: None,
             verify: false,
             kernel: KernelPolicy::default(),
+            threads: vec![1, 2, 4],
+            batch: 256,
         }
     }
 }

@@ -1,0 +1,475 @@
+//! Batched, partition-parallel query execution.
+//!
+//! The wrappers in this crate parallelize *within* one query
+//! ([`ShardedCracker`](crate::ShardedCracker)) or serialize concurrent
+//! streams behind locks ([`SharedCracker`](crate::SharedCracker),
+//! [`PieceLockedCracker`](crate::PieceLockedCracker)). A throughput
+//! system gets a third shape: queries arrive in **batches**, and the
+//! scheduler routes each query to the data that can answer it. That is
+//! the coarse-grained parallel adaptive indexing of Alvarez et al.,
+//! *Main Memory Adaptive Indexing for Multi-core Systems* (DaMoN 2014):
+//! range-partition the column once, give every partition its own worker
+//! and work queue, and let partitions crack independently — no locks on
+//! the hot path at all.
+//!
+//! # Design
+//!
+//! At construction the column is split into `shard_count` **key-disjoint
+//! shards** on quantile bounds (introselect over a scratch copy picks the
+//! bounds; the physical split runs the configured
+//! [`KernelPolicy`](scrack_core::KernelPolicy) kernel). Each shard owns
+//! an independent [`CrackedColumn`] plus its own seeded RNG stream.
+//!
+//! [`BatchScheduler::execute`] takes a batch of [`QueryRange`]s and
+//! 1. **routes**: each query is clipped against every overlapping
+//!    shard's key span — the group-by-key-region step; narrow queries
+//!    land on exactly one shard;
+//! 2. **sorts** each shard's queue by clipped bound (queries touching
+//!    the same key region run back to back, cache-warm);
+//! 3. **executes** shard queues in parallel, one scoped worker per
+//!    shard — shards share nothing, so reorganization never contends;
+//! 4. **merges** the per-shard partial aggregates back into one
+//!    `(count, key_sum)` per query, in submission order.
+//!
+//! # Determinism
+//!
+//! Each shard drains its queue in a fixed order with its own RNG, so the
+//! work a shard performs is independent of thread scheduling.
+//! [`BatchScheduler::execute_serial`] replays the identical per-shard
+//! queues on the calling thread; results *and* [`Stats`] are
+//! bit-identical to the parallel path under any interleaving (pinned by
+//! `tests/threaded_determinism.rs`).
+
+use crate::ParallelStrategy;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scrack_core::{CrackConfig, CrackedColumn};
+use scrack_partition::{crack_in_two_policy, select_nth_key};
+use scrack_types::{Element, QueryRange, Stats};
+
+/// One key-range shard: its key span, cracker column, and RNG stream.
+#[derive(Debug)]
+struct BatchShard<E: Element> {
+    /// Keys `k` of this shard satisfy `span.low <= k < span.high`.
+    span: QueryRange,
+    col: CrackedColumn<E>,
+    rng: SmallRng,
+}
+
+impl<E: Element> BatchShard<E> {
+    /// Drains `queue` in order, answering each clipped query against this
+    /// shard; returns `(query_index, count, key_sum)` partials.
+    fn drain(&mut self, queue: &[(usize, QueryRange)], strategy: ParallelStrategy) -> Vec<(usize, usize, u64)> {
+        queue
+            .iter()
+            .map(|&(qi, q)| {
+                let out = match strategy {
+                    ParallelStrategy::Crack => self.col.select_original(q),
+                    ParallelStrategy::Stochastic => self.col.mdd1r_select(q, &mut self.rng),
+                };
+                let (count, sum) = out
+                    .resolve(self.col.data())
+                    .fold((0usize, 0u64), |(c, s), e| (c + 1, s.wrapping_add(e.key())));
+                (qi, count, sum)
+            })
+            .collect()
+    }
+}
+
+/// A batch scheduler over key-range partitioned shards (see module docs).
+///
+/// ```
+/// use scrack_core::CrackConfig;
+/// use scrack_parallel::{BatchScheduler, ParallelStrategy};
+/// use scrack_types::QueryRange;
+///
+/// let data: Vec<u64> = (0..50_000).rev().collect();
+/// let mut sched = BatchScheduler::new(
+///     data, 4, ParallelStrategy::Stochastic, CrackConfig::default(), 7,
+/// );
+/// let batch: Vec<QueryRange> = (0..64u64)
+///     .map(|i| QueryRange::new(i * 700, i * 700 + 350))
+///     .collect();
+/// let results = sched.execute(&batch);
+/// // Per-query results come back in submission order.
+/// assert_eq!(results.len(), batch.len());
+/// assert_eq!(results[0].0, 350);
+/// ```
+#[derive(Debug)]
+pub struct BatchScheduler<E: Element> {
+    shards: Vec<BatchShard<E>>,
+    strategy: ParallelStrategy,
+}
+
+impl<E: Element> BatchScheduler<E> {
+    /// Range-partitions `data` into (up to) `shard_count` key-disjoint
+    /// shards on quantile bounds and prepares one cracker per shard.
+    ///
+    /// Heavily duplicated keys can collapse adjacent quantiles; equal
+    /// bounds merge, so the shard count may come out lower than asked —
+    /// key-disjointness is never violated.
+    ///
+    /// # Panics
+    /// If `shard_count` is zero.
+    pub fn new(
+        mut data: Vec<E>,
+        shard_count: usize,
+        strategy: ParallelStrategy,
+        config: CrackConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        let n = data.len();
+        // Quantile bounds from introselect over a scratch copy: the k-th
+        // smallest key at every 1/shard_count position. Construction-time
+        // cost, deliberately not charged to the query Stats.
+        let mut bounds: Vec<u64> = Vec::new();
+        if shard_count > 1 && n > 1 {
+            let mut scratch = data.clone();
+            let mut scratch_stats = Stats::default();
+            for i in 1..shard_count {
+                let k = i * n / shard_count;
+                if k > 0 && k < n {
+                    bounds.push(select_nth_key(&mut scratch, k, &mut scratch_stats));
+                }
+            }
+            bounds.dedup();
+            bounds.retain(|b| *b > 0);
+        }
+        // Physically split at each bound, left to right, with the
+        // configured kernel; each split peels one shard off the front.
+        let mut shards = Vec::with_capacity(bounds.len() + 1);
+        let mut split_stats = Stats::default();
+        let mut lo = 0u64;
+        let mut i = 0u64;
+        for &b in &bounds {
+            let pos = crack_in_two_policy(&mut data, b, config.kernel, &mut split_stats);
+            let tail = data.split_off(pos);
+            shards.push(BatchShard {
+                span: QueryRange::new(lo, b),
+                col: CrackedColumn::new(data, config),
+                rng: SmallRng::seed_from_u64(seed.wrapping_add(i)),
+            });
+            data = tail;
+            lo = b;
+            i += 1;
+        }
+        shards.push(BatchShard {
+            span: QueryRange::new(lo, u64::MAX),
+            col: CrackedColumn::new(data, config),
+            rng: SmallRng::seed_from_u64(seed.wrapping_add(i)),
+        });
+        Self { shards, strategy }
+    }
+
+    /// [`BatchScheduler::new`] under [`CrackConfig::default`].
+    pub fn new_default(
+        data: Vec<E>,
+        shard_count: usize,
+        strategy: ParallelStrategy,
+        seed: u64,
+    ) -> Self {
+        Self::new(data, shard_count, strategy, CrackConfig::default(), seed)
+    }
+
+    /// Number of shards (may be lower than asked; see [`BatchScheduler::new`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The key span `[low, high)` of every shard, in key order. Spans are
+    /// disjoint and cover `[0, u64::MAX)`.
+    pub fn shard_spans(&self) -> Vec<QueryRange> {
+        self.shards.iter().map(|s| s.span).collect()
+    }
+
+    /// Builds the per-shard work queues for `batch`: route (clip against
+    /// each shard span, dropping empty intersections), then sort each
+    /// queue by clipped bounds so a shard works key regions back to back.
+    fn build_queues(&self, batch: &[QueryRange]) -> Vec<Vec<(usize, QueryRange)>> {
+        let mut queues: Vec<Vec<(usize, QueryRange)>> = vec![Vec::new(); self.shards.len()];
+        for (qi, q) in batch.iter().enumerate() {
+            if q.is_empty() {
+                continue;
+            }
+            for (si, shard) in self.shards.iter().enumerate() {
+                let clipped = q.intersect(&shard.span);
+                if !clipped.is_empty() {
+                    queues[si].push((qi, clipped));
+                }
+            }
+        }
+        for queue in &mut queues {
+            queue.sort_by_key(|&(qi, q)| (q.low, q.high, qi));
+        }
+        queues
+    }
+
+    /// Merges per-shard partials into per-query `(count, key_sum)`
+    /// results in submission order. Queries with no qualifying tuples
+    /// (or empty ranges) come back as `(0, 0)`.
+    fn merge(batch_len: usize, partials: Vec<Vec<(usize, usize, u64)>>) -> Vec<(usize, u64)> {
+        let mut results = vec![(0usize, 0u64); batch_len];
+        for part in partials {
+            for (qi, count, sum) in part {
+                results[qi].0 += count;
+                results[qi].1 = results[qi].1.wrapping_add(sum);
+            }
+        }
+        results
+    }
+
+    /// Executes `batch` partition-parallel: one scoped worker per shard
+    /// drains that shard's queue, then partials merge into per-query
+    /// `(count, key_sum)` results in submission order.
+    pub fn execute(&mut self, batch: &[QueryRange]) -> Vec<(usize, u64)> {
+        let queues = self.build_queues(batch);
+        let strategy = self.strategy;
+        let partials: Vec<Vec<(usize, usize, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(&queues)
+                .map(|(shard, queue)| scope.spawn(move || shard.drain(queue, strategy)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        Self::merge(batch.len(), partials)
+    }
+
+    /// [`BatchScheduler::execute`] on the calling thread: identical
+    /// queues drained in shard order. Answers and [`Stats`] are
+    /// bit-identical to the parallel path — the determinism oracle.
+    pub fn execute_serial(&mut self, batch: &[QueryRange]) -> Vec<(usize, u64)> {
+        let queues = self.build_queues(batch);
+        let strategy = self.strategy;
+        let partials: Vec<Vec<(usize, usize, u64)>> = self
+            .shards
+            .iter_mut()
+            .zip(&queues)
+            .map(|(shard, queue)| shard.drain(queue, strategy))
+            .collect();
+        Self::merge(batch.len(), partials)
+    }
+
+    /// Aggregated physical costs across shards (splitting the column at
+    /// construction is not included).
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        for shard in &self.shards {
+            s += shard.col.stats();
+        }
+        s
+    }
+
+    /// Full integrity check (tests only; O(n)): every shard's cracker
+    /// invariants hold and every key lies inside its shard's span.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        for (i, s) in self.shards.iter().enumerate() {
+            s.col
+                .check_integrity()
+                .map_err(|e| format!("shard {i}: {e}"))?;
+            if let Some(e) = s.col.data().iter().find(|e| !s.span.contains(e.key())) {
+                return Err(format!(
+                    "shard {i}: key {} outside span {}",
+                    e.key(),
+                    s.span
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrack_core::KernelPolicy;
+
+    fn permuted(n: u64) -> Vec<u64> {
+        (0..n).map(|i| (i * 48_271) % n).collect()
+    }
+
+    fn oracle(data: &[u64], q: QueryRange) -> (usize, u64) {
+        data.iter()
+            .filter(|k| q.contains(**k))
+            .fold((0, 0u64), |(c, s), k| (c + 1, s.wrapping_add(*k)))
+    }
+
+    /// A deterministic mixed batch: narrow point-ish queries, wide spans
+    /// crossing shard bounds, and a few empties.
+    fn mixed_batch(n: u64, count: usize, salt: u64) -> Vec<QueryRange> {
+        let mut state = 0x9E37_79B9u64 ^ salt;
+        (0..count)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                match i % 4 {
+                    0 => {
+                        let a = state % n;
+                        QueryRange::new(a, a + 1 + state % 64)
+                    }
+                    1 => {
+                        let a = state % (n / 2);
+                        QueryRange::new(a, a + n / 3) // spans shards
+                    }
+                    2 => QueryRange::new(state % n, state % n), // empty
+                    _ => {
+                        let a = state % n;
+                        QueryRange::new(a, a + 1_000)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_match_oracle_in_submission_order() {
+        let n = 40_000u64;
+        let data = permuted(n);
+        for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
+            let mut sched =
+                BatchScheduler::new(data.clone(), 4, strategy, CrackConfig::default(), 11);
+            for round in 0..4u64 {
+                let batch = mixed_batch(n, 96, round);
+                let results = sched.execute(&batch);
+                assert_eq!(results.len(), batch.len());
+                for (qi, q) in batch.iter().enumerate() {
+                    assert_eq!(
+                        results[qi],
+                        oracle(&data, *q),
+                        "{strategy:?} round {round} query {qi} ({q})"
+                    );
+                }
+            }
+            sched.check_integrity().unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_execution_are_bit_identical() {
+        let n = 30_000u64;
+        let data = permuted(n);
+        for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
+            for kernel in [KernelPolicy::Branchy, KernelPolicy::Branchless] {
+                let config = CrackConfig::default().with_kernel(kernel);
+                let mut par = BatchScheduler::new(data.clone(), 6, strategy, config, 3);
+                let mut ser = BatchScheduler::new(data.clone(), 6, strategy, config, 3);
+                for round in 0..3u64 {
+                    let batch = mixed_batch(n, 64, round);
+                    assert_eq!(
+                        par.execute(&batch),
+                        ser.execute_serial(&batch),
+                        "{strategy:?}/{kernel:?} round {round}: answers"
+                    );
+                }
+                assert_eq!(
+                    par.stats(),
+                    ser.stats(),
+                    "{strategy:?}/{kernel:?}: Stats must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_spans_are_disjoint_and_cover_the_key_space() {
+        let sched = BatchScheduler::new(
+            permuted(10_000),
+            8,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            1,
+        );
+        let spans = sched.shard_spans();
+        assert_eq!(spans.len(), sched.shard_count());
+        assert_eq!(spans[0].low, 0);
+        assert_eq!(spans.last().unwrap().high, u64::MAX);
+        for w in spans.windows(2) {
+            assert_eq!(w[0].high, w[1].low, "spans must chain contiguously");
+            assert!(w[0].low < w[0].high, "spans must be nonempty");
+        }
+        sched.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn duplicate_heavy_data_collapses_shards_but_stays_exact() {
+        // 10 distinct keys over 4000 tuples: most quantile bounds
+        // coincide, so shards merge; answers must stay oracle-equal.
+        let data: Vec<u64> = (0..4_000).map(|i| i % 10).collect();
+        let mut sched = BatchScheduler::new(
+            data.clone(),
+            8,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            2,
+        );
+        assert!(sched.shard_count() <= 8);
+        let batch: Vec<QueryRange> = (0..10u64).map(|v| QueryRange::new(v, v + 1)).collect();
+        let results = sched.execute(&batch);
+        for (qi, q) in batch.iter().enumerate() {
+            assert_eq!(results[qi], oracle(&data, *q), "query {qi}");
+        }
+        sched.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn single_shard_empty_column_and_empty_batch() {
+        let mut one = BatchScheduler::new(
+            permuted(1_000),
+            1,
+            ParallelStrategy::Crack,
+            CrackConfig::default(),
+            1,
+        );
+        assert_eq!(one.shard_count(), 1);
+        assert_eq!(one.execute(&[QueryRange::new(0, 1_000)]), vec![(1_000, 499_500)]);
+        assert_eq!(one.execute(&[]), Vec::new());
+
+        let mut empty: BatchScheduler<u64> =
+            BatchScheduler::new(vec![], 4, ParallelStrategy::Crack, CrackConfig::default(), 1);
+        assert_eq!(empty.execute(&[QueryRange::new(0, 10)]), vec![(0, 0)]);
+        empty.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn more_shards_than_elements() {
+        let mut sched = BatchScheduler::new(
+            vec![5u64, 1, 3],
+            16,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            1,
+        );
+        assert_eq!(sched.execute(&[QueryRange::new(0, 10)]), vec![(3, 9)]);
+        sched.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn repeated_batches_keep_cracking_convergently() {
+        let n = 20_000u64;
+        let data = permuted(n);
+        let mut sched = BatchScheduler::new(
+            data.clone(),
+            4,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            9,
+        );
+        let batch = mixed_batch(n, 128, 0);
+        sched.execute(&batch);
+        let first = sched.stats();
+        sched.execute(&batch);
+        let second = sched.stats().since(&first);
+        assert!(
+            second.touched < first.touched,
+            "repeat batch must touch less: {} vs {}",
+            second.touched,
+            first.touched
+        );
+    }
+}

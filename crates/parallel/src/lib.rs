@@ -18,17 +18,26 @@
 //! * [`PieceLockedCracker`] — §6's "proper fine grained locking": one
 //!   lock per piece, so queries in different key regions crack
 //!   concurrently, with contention shrinking as the index converges.
+//! * [`BatchScheduler`] — throughput execution: batches of queries are
+//!   grouped by key region and run partition-parallel over key-disjoint
+//!   shards with per-shard work queues (Alvarez et al., DaMoN 2014).
 //!
-//! All preserve the workspace-wide invariant: results equal the scan
-//! oracle under any interleaving.
+//! Every wrapper takes a [`scrack_core::CrackConfig`], so the concurrent
+//! paths run the same branchy/branchless reorganization kernels
+//! ([`scrack_core::KernelPolicy`]) as the single-threaded engines;
+//! `new_default` shims keep the pre-config constructor signatures. All
+//! preserve the workspace-wide invariant: results equal the scan oracle
+//! under any interleaving.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod piecelock;
 mod sharded;
 mod shared;
 
+pub use batch::BatchScheduler;
 pub use piecelock::PieceLockedCracker;
 pub use sharded::ShardedCracker;
 pub use shared::SharedCracker;

@@ -85,6 +85,17 @@ impl<E: Element> ShardedCracker<E> {
         Self { shards, strategy }
     }
 
+    /// [`ShardedCracker::new`] under [`CrackConfig::default`] — the
+    /// pre-config constructor signature, kept as a shim.
+    pub fn new_default(
+        data: Vec<E>,
+        shard_count: usize,
+        strategy: ParallelStrategy,
+        seed: u64,
+    ) -> Self {
+        Self::new(data, shard_count, strategy, CrackConfig::default(), seed)
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()

@@ -55,7 +55,8 @@ struct Inner<E: Element> {
 }
 
 impl<E: Element> SharedCracker<E> {
-    /// Wraps `data` for shared use.
+    /// Wraps `data` for shared use; `config.kernel` selects the
+    /// reorganization kernel the slow (cracking) path runs.
     pub fn new(data: Vec<E>, strategy: ParallelStrategy, config: CrackConfig, seed: u64) -> Self {
         Self {
             inner: RwLock::new(Inner {
@@ -64,6 +65,12 @@ impl<E: Element> SharedCracker<E> {
             }),
             strategy,
         }
+    }
+
+    /// [`SharedCracker::new`] under [`CrackConfig::default`] — the
+    /// pre-config constructor signature, kept as a shim.
+    pub fn new_default(data: Vec<E>, strategy: ParallelStrategy, seed: u64) -> Self {
+        Self::new(data, strategy, CrackConfig::default(), seed)
     }
 
     /// Whether `[q.low, q.high)` is answerable without reorganization:

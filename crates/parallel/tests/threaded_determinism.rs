@@ -1,0 +1,243 @@
+//! Multi-threaded determinism: the concurrent wrappers must not let
+//! thread scheduling leak into their physical cost accounting.
+//!
+//! This extends the single-threaded determinism suite
+//! (`crates/core/tests/determinism.rs`) to the `scrack_parallel` layer:
+//! every run here executes real threads, then replays the identical work
+//! single-threaded and asserts **bit-identical final [`Stats`]** (and
+//! oracle-equal answers) under both the `Branchy` and `Branchless`
+//! kernel policies. The three pillars:
+//!
+//! 1. [`BatchScheduler`]: `execute` (one worker thread per shard) vs
+//!    `execute_serial` — per-shard queues are drained in a fixed order
+//!    with per-shard RNG streams, so scheduling cannot matter.
+//! 2. [`ShardedCracker`]: the scoped fan-out vs a hand-rolled serial
+//!    replay of the same shard split and RNG streams.
+//! 3. [`PieceLockedCracker`]: threads confined to key-disjoint regions
+//!    (after a deterministic boundary warmup) vs a serial replay of the
+//!    same regions — piece locks partition the work, so per-region cost
+//!    is interleaving-invariant.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scrack_core::{CrackConfig, CrackedColumn, KernelPolicy};
+use scrack_parallel::{BatchScheduler, ParallelStrategy, PieceLockedCracker, ShardedCracker};
+use scrack_types::{QueryRange, Stats};
+use std::sync::Arc;
+
+const SEED: u64 = 0x2012_DE7E;
+
+/// A fixed random-order column (keys `0..n`, xorshift Fisher–Yates).
+fn column(n: u64) -> Vec<u64> {
+    let mut data: Vec<u64> = (0..n).collect();
+    let mut state = 0x853C_49E6_748F_EA9Bu64;
+    for i in (1..data.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        data.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    data
+}
+
+fn oracle(data: &[u64], q: QueryRange) -> (usize, u64) {
+    data.iter()
+        .filter(|k| q.contains(**k))
+        .fold((0, 0u64), |(c, s), k| (c + 1, s.wrapping_add(*k)))
+}
+
+/// A deterministic mixed batch confined to keys `[lo, hi)`: narrow
+/// selects, wide scans, and the occasional empty range.
+fn mixed_batch(lo: u64, hi: u64, count: usize, salt: u64) -> Vec<QueryRange> {
+    let span = hi - lo;
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ salt.wrapping_mul(0x100_0000_01B3);
+    (0..count)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let a = lo + state % span;
+            let w = match i % 3 {
+                0 => 1 + state % 32,        // narrow
+                1 => span / 4,              // wide
+                _ => 0,                     // empty
+            };
+            QueryRange::new(a, (a + w).min(hi))
+        })
+        .collect()
+}
+
+const POLICIES: [KernelPolicy; 2] = [KernelPolicy::Branchy, KernelPolicy::Branchless];
+
+#[test]
+fn batch_scheduler_threads_match_serial_replay_bitwise() {
+    let n = 40_000u64;
+    let data = column(n);
+    for kernel in POLICIES {
+        for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
+            let config = CrackConfig::default().with_kernel(kernel);
+            let mut threaded = BatchScheduler::new(data.clone(), 4, strategy, config, SEED);
+            let mut serial = BatchScheduler::new(data.clone(), 4, strategy, config, SEED);
+            for round in 0..5u64 {
+                let batch = mixed_batch(0, n, 80, round);
+                let got = threaded.execute(&batch);
+                assert_eq!(
+                    got,
+                    serial.execute_serial(&batch),
+                    "{kernel:?}/{strategy:?} round {round}: answers diverged"
+                );
+                for (qi, q) in batch.iter().enumerate() {
+                    assert_eq!(got[qi], oracle(&data, *q), "round {round} query {qi}");
+                }
+            }
+            assert_eq!(
+                threaded.stats(),
+                serial.stats(),
+                "{kernel:?}/{strategy:?}: Stats must be bit-identical"
+            );
+            threaded.check_integrity().unwrap();
+        }
+    }
+}
+
+#[test]
+fn sharded_cracker_threads_match_serial_replay_bitwise() {
+    let n = 32_000u64;
+    let shards = 4usize;
+    let data = column(n);
+    for kernel in POLICIES {
+        for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
+            let config = CrackConfig::default().with_kernel(kernel);
+            let queries = mixed_batch(0, n, 120, 7);
+
+            // Threaded run: every select fans out over `shards` scoped
+            // threads inside ShardedCracker.
+            let mut sc = ShardedCracker::new(data.clone(), shards, strategy, config, SEED);
+            let threaded_answers: Vec<(usize, u64)> =
+                queries.iter().map(|q| sc.select_aggregate(*q)).collect();
+
+            // Serial replay: the same chunk split (ShardedCracker's
+            // contract: near-equal front-to-back chunks, shard i seeded
+            // SEED + i), each shard drained on this thread.
+            let per = data.len().div_ceil(shards);
+            let mut cols: Vec<(CrackedColumn<u64>, SmallRng)> = data
+                .chunks(per)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    (
+                        CrackedColumn::new(chunk.to_vec(), config),
+                        SmallRng::seed_from_u64(SEED.wrapping_add(i as u64)),
+                    )
+                })
+                .collect();
+            let serial_answers: Vec<(usize, u64)> = queries
+                .iter()
+                .map(|q| {
+                    let mut count = 0usize;
+                    let mut sum = 0u64;
+                    for (col, rng) in &mut cols {
+                        let out = match strategy {
+                            ParallelStrategy::Crack => col.select_original(*q),
+                            ParallelStrategy::Stochastic => col.mdd1r_select(*q, rng),
+                        };
+                        for e in out.resolve(col.data()) {
+                            count += 1;
+                            sum = sum.wrapping_add(e);
+                        }
+                    }
+                    (count, sum)
+                })
+                .collect();
+
+            assert_eq!(
+                threaded_answers, serial_answers,
+                "{kernel:?}/{strategy:?}: answers diverged"
+            );
+            for (qi, q) in queries.iter().enumerate() {
+                assert_eq!(threaded_answers[qi], oracle(&data, *q), "query {qi}");
+            }
+            let serial_stats = cols.iter().fold(Stats::new(), |acc, (col, _)| {
+                acc + col.stats()
+            });
+            assert_eq!(
+                sc.stats(),
+                serial_stats,
+                "{kernel:?}/{strategy:?}: Stats must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn piece_locked_regions_match_serial_replay_bitwise() {
+    // Thread r owns key region [r*W, (r+1)*W). A deterministic warmup
+    // cracks every region boundary first, so piece locks partition the
+    // work: thread r only ever touches pieces inside its region, and the
+    // total Stats is the (interleaving-invariant) sum of per-region
+    // costs. The Crack strategy is used because it is RNG-free; the
+    // stochastic path draws from one shared RNG stream, whose handout
+    // order legitimately depends on scheduling.
+    let n = 32_000u64;
+    let regions = 4u64;
+    let width = n / regions;
+    let data = column(n);
+    let batches: Vec<Vec<QueryRange>> = (0..regions)
+        .map(|r| mixed_batch(r * width, (r + 1) * width, 100, r))
+        .collect();
+
+    for kernel in POLICIES {
+        let config = CrackConfig::default().with_kernel(kernel);
+        let run = |threaded: bool| -> (Vec<Vec<(usize, u64)>>, Stats) {
+            let plc = Arc::new(PieceLockedCracker::new(
+                data.clone(),
+                ParallelStrategy::Crack,
+                config,
+                SEED,
+            ));
+            for r in 1..regions {
+                plc.select_aggregate(QueryRange::new(0, r * width));
+            }
+            let answers: Vec<Vec<(usize, u64)>> = if threaded {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = batches
+                        .iter()
+                        .map(|batch| {
+                            let plc = Arc::clone(&plc);
+                            scope.spawn(move || {
+                                batch.iter().map(|q| plc.select_aggregate(*q)).collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("region worker panicked"))
+                        .collect()
+                })
+            } else {
+                batches
+                    .iter()
+                    .map(|batch| batch.iter().map(|q| plc.select_aggregate(*q)).collect())
+                    .collect()
+            };
+            plc.check_integrity().unwrap();
+            (answers, plc.stats())
+        };
+
+        let (threaded_answers, threaded_stats) = run(true);
+        let (serial_answers, serial_stats) = run(false);
+        assert_eq!(threaded_answers, serial_answers, "{kernel:?}: answers diverged");
+        assert_eq!(
+            threaded_stats, serial_stats,
+            "{kernel:?}: Stats must be bit-identical"
+        );
+        for (r, batch) in batches.iter().enumerate() {
+            for (qi, q) in batch.iter().enumerate() {
+                assert_eq!(
+                    threaded_answers[r][qi],
+                    oracle(&data, *q),
+                    "region {r} query {qi}"
+                );
+            }
+        }
+    }
+}

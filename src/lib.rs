@@ -98,6 +98,89 @@ pub mod updates {
 }
 
 /// Parallel cracking ([`scrack_parallel`]).
+///
+/// Four concurrency shapes, all config-aware (the [`CrackConfig`]
+/// kernel policy selects the branchy/branchless reorganization kernels
+/// on the concurrent paths too) and all oracle-equal under any
+/// interleaving.
+///
+/// [`ShardedCracker`] — one query fans out over independently cracked
+/// shards:
+///
+/// ```
+/// use stochastic_cracking::prelude::*;
+///
+/// let data: Vec<u64> = unique_permutation(2_000, 3);
+/// let mut sc = ShardedCracker::new(
+///     data.clone(), 4, ParallelStrategy::Stochastic, CrackConfig::default(), 3,
+/// );
+/// let q = QueryRange::new(250, 750);
+/// let oracle = Oracle::new(&data);
+/// assert_eq!(sc.select_aggregate(q), (oracle.count(q), oracle.checksum(q)));
+/// ```
+///
+/// [`SharedCracker`] — many threads share one locked column; hot ranges
+/// take a read-only fast path:
+///
+/// ```
+/// use stochastic_cracking::prelude::*;
+/// use std::sync::Arc;
+///
+/// let data: Vec<u64> = unique_permutation(2_000, 3);
+/// let oracle = Oracle::new(&data);
+/// let sc = Arc::new(SharedCracker::new(
+///     data, ParallelStrategy::Stochastic, CrackConfig::default(), 3,
+/// ));
+/// let handles: Vec<_> = (0..4u64)
+///     .map(|t| {
+///         let sc = Arc::clone(&sc);
+///         std::thread::spawn(move || sc.select_aggregate(QueryRange::new(t * 400, t * 400 + 200)))
+///     })
+///     .collect();
+/// for (t, h) in handles.into_iter().enumerate() {
+///     let q = QueryRange::new(t as u64 * 400, t as u64 * 400 + 200);
+///     assert_eq!(h.join().unwrap(), (oracle.count(q), oracle.checksum(q)));
+/// }
+/// ```
+///
+/// [`PieceLockedCracker`] — §6's fine-grained locking, one lock per
+/// piece:
+///
+/// ```
+/// use stochastic_cracking::prelude::*;
+///
+/// let data: Vec<u64> = unique_permutation(2_000, 3);
+/// let oracle = Oracle::new(&data);
+/// let plc = PieceLockedCracker::new(
+///     data, ParallelStrategy::Crack,
+///     CrackConfig::default().with_kernel(KernelPolicy::Branchless), 3,
+/// );
+/// let q = QueryRange::new(100, 900);
+/// assert_eq!(plc.select_aggregate(q), (oracle.count(q), oracle.checksum(q)));
+/// ```
+///
+/// [`BatchScheduler`] — throughput shape: batches run partition-parallel
+/// over key-disjoint shards, results in submission order:
+///
+/// ```
+/// use stochastic_cracking::prelude::*;
+///
+/// let data: Vec<u64> = unique_permutation(2_000, 3);
+/// let oracle = Oracle::new(&data);
+/// let mut sched = BatchScheduler::new(
+///     data, 4, ParallelStrategy::Stochastic, CrackConfig::default(), 3,
+/// );
+/// let batch: Vec<QueryRange> = (0..16u64).map(|i| QueryRange::new(i * 120, i * 120 + 60)).collect();
+/// for (i, got) in sched.execute(&batch).into_iter().enumerate() {
+///     assert_eq!(got, (oracle.count(batch[i]), oracle.checksum(batch[i])));
+/// }
+/// ```
+///
+/// [`ShardedCracker`]: scrack_parallel::ShardedCracker
+/// [`SharedCracker`]: scrack_parallel::SharedCracker
+/// [`PieceLockedCracker`]: scrack_parallel::PieceLockedCracker
+/// [`BatchScheduler`]: scrack_parallel::BatchScheduler
+/// [`CrackConfig`]: scrack_core::CrackConfig
 pub mod parallel {
     pub use scrack_parallel::*;
 }
@@ -113,7 +196,7 @@ pub mod prelude {
     };
     pub use scrack_hybrids::{HybridEngine, HybridKind};
     pub use scrack_parallel::{
-        ParallelStrategy, PieceLockedCracker, ShardedCracker, SharedCracker,
+        BatchScheduler, ParallelStrategy, PieceLockedCracker, ShardedCracker, SharedCracker,
     };
     pub use scrack_sideways::{BudgetedSideways, CrackerMap, MapStrategy, SidewaysCracker};
     pub use scrack_types::{CacheProfile, Element, QueryRange, Stats, Tuple};
