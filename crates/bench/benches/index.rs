@@ -1,7 +1,7 @@
-//! Criterion benches for the cracker index (AVL tree).
+//! Criterion benches for the cracker index, AVL vs flat representation.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use scrack_index::{AvlTree, CrackerIndex};
+use scrack_index::{AvlTree, CrackerIndex, FlatIndex, IndexPolicy};
 
 fn crack_positions(n: usize) -> Vec<(u64, usize)> {
     // Pseudo-random insertion order of n cracks over a 10^8 key space.
@@ -11,6 +11,21 @@ fn crack_positions(n: usize) -> Vec<(u64, usize)> {
             (k, (k / 2) as usize)
         })
         .collect()
+}
+
+/// A converged cracker index with `n` cracks on the given representation.
+fn built_index(n: usize, policy: IndexPolicy) -> CrackerIndex<()> {
+    let mut idx: CrackerIndex<()> = CrackerIndex::with_policy(50_000_000, policy);
+    let mut sorted = crack_positions(n);
+    sorted.sort_unstable();
+    sorted.dedup_by_key(|(k, _)| *k);
+    let mut floor = 0usize;
+    for (k, p) in &sorted {
+        let p = (*p).max(floor);
+        floor = p;
+        idx.add_crack(*k, p);
+    }
+    idx
 }
 
 fn bench_insert(c: &mut Criterion) {
@@ -27,39 +42,54 @@ fn bench_insert(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    c.bench_function("flat/insert_10k", |b| {
+        b.iter_batched_ref(
+            FlatIndex::<()>::new,
+            |f| {
+                for (k, p) in &cracks {
+                    f.insert(*k, *p, ());
+                }
+                f.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
 }
 
 fn bench_piece_lookup(c: &mut Criterion) {
-    let cracks = crack_positions(10_000);
-    let mut idx: CrackerIndex<()> = CrackerIndex::new(50_000_000);
-    let mut sorted = cracks.clone();
-    sorted.sort_unstable();
-    sorted.dedup_by_key(|(k, _)| *k);
-    let mut floor = 0usize;
-    for (k, p) in &sorted {
-        let p = (*p).max(floor);
-        floor = p;
-        idx.add_crack(*k, p);
-    }
     let probes: Vec<u64> = (0..1024u64).map(|i| (i * 97_657) % 100_000_000).collect();
-    c.bench_function("cracker_index/piece_containing_x1024", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for p in &probes {
-                acc ^= idx.piece_containing(*p).start;
-            }
-            acc
-        })
-    });
+    for policy in IndexPolicy::ALL {
+        let idx = built_index(10_000, policy);
+        c.bench_function(format!("cracker_index/{policy}/piece_containing_x1024"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for p in &probes {
+                    acc ^= idx.piece_containing(*p).start;
+                }
+                acc
+            })
+        });
+    }
+}
+
+fn bench_piece_iteration(c: &mut Criterion) {
+    for policy in IndexPolicy::ALL {
+        let idx = built_index(10_000, policy);
+        c.bench_function(format!("cracker_index/{policy}/iter_pieces_10k"), |b| {
+            b.iter(|| idx.iter_pieces().map(|p| p.len()).sum::<usize>())
+        });
+    }
 }
 
 fn bench_neighbor_queries(c: &mut Criterion) {
     let cracks = crack_positions(10_000);
+    let probes: Vec<u64> = (0..1024u64).map(|i| (i * 31_337) % 100_000_000).collect();
     let mut t: AvlTree<()> = AvlTree::new();
+    let mut f: FlatIndex<()> = FlatIndex::new();
     for (k, p) in &cracks {
         t.insert(*k, *p, ());
+        f.insert(*k, *p, ());
     }
-    let probes: Vec<u64> = (0..1024u64).map(|i| (i * 31_337) % 100_000_000).collect();
     c.bench_function("avl/pred_succ_x1024", |b| {
         b.iter(|| {
             let mut acc = 0u64;
@@ -74,12 +104,27 @@ fn bench_neighbor_queries(c: &mut Criterion) {
             acc
         })
     });
+    c.bench_function("flat/pred_succ_x1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &probes {
+                if let Some(id) = f.predecessor_or_equal(*p) {
+                    acc ^= f.key(id);
+                }
+                if let Some(id) = f.successor_strict(*p) {
+                    acc ^= f.key(id);
+                }
+            }
+            acc
+        })
+    });
 }
 
 criterion_group!(
     benches,
     bench_insert,
     bench_piece_lookup,
+    bench_piece_iteration,
     bench_neighbor_queries
 );
 criterion_main!(benches);

@@ -1,19 +1,21 @@
-//! The concurrency throughput reporter.
+//! The end-to-end query-latency reporter.
 //!
 //! ```text
-//! scrack_throughput [--threads N,N,...] [--n N] [--queries Q]
-//!                   [--batch B] [--samples K] [--index avl|flat]
-//!                   [--smoke] [--json PATH] [--check]
+//! scrack_latency [--n N] [--queries Q] [--samples K]
+//!                [--index avl|flat] [--smoke] [--json PATH] [--check]
 //! ```
 //!
-//! Sweeps `threads × strategy × workload` over the `scrack_parallel`
-//! wrappers and prints a summary table; `--json PATH` also writes the
-//! machine-readable report committed as `BENCH_3.json`. `--check` exits
-//! nonzero if any threads/strategy/workload cell is missing — the CI
-//! throughput-smoke gate (coverage only, never a perf threshold: CI
-//! boxes are too noisy to gate on queries/sec).
+//! Sweeps `engine × workload × index policy` over single-threaded query
+//! sequences (the paper's central per-query/cumulative-time figure) plus
+//! a piece-lookup microbench at fixed crack counts, and prints a summary
+//! table; `--json PATH` also writes the machine-readable report
+//! committed as `BENCH_4.json`. `--index` restricts the sweep to one
+//! policy. `--check` exits nonzero if any engine/workload/policy or
+//! lookup cell is missing — the CI latency-smoke gate (coverage only,
+//! never a perf threshold: CI boxes are too noisy to gate on latency).
 
-use scrack_bench::throughput_report::{ThroughputConfig, ThroughputReport};
+use scrack_bench::latency_report::{LatencyConfig, LatencyReport};
+use scrack_core::IndexPolicy;
 use std::io::Write as _;
 
 /// The flag's value operand, or a usage error (exit 2) if it is missing.
@@ -26,19 +28,12 @@ fn value_of<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = ThroughputConfig::default();
+    let mut cfg = LatencyConfig::default();
     let mut json_path: Option<String> = None;
     let mut check = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--threads" => {
-                i += 1;
-                cfg.threads = value_of(&args, i, "--threads")
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("--threads takes integers"))
-                    .collect();
-            }
             "--n" => {
                 i += 1;
                 cfg.n = value_of(&args, i, "--n").parse().expect("--n takes an integer");
@@ -49,12 +44,6 @@ fn main() {
                     .parse()
                     .expect("--queries takes an integer");
             }
-            "--batch" => {
-                i += 1;
-                cfg.batch = value_of(&args, i, "--batch")
-                    .parse()
-                    .expect("--batch takes an integer");
-            }
             "--samples" => {
                 i += 1;
                 cfg.samples = value_of(&args, i, "--samples")
@@ -63,21 +52,19 @@ fn main() {
             }
             "--index" => {
                 i += 1;
-                cfg.index = scrack_core::IndexPolicy::parse(value_of(&args, i, "--index"))
-                    .unwrap_or_else(|| {
-                        eprintln!("--index takes avl|flat, got {}", args[i]);
-                        std::process::exit(2);
-                    });
+                let policy = IndexPolicy::parse(value_of(&args, i, "--index")).unwrap_or_else(|| {
+                    eprintln!("--index takes avl|flat, got {}", args[i]);
+                    std::process::exit(2);
+                });
+                cfg.policies = vec![policy];
             }
             "--smoke" => {
-                // Smoke scale: small column, short stream, two thread
-                // counts, one sample — seconds, not minutes, and still
-                // one cell per threads/strategy/workload combination.
+                // Smoke scale: small column, short sequence, one sample —
+                // seconds, not minutes, and still one cell for every
+                // engine/workload/policy combination.
                 cfg.n = 50_000;
-                cfg.queries = 500;
-                cfg.batch = 64;
+                cfg.queries = 1_000;
                 cfg.samples = 1;
-                cfg.threads = vec![1, 2];
             }
             "--json" => {
                 i += 1;
@@ -86,8 +73,7 @@ fn main() {
             "--check" => check = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: scrack_throughput [--threads N,N,...] [--n N] \
-                     [--queries Q] [--batch B] [--samples K] \
+                    "usage: scrack_latency [--n N] [--queries Q] [--samples K] \
                      [--index avl|flat] [--smoke] [--json PATH] [--check]"
                 );
                 return;
@@ -101,23 +87,22 @@ fn main() {
     }
 
     eprintln!(
-        "measuring {} workloads x {} strategies x {:?} threads, \
-         N={}, Q={}, batch={}, {} sample(s) each ...",
-        scrack_bench::throughput_report::WORKLOADS.len(),
-        scrack_bench::throughput_report::STRATEGIES.len(),
-        cfg.threads,
+        "measuring {} engines x {} workloads x {} index policies, \
+         N={}, Q={}, {} sample(s) each ...",
+        scrack_bench::latency_report::ENGINES.len(),
+        scrack_bench::latency_report::WORKLOADS.len(),
+        cfg.policies.len(),
         cfg.n,
         cfg.queries,
-        cfg.batch,
         cfg.samples,
     );
-    let report = ThroughputReport::measure(&cfg);
+    let report = LatencyReport::measure(&cfg);
 
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     let _ = writeln!(
         lock,
-        "# Throughput bench — median queries/sec ({} host CPUs)\n",
+        "# Query-latency bench — per-query and cumulative time ({} host CPUs)\n",
         report.host_cpus
     );
     let _ = writeln!(lock, "{}", report.render_table());
@@ -135,9 +120,10 @@ fn main() {
         }
         let _ = writeln!(
             lock,
-            "coverage check passed: {} cells, all threads/strategy/workload \
-             combinations present",
-            report.cells.len()
+            "coverage check passed: {} latency cells + {} lookup cells, all \
+             engine/workload/policy combinations present",
+            report.cells.len(),
+            report.lookup.len()
         );
     }
 }

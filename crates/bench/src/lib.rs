@@ -5,19 +5,22 @@
 //! * `partition` — the reorganization kernel primitives;
 //! * `kernels` — branchy vs branchless kernel variants, per size and
 //!   selectivity;
-//! * `index` — cracker-index (AVL) operations;
+//! * `index` — cracker-index operations, AVL vs flat representation;
 //! * `engines` — whole-select costs per strategy;
 //! * `figures` — scaled-down regenerations of the paper's figures, so
 //!   `cargo bench` exercises every experiment path end to end.
 //!
 //! The `scrack_bench` binary (`src/bin/scrack_bench.rs`) runs the
-//! [`kernels_report`] harness and the `scrack_throughput` binary
-//! (`src/bin/scrack_throughput.rs`) the [`throughput_report`] harness;
-//! both write machine-readable `BENCH_*.json` perf baselines.
+//! [`kernels_report`] harness, the `scrack_throughput` binary
+//! (`src/bin/scrack_throughput.rs`) the [`throughput_report`] harness,
+//! and the `scrack_latency` binary (`src/bin/scrack_latency.rs`) the
+//! [`latency_report`] harness; all write machine-readable
+//! `BENCH_*.json` perf baselines.
 
 #![forbid(unsafe_code)]
 
 pub mod kernels_report;
+pub mod latency_report;
 pub mod throughput_report;
 
 use scrack_types::QueryRange;

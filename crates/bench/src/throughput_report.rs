@@ -23,7 +23,7 @@
 //! same `(count, key_sum)` aggregates the parallel crate's tests pin
 //! against the scan oracle.
 
-use scrack_core::CrackConfig;
+use scrack_core::{CrackConfig, IndexPolicy};
 use scrack_parallel::{BatchScheduler, ParallelStrategy, PieceLockedCracker, SharedCracker};
 use scrack_types::QueryRange;
 use scrack_workloads::data::unique_permutation;
@@ -55,6 +55,8 @@ pub struct ThroughputConfig {
     pub threads: Vec<usize>,
     /// RNG seed for data and workloads.
     pub seed: u64,
+    /// Cracker-index representation the wrappers' columns run on.
+    pub index: IndexPolicy,
 }
 
 impl Default for ThroughputConfig {
@@ -66,6 +68,7 @@ impl Default for ThroughputConfig {
             samples: 3,
             threads: DEFAULT_THREADS.to_vec(),
             seed: 0xBE7C,
+            index: IndexPolicy::default(),
         }
     }
 }
@@ -132,8 +135,9 @@ fn run_once(
     queries: &[QueryRange],
     batch: usize,
     seed: u64,
+    index: IndexPolicy,
 ) -> (f64, Vec<f64>, u64) {
-    let config = CrackConfig::default();
+    let config = CrackConfig::default().with_index(index);
     match strategy {
         "batch" => {
             let mut sched = BatchScheduler::new(
@@ -251,6 +255,7 @@ impl ThroughputReport {
                             &queries,
                             config.batch,
                             config.seed.wrapping_add(sample as u64),
+                            config.index,
                         );
                         // Stochastic pivots differ per strategy/seed, but
                         // the *answers* may not: any checksum divergence
@@ -314,6 +319,7 @@ impl ThroughputReport {
         s.push_str(&format!("  \"queries\": {},\n", self.config.queries));
         s.push_str(&format!("  \"batch_size\": {},\n", self.config.batch));
         s.push_str(&format!("  \"samples\": {},\n", self.config.samples));
+        s.push_str(&format!("  \"index_policy\": \"{}\",\n", self.config.index));
         s.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
         let threads: Vec<String> = self.config.threads.iter().map(|t| t.to_string()).collect();
         s.push_str(&format!("  \"threads\": [{}],\n", threads.join(", ")));
@@ -370,6 +376,7 @@ mod tests {
             samples: 1,
             threads: vec![1, 2],
             seed: 7,
+            index: IndexPolicy::default(),
         }
     }
 

@@ -1,5 +1,6 @@
 //! Tuning knobs shared by all cracking engines.
 
+use scrack_index::IndexPolicy;
 use scrack_partition::KernelPolicy;
 use scrack_types::CacheProfile;
 
@@ -23,6 +24,12 @@ use scrack_types::CacheProfile;
 /// Both produce bit-identical results and cost counters, so this is a
 /// pure wall-clock knob; the default `Auto` takes the branchless path for
 /// pieces past `scrack_partition::AUTO_BRANCHLESS_THRESHOLD`.
+///
+/// The **index policy** selects the cracker-index representation the
+/// engines navigate: the cache-conscious flat sorted-array directory
+/// (default) or the paper's AVL tree, kept for differential testing.
+/// Like the kernel policy, this is a pure wall-clock knob — crack
+/// boundaries, piece metadata and `Stats` are bit-identical under both.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CrackConfig {
     /// Cache sizes the defaults are derived from.
@@ -33,6 +40,8 @@ pub struct CrackConfig {
     pub progressive_threshold_override: Option<usize>,
     /// Which reorganization-kernel implementation the engines run.
     pub kernel: KernelPolicy,
+    /// Which cracker-index representation the engines navigate.
+    pub index: IndexPolicy,
 }
 
 impl CrackConfig {
@@ -67,6 +76,12 @@ impl CrackConfig {
         self.kernel = kernel;
         self
     }
+
+    /// Convenience: a config with an explicit index policy.
+    pub fn with_index(mut self, index: IndexPolicy) -> Self {
+        self.index = index;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +109,12 @@ mod tests {
         assert_eq!(CrackConfig::default().kernel, KernelPolicy::Auto);
         let c = CrackConfig::default().with_kernel(KernelPolicy::Branchless);
         assert_eq!(c.kernel, KernelPolicy::Branchless);
+    }
+
+    #[test]
+    fn index_policy_defaults_to_flat_and_overrides() {
+        assert_eq!(CrackConfig::default().index, IndexPolicy::Flat);
+        let c = CrackConfig::default().with_index(IndexPolicy::Avl);
+        assert_eq!(c.index, IndexPolicy::Avl);
     }
 }

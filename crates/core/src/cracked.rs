@@ -38,9 +38,10 @@ pub struct CrackedColumn<E: Element> {
 }
 
 impl<E: Element> CrackedColumn<E> {
-    /// Takes ownership of `data` as a single uncracked piece.
+    /// Takes ownership of `data` as a single uncracked piece; the cracker
+    /// index runs on `config.index`'s representation.
     pub fn new(data: Vec<E>, config: CrackConfig) -> Self {
-        let index = CrackerIndex::new(data.len());
+        let index = CrackerIndex::with_policy(data.len(), config.index);
         Self {
             data,
             index,
@@ -95,9 +96,8 @@ impl<E: Element> CrackedColumn<E> {
     /// update experiment uses).
     pub fn has_active_jobs(&self) -> bool {
         self.index
-            .pieces()
-            .iter()
-            .any(|p| self.index.piece_meta(p).job.is_some())
+            .iter_pieces()
+            .any(|p| self.index.piece_meta(&p).job.is_some())
     }
 
     /// Full-column invariant check: every piece's keys lie within its
@@ -114,7 +114,7 @@ impl<E: Element> CrackedColumn<E> {
                 self.data.len()
             ));
         }
-        for piece in self.index.pieces() {
+        for piece in self.index.iter_pieces() {
             for (i, e) in self.data[piece.start..piece.end].iter().enumerate() {
                 let k = e.key();
                 if let Some(lo) = piece.lo_key {
@@ -712,8 +712,7 @@ mod tests {
         // that cracks came from data-driven pivots, not from bounds).
         let bound_cracks = col
             .index()
-            .tree()
-            .iter_asc()
+            .iter_cracks()
             .filter(|(k, _, _)| k % 190 == 0 || (k + 200) % 190 == 0)
             .count();
         let total = col.index().crack_count();
@@ -760,7 +759,7 @@ mod tests {
         let mut col = column_with(4096, 256);
         col.ddc_crack(10);
         // Median cracks at 2048, 1024, 512, 256(ish) + the bound crack.
-        let cracks: Vec<u64> = col.index().tree().iter_asc().map(|(k, _, _)| k).collect();
+        let cracks: Vec<u64> = col.index().iter_cracks().map(|(k, _, _)| k).collect();
         assert!(
             cracks.contains(&2048),
             "first median split missing: {cracks:?}"
@@ -777,7 +776,7 @@ mod tests {
         col.dd1c_crack(10);
         // One median crack + one bound crack.
         assert_eq!(col.index().crack_count(), 2);
-        let cracks: Vec<u64> = col.index().tree().iter_asc().map(|(k, _, _)| k).collect();
+        let cracks: Vec<u64> = col.index().iter_cracks().map(|(k, _, _)| k).collect();
         assert_eq!(cracks, vec![10, 2048]);
     }
 

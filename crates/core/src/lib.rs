@@ -51,8 +51,9 @@ mod selective;
 
 pub use baseline::{ScanEngine, SortEngine};
 pub use config::CrackConfig;
-// Re-exported so engine construction sites can name the kernel policy
-// without depending on `scrack_partition` directly.
+// Re-exported so engine construction sites can name the kernel and index
+// policies without depending on the substrate crates directly.
+pub use scrack_index::IndexPolicy;
 pub use scrack_partition::KernelPolicy;
 pub use cracked::CrackedColumn;
 pub use engine::Engine;

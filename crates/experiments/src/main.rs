@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [FIGURES...] [--n N] [--queries Q] [--seed S]
 //!             [--out DIR] [--verify] [--quick]
-//!             [--kernel branchy|branchless|auto]
+//!             [--kernel branchy|branchless|auto] [--index avl|flat]
 //!             [--threads N,N,...] [--batch B]
 //!
 //! FIGURES: fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
@@ -52,6 +52,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--index" => {
+                i += 1;
+                let value = args.get(i).map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("--index requires a value (avl|flat)");
+                    std::process::exit(2);
+                });
+                cfg.index = scrack_core::IndexPolicy::parse(value).unwrap_or_else(|| {
+                    eprintln!("--index takes avl|flat, got {value}");
+                    std::process::exit(2);
+                });
+            }
             "--threads" => {
                 i += 1;
                 cfg.threads = args[i]
@@ -70,7 +81,7 @@ fn main() {
                      ext-io|ext-chooser|ext-parallel|all]... \
                      [--n N] [--queries Q] [--seed S] [--out DIR] \
                      [--verify] [--quick] [--kernel branchy|branchless|auto] \
-                     [--threads N,N,...] [--batch B]"
+                     [--index avl|flat] [--threads N,N,...] [--batch B]"
                 );
                 return;
             }
@@ -102,8 +113,8 @@ fn main() {
         lock,
         "# Stochastic Database Cracking — experiment run\n\n\
          Reproduction of Halim et al., VLDB 2012. Scale: N={}, Q={}, \
-         seed={}, verify={}, kernel={}.\n",
-        cfg.n, cfg.queries, cfg.seed, cfg.verify, cfg.kernel
+         seed={}, verify={}, kernel={}, index={}.\n",
+        cfg.n, cfg.queries, cfg.seed, cfg.verify, cfg.kernel, cfg.index
     );
     for fig in &figures_wanted {
         let t0 = std::time::Instant::now();

@@ -1,6 +1,6 @@
 //! Timed query-sequence execution.
 
-use scrack_core::{CrackConfig, Engine, KernelPolicy, Oracle};
+use scrack_core::{CrackConfig, Engine, IndexPolicy, KernelPolicy, Oracle};
 use scrack_types::{Element, QueryRange, Stats};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -25,6 +25,10 @@ pub struct ExpConfig {
     /// every policy; per-query wall-clock differs, so figures can be
     /// regenerated per kernel and compared.
     pub kernel: KernelPolicy,
+    /// Cracker-index representation the engines navigate
+    /// (`--index avl|flat`). Like the kernel policy, a pure wall-clock
+    /// knob: results are bit-identical under both.
+    pub index: IndexPolicy,
     /// Thread counts the concurrency experiment sweeps (`--threads`).
     pub threads: Vec<usize>,
     /// Queries per `BatchScheduler` batch in the concurrency experiment
@@ -41,6 +45,7 @@ impl Default for ExpConfig {
             out_dir: None,
             verify: false,
             kernel: KernelPolicy::default(),
+            index: IndexPolicy::default(),
             threads: vec![1, 2, 4],
             batch: 256,
         }
@@ -49,10 +54,12 @@ impl Default for ExpConfig {
 
 impl ExpConfig {
     /// The engine configuration every figure builds on: defaults plus
-    /// this run's kernel policy. Figure-specific overrides (Fig. 8's
-    /// crack-size sweep, …) chain on top.
+    /// this run's kernel and index policies. Figure-specific overrides
+    /// (Fig. 8's crack-size sweep, …) chain on top.
     pub fn crack_config(&self) -> CrackConfig {
-        CrackConfig::default().with_kernel(self.kernel)
+        CrackConfig::default()
+            .with_kernel(self.kernel)
+            .with_index(self.index)
     }
 
     /// A derived seed for a named sub-experiment, so runs are independent

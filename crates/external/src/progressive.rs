@@ -172,9 +172,8 @@ impl<E: Element> ExternalPmdd1rEngine<E> {
     /// Whether any piece holds a suspended partition job.
     pub fn has_active_jobs(&self) -> bool {
         self.index
-            .pieces()
-            .iter()
-            .any(|p| self.index.piece_meta(p).job.is_some())
+            .iter_pieces()
+            .any(|p| self.index.piece_meta(&p).job.is_some())
     }
 
     /// Filters `[start, end)` into `out` (result work for the current

@@ -12,9 +12,15 @@
 /// Sentinel for "no node".
 const NIL: u32 = u32::MAX;
 
-/// A stable handle to a tree node, valid until that node is removed.
+/// A stable handle to an index entry, valid until that entry is removed.
+///
+/// Both representations of the cracker index hand these out: the AVL tree
+/// ([`AvlTree`]) and the flat index ([`crate::FlatIndex`]) each back a
+/// handle by an arena slot that never moves while the entry lives, so a
+/// handle taken before an insert stays valid after it. A handle is only
+/// meaningful to the structure that minted it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct NodeId(u32);
+pub struct NodeId(pub(crate) u32);
 
 #[derive(Debug, Clone)]
 struct Node<M> {
@@ -379,6 +385,22 @@ impl<M> AvlTree<M> {
         AscIter { tree: self, stack }
     }
 
+    /// In-order ascending iterator over entry handles.
+    ///
+    /// The handle form of [`AvlTree::iter_asc`], for callers that need to
+    /// carry entries around ([`crate::CrackerIndex`]'s piece iterator).
+    /// Allocates its traversal stack (`O(log n)`); the flat representation
+    /// iterates allocation-free.
+    pub fn iter_ids(&self) -> IdIter<'_, M> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL {
+            stack.push(cur);
+            cur = self.node(cur).left;
+        }
+        IdIter { tree: self, stack }
+    }
+
     /// Checks all AVL invariants; used by tests and debug assertions.
     pub fn check_invariants(&self) -> Result<(), String> {
         fn walk<M>(
@@ -441,6 +463,26 @@ impl<'a, M> Iterator for AscIter<'a, M> {
             cur = self.tree.node(cur).left;
         }
         Some((n.key, n.pos, &n.meta))
+    }
+}
+
+/// Ascending in-order handle iterator, see [`AvlTree::iter_ids`].
+pub struct IdIter<'a, M> {
+    tree: &'a AvlTree<M>,
+    stack: Vec<u32>,
+}
+
+impl<M> Iterator for IdIter<'_, M> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let id = self.stack.pop()?;
+        let mut cur = self.tree.node(id).right;
+        while cur != NIL {
+            self.stack.push(cur);
+            cur = self.tree.node(cur).left;
+        }
+        Some(NodeId(id))
     }
 }
 

@@ -4,11 +4,19 @@
 //! range, in a tree structure; original cracking uses AVL-trees" (Halim et
 //! al. 2012, §3; Idreos et al., CIDR 2007). This crate provides:
 //!
-//! * [`AvlTree`] — a from-scratch, arena-based AVL tree mapping crack
-//!   values (`u64`) to array positions, with per-node metadata;
-//! * [`CrackerIndex`] — the piece-oriented view on top of it: given a key,
-//!   find the piece `[start, end)` of the column that can contain it,
-//!   together with the piece's value bounds and metadata.
+//! * [`CrackerIndex`] — the piece-oriented view: given a key, find the
+//!   piece `[start, end)` of the column that can contain it, together
+//!   with the piece's value bounds and metadata. The physical
+//!   representation is selected by [`IndexPolicy`];
+//! * [`AvlTree`] — the paper's structure: a from-scratch, arena-based AVL
+//!   tree mapping crack values (`u64`) to array positions;
+//! * [`FlatIndex`] — the cache-conscious default: crack keys and
+//!   positions in sorted parallel arrays (with a small insert-absorbing
+//!   delta buffer), lower-bound searched over contiguous memory,
+//!   metadata in a stable arena. Both representations produce
+//!   bit-identical piece semantics; the flat one wins on lookup locality
+//!   exactly when cracking has converged and index navigation dominates
+//!   query latency.
 //!
 //! A crack `(v, p)` asserts: positions `< p` hold keys `< v`, positions
 //! `>= p` hold keys `>= v`. Pieces are the gaps between consecutive cracks.
@@ -20,7 +28,9 @@
 #![warn(missing_docs)]
 
 mod avl;
+mod flat;
 mod index;
 
-pub use avl::{AvlTree, NodeId};
-pub use index::{CrackerIndex, Piece, PieceMeta};
+pub use avl::{AscIter, AvlTree, IdIter, NodeId};
+pub use flat::{count_le, count_le_predicated, FlatAscIter, FlatIndex, FlatTripleIter, DELTA_CAP};
+pub use index::{CrackIter, CrackerIndex, IndexPolicy, Piece, PieceIter, PieceMeta};

@@ -1,8 +1,9 @@
-//! Property tests: the AVL tree against a BTreeMap model, and cracker-index
-//! piece consistency under random crack sequences.
+//! Property tests: both index representations against a BTreeMap model,
+//! cracker-index piece consistency under random crack sequences, and the
+//! Flat/Avl cross-policy equivalence contract.
 
 use proptest::prelude::*;
-use scrack_index::{AvlTree, CrackerIndex};
+use scrack_index::{AvlTree, CrackerIndex, FlatIndex, IndexPolicy};
 use std::collections::BTreeMap;
 
 #[derive(Clone, Debug)]
@@ -97,5 +98,91 @@ proptest! {
                 prop_assert!(probe < hi);
             }
         }
+    }
+
+    /// The flat index against the same BTreeMap model the AVL test uses:
+    /// identical neighbor-query semantics, entry for entry.
+    #[test]
+    fn flat_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut flat: FlatIndex<u64> = FlatIndex::new();
+        let mut model: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Insert(k) => {
+                    let fresh_expected = !model.contains_key(&k);
+                    model.entry(k).or_insert(i);
+                    let (_, fresh) = flat.insert(k, i, k);
+                    prop_assert_eq!(fresh, fresh_expected);
+                }
+                Op::Remove(k) => {
+                    let expect = model.remove(&k);
+                    let got = flat.remove(k);
+                    prop_assert_eq!(got.map(|(p, _)| p), expect);
+                }
+                Op::QueryPred(k) => {
+                    let got = flat.predecessor_or_equal(k).map(|id| flat.key(id));
+                    let expect = model.range(..=k).next_back().map(|(k, _)| *k);
+                    prop_assert_eq!(got, expect);
+                }
+                Op::QuerySucc(k) => {
+                    let got = flat.successor_strict(k).map(|id| flat.key(id));
+                    let expect = model
+                        .range((std::ops::Bound::Excluded(k), std::ops::Bound::Unbounded))
+                        .next()
+                        .map(|(k, _)| *k);
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            flat.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        let got: Vec<u64> = flat.iter_asc().map(|(k, _, _)| k).collect();
+        let expect: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(flat.len(), model.len());
+    }
+
+    /// The cross-policy contract at the index layer: identical crack
+    /// sequences produce identical pieces, for every probe, under both
+    /// representations — including the piece-metadata routing.
+    #[test]
+    fn index_policies_are_observationally_identical(
+        cracks in proptest::collection::vec((0u64..1000, 0usize..1000), 0..100),
+        probes in proptest::collection::vec(0u64..1200, 1..50),
+    ) {
+        let mut cracks = cracks;
+        cracks.sort_by_key(|(k, _)| *k);
+        cracks.dedup_by_key(|(k, _)| *k);
+        let column_len = 1000usize;
+        let mut avl: CrackerIndex<()> = CrackerIndex::with_policy(column_len, IndexPolicy::Avl);
+        let mut flat: CrackerIndex<()> = CrackerIndex::with_policy(column_len, IndexPolicy::Flat);
+        let mut pos_floor = 0usize;
+        for (k, p) in cracks.iter() {
+            let p = (*p).max(pos_floor).min(column_len);
+            pos_floor = p;
+            avl.add_crack(*k, p);
+            flat.add_crack(*k, p);
+        }
+        prop_assert_eq!(avl.crack_count(), flat.crack_count());
+        let ca: Vec<(u64, usize)> = avl.iter_cracks().map(|(k, p, _)| (k, p)).collect();
+        let cf: Vec<(u64, usize)> = flat.iter_cracks().map(|(k, p, _)| (k, p)).collect();
+        prop_assert_eq!(ca, cf, "crack lists differ");
+        for probe in probes {
+            let pa = avl.piece_containing(probe);
+            let pf = flat.piece_containing(probe);
+            prop_assert_eq!(
+                (pa.start, pa.end, pa.lo_key, pa.hi_key),
+                (pf.start, pf.end, pf.lo_key, pf.hi_key),
+                "piece_containing({}) differs", probe
+            );
+        }
+        let pa: Vec<(usize, usize, Option<u64>, Option<u64>)> = avl
+            .iter_pieces()
+            .map(|p| (p.start, p.end, p.lo_key, p.hi_key))
+            .collect();
+        let pf: Vec<(usize, usize, Option<u64>, Option<u64>)> = flat
+            .iter_pieces()
+            .map(|p| (p.start, p.end, p.lo_key, p.hi_key))
+            .collect();
+        prop_assert_eq!(pa, pf, "piece enumerations differ");
     }
 }

@@ -99,6 +99,9 @@ impl<E: Element> BatchShard<E> {
 pub struct BatchScheduler<E: Element> {
     shards: Vec<BatchShard<E>>,
     strategy: ParallelStrategy,
+    /// Per-shard work queues, kept across batches and refilled in place:
+    /// steady-state batches route without allocating.
+    queues: Vec<Vec<(usize, QueryRange)>>,
 }
 
 impl<E: Element> BatchScheduler<E> {
@@ -159,7 +162,12 @@ impl<E: Element> BatchScheduler<E> {
             col: CrackedColumn::new(data, config),
             rng: SmallRng::seed_from_u64(seed.wrapping_add(i)),
         });
-        Self { shards, strategy }
+        let queues = vec![Vec::new(); shards.len()];
+        Self {
+            shards,
+            strategy,
+            queues,
+        }
     }
 
     /// [`BatchScheduler::new`] under [`CrackConfig::default`].
@@ -183,11 +191,14 @@ impl<E: Element> BatchScheduler<E> {
         self.shards.iter().map(|s| s.span).collect()
     }
 
-    /// Builds the per-shard work queues for `batch`: route (clip against
-    /// each shard span, dropping empty intersections), then sort each
-    /// queue by clipped bounds so a shard works key regions back to back.
-    fn build_queues(&self, batch: &[QueryRange]) -> Vec<Vec<(usize, QueryRange)>> {
-        let mut queues: Vec<Vec<(usize, QueryRange)>> = vec![Vec::new(); self.shards.len()];
+    /// Fills the reusable per-shard work queues for `batch`: route (clip
+    /// against each shard span, dropping empty intersections), then sort
+    /// each queue by clipped bounds so a shard works key regions back to
+    /// back. The queues are cleared, not reallocated, between batches.
+    fn build_queues(&mut self, batch: &[QueryRange]) {
+        for queue in &mut self.queues {
+            queue.clear();
+        }
         for (qi, q) in batch.iter().enumerate() {
             if q.is_empty() {
                 continue;
@@ -195,14 +206,13 @@ impl<E: Element> BatchScheduler<E> {
             for (si, shard) in self.shards.iter().enumerate() {
                 let clipped = q.intersect(&shard.span);
                 if !clipped.is_empty() {
-                    queues[si].push((qi, clipped));
+                    self.queues[si].push((qi, clipped));
                 }
             }
         }
-        for queue in &mut queues {
+        for queue in &mut self.queues {
             queue.sort_by_key(|&(qi, q)| (q.low, q.high, qi));
         }
-        queues
     }
 
     /// Merges per-shard partials into per-query `(count, key_sum)`
@@ -223,13 +233,13 @@ impl<E: Element> BatchScheduler<E> {
     /// drains that shard's queue, then partials merge into per-query
     /// `(count, key_sum)` results in submission order.
     pub fn execute(&mut self, batch: &[QueryRange]) -> Vec<(usize, u64)> {
-        let queues = self.build_queues(batch);
+        self.build_queues(batch);
         let strategy = self.strategy;
+        let Self { shards, queues, .. } = self;
         let partials: Vec<Vec<(usize, usize, u64)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
+            let handles: Vec<_> = shards
                 .iter_mut()
-                .zip(&queues)
+                .zip(queues.iter())
                 .map(|(shard, queue)| scope.spawn(move || shard.drain(queue, strategy)))
                 .collect();
             handles
@@ -244,12 +254,12 @@ impl<E: Element> BatchScheduler<E> {
     /// queues drained in shard order. Answers and [`Stats`] are
     /// bit-identical to the parallel path — the determinism oracle.
     pub fn execute_serial(&mut self, batch: &[QueryRange]) -> Vec<(usize, u64)> {
-        let queues = self.build_queues(batch);
+        self.build_queues(batch);
         let strategy = self.strategy;
-        let partials: Vec<Vec<(usize, usize, u64)>> = self
-            .shards
+        let Self { shards, queues, .. } = self;
+        let partials: Vec<Vec<(usize, usize, u64)>> = shards
             .iter_mut()
-            .zip(&queues)
+            .zip(queues.iter())
             .map(|(shard, queue)| shard.drain(queue, strategy))
             .collect();
         Self::merge(batch.len(), partials)

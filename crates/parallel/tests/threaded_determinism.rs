@@ -20,7 +20,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use scrack_core::{CrackConfig, CrackedColumn, KernelPolicy};
+use scrack_core::{CrackConfig, CrackedColumn, IndexPolicy, KernelPolicy};
 use scrack_parallel::{BatchScheduler, ParallelStrategy, PieceLockedCracker, ShardedCracker};
 use scrack_types::{QueryRange, Stats};
 use std::sync::Arc;
@@ -68,35 +68,64 @@ fn mixed_batch(lo: u64, hi: u64, count: usize, salt: u64) -> Vec<QueryRange> {
 }
 
 const POLICIES: [KernelPolicy; 2] = [KernelPolicy::Branchy, KernelPolicy::Branchless];
+const INDEXES: [IndexPolicy; 2] = [IndexPolicy::Avl, IndexPolicy::Flat];
 
 #[test]
 fn batch_scheduler_threads_match_serial_replay_bitwise() {
     let n = 40_000u64;
     let data = column(n);
     for kernel in POLICIES {
-        for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
-            let config = CrackConfig::default().with_kernel(kernel);
-            let mut threaded = BatchScheduler::new(data.clone(), 4, strategy, config, SEED);
-            let mut serial = BatchScheduler::new(data.clone(), 4, strategy, config, SEED);
-            for round in 0..5u64 {
-                let batch = mixed_batch(0, n, 80, round);
-                let got = threaded.execute(&batch);
-                assert_eq!(
-                    got,
-                    serial.execute_serial(&batch),
-                    "{kernel:?}/{strategy:?} round {round}: answers diverged"
-                );
-                for (qi, q) in batch.iter().enumerate() {
-                    assert_eq!(got[qi], oracle(&data, *q), "round {round} query {qi}");
+        for index in INDEXES {
+            for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
+                let config = CrackConfig::default().with_kernel(kernel).with_index(index);
+                let mut threaded = BatchScheduler::new(data.clone(), 4, strategy, config, SEED);
+                let mut serial = BatchScheduler::new(data.clone(), 4, strategy, config, SEED);
+                for round in 0..5u64 {
+                    let batch = mixed_batch(0, n, 80, round);
+                    let got = threaded.execute(&batch);
+                    assert_eq!(
+                        got,
+                        serial.execute_serial(&batch),
+                        "{kernel:?}/{index}/{strategy:?} round {round}: answers diverged"
+                    );
+                    for (qi, q) in batch.iter().enumerate() {
+                        assert_eq!(got[qi], oracle(&data, *q), "round {round} query {qi}");
+                    }
                 }
+                assert_eq!(
+                    threaded.stats(),
+                    serial.stats(),
+                    "{kernel:?}/{index}/{strategy:?}: Stats must be bit-identical"
+                );
+                threaded.check_integrity().unwrap();
             }
-            assert_eq!(
-                threaded.stats(),
-                serial.stats(),
-                "{kernel:?}/{strategy:?}: Stats must be bit-identical"
-            );
-            threaded.check_integrity().unwrap();
         }
+    }
+}
+
+#[test]
+fn batch_scheduler_stats_are_index_policy_invariant() {
+    // The PR-4 contract lifted to the concurrent layer: the same batched
+    // run under `Avl` and `Flat` must produce bit-identical answers AND
+    // bit-identical Stats — the index representation is a pure
+    // wall-clock knob even across threads.
+    let n = 30_000u64;
+    let data = column(n);
+    for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
+        let mut runs = Vec::new();
+        for index in INDEXES {
+            let config = CrackConfig::default().with_index(index);
+            let mut sched = BatchScheduler::new(data.clone(), 4, strategy, config, SEED);
+            let mut answers = Vec::new();
+            for round in 0..4u64 {
+                let batch = mixed_batch(0, n, 64, round);
+                answers.push(sched.execute(&batch));
+            }
+            sched.check_integrity().unwrap();
+            runs.push((answers, sched.stats()));
+        }
+        assert_eq!(runs[0].0, runs[1].0, "{strategy:?}: answers diverged across index policies");
+        assert_eq!(runs[0].1, runs[1].1, "{strategy:?}: Stats diverged across index policies");
     }
 }
 

@@ -40,21 +40,21 @@ pub fn ripple_insert<E: Element>(col: &mut CrackedColumn<E>, elem: E) {
     index.set_column_len(data.len());
     let mut hole = data.len() - 1;
     // Walk cracks right-to-left while they exceed the new key.
-    let mut cur = index.tree().max();
+    let mut cur = index.max_crack();
     while let Some(id) = cur {
-        let ckey = index.tree().key(id);
+        let ckey = index.crack_key(id);
         if ckey <= key {
             break;
         }
-        let p = index.tree().pos(id);
+        let p = index.crack_pos(id);
         // The piece right of this crack donates its first element to its
         // own end (the hole), and the boundary moves right over the hole.
         data[hole] = data[p];
-        index.tree_mut().set_pos(id, p + 1);
+        index.set_crack_pos(id, p + 1);
         stats.touched += 1;
         stats.swaps += 1;
         hole = p;
-        cur = index.tree().predecessor_strict(ckey);
+        cur = index.crack_before(ckey);
     }
     data[hole] = elem;
     stats.touched += 1;
@@ -87,13 +87,13 @@ pub fn ripple_delete<E: Element>(col: &mut CrackedColumn<E>, key: u64) -> Option
     stats.swaps += 1;
     // Walk cracks left-to-right above the key; each boundary moves left
     // over the hole and its right piece donates its last element.
-    let mut cur = index.tree().successor_strict(key);
+    let mut cur = index.crack_after(key);
     while let Some(id) = cur {
-        let p = index.tree().pos(id);
+        let p = index.crack_pos(id);
         debug_assert_eq!(hole, p - 1, "hole must sit just left of the boundary");
-        index.tree_mut().set_pos(id, p - 1);
-        let next = index.tree().successor_strict(index.tree().key(id));
-        let end = next.map_or(data.len(), |nid| index.tree().pos(nid));
+        index.set_crack_pos(id, p - 1);
+        let next = index.crack_after(index.crack_key(id));
+        let end = next.map_or(data.len(), |nid| index.crack_pos(nid));
         data[hole] = data[end - 1];
         stats.touched += 1;
         stats.swaps += 1;
@@ -147,19 +147,9 @@ mod tests {
     #[test]
     fn insert_shifts_only_later_boundaries() {
         let mut col = cracked_column(1000, &[100, 500, 900]);
-        let before: Vec<(u64, usize)> = col
-            .index()
-            .tree()
-            .iter_asc()
-            .map(|(k, p, _)| (k, p))
-            .collect();
+        let before: Vec<(u64, usize)> = col.index().iter_cracks().map(|(k, p, _)| (k, p)).collect();
         ripple_insert(&mut col, 500); // belongs to piece [500, 900)
-        let after: Vec<(u64, usize)> = col
-            .index()
-            .tree()
-            .iter_asc()
-            .map(|(k, p, _)| (k, p))
-            .collect();
+        let after: Vec<(u64, usize)> = col.index().iter_cracks().map(|(k, p, _)| (k, p)).collect();
         assert_eq!(after[0], before[0], "boundary 100 untouched");
         assert_eq!(after[1], before[1], "boundary 500 untouched");
         assert_eq!(

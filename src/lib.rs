@@ -22,7 +22,7 @@
 //! |---|---|---|
 //! | [`types`] | `scrack_types` | `Element`, `QueryRange`, `Stats`, `CacheProfile` |
 //! | [`columnstore`] | `scrack_columnstore` | `Column`, `QueryOutput`, `Table` |
-//! | [`index`] | `scrack_index` | AVL cracker index |
+//! | [`index`] | `scrack_index` | cracker index: flat directory (default) + AVL, `IndexPolicy` |
 //! | [`partition`] | `scrack_partition` | crack-in-two/three, MDD1R split, introselect |
 //! | [`core`] | `scrack_core` | every engine: Crack, DDC/DDR, DD1C/DD1R, MDD1R, … |
 //! | [`query`] | `scrack_query` | multi-column tables, predicates, aggregates |
@@ -47,7 +47,7 @@ pub mod columnstore {
     pub use scrack_columnstore::*;
 }
 
-/// The AVL cracker index ([`scrack_index`]).
+/// The cracker index, flat and AVL representations ([`scrack_index`]).
 pub mod index {
     pub use scrack_index::*;
 }
@@ -191,8 +191,8 @@ pub mod prelude {
     pub use scrack_columnstore::{Column, QueryOutput, Table};
     pub use scrack_core::{
         build_engine, CrackConfig, CrackEngine, CrackedColumn, Dd1cEngine, Dd1rEngine, DdcEngine,
-        DdrEngine, Engine, EngineKind, KernelPolicy, Mdd1rEngine, Oracle, ProgressiveEngine,
-        ScanEngine, SelectiveEngine, SelectivePolicy, SortEngine,
+        DdrEngine, Engine, EngineKind, IndexPolicy, KernelPolicy, Mdd1rEngine, Oracle,
+        ProgressiveEngine, ScanEngine, SelectiveEngine, SelectivePolicy, SortEngine,
     };
     pub use scrack_hybrids::{HybridEngine, HybridKind};
     pub use scrack_parallel::{
