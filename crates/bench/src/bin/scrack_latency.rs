@@ -16,15 +16,8 @@
 
 use scrack_bench::latency_report::{LatencyConfig, LatencyReport};
 use scrack_core::IndexPolicy;
+use scrack_bench::value_of;
 use std::io::Write as _;
-
-/// The flag's value operand, or a usage error (exit 2) if it is missing.
-fn value_of<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
-    args.get(i).map(String::as_str).unwrap_or_else(|| {
-        eprintln!("{flag} requires a value (try --help)");
-        std::process::exit(2);
-    })
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,37 +1,32 @@
-//! The concurrency throughput reporter.
+//! The mixed read/write (updates) reporter.
 //!
 //! ```text
-//! scrack_throughput [--threads N,N,...] [--n N] [--queries Q]
-//!                   [--batch B] [--samples K] [--index avl|flat]
-//!                   [--smoke] [--json PATH] [--check]
+//! scrack_updates [--n N] [--queries Q] [--rate R] [--samples K]
+//!                [--threads N,N,...] [--batch B] [--index avl|flat]
+//!                [--smoke] [--json PATH] [--check]
 //! ```
 //!
-//! Sweeps `threads × strategy × workload` over the `scrack_parallel`
-//! wrappers and prints a summary table; `--json PATH` also writes the
-//! machine-readable report committed as `BENCH_3.json`. `--check` exits
-//! nonzero if any threads/strategy/workload cell is missing — the CI
-//! throughput-smoke gate (coverage only, never a perf threshold: CI
-//! boxes are too noisy to gate on queries/sec).
+//! Sweeps `scenario × engine × update-policy` over `Updatable` engines
+//! plus a `BatchScheduler::execute_ops` thread sweep, prints a summary
+//! table, and with `--json PATH` writes the machine-readable report
+//! committed as `BENCH_5.json`. `--check` exits nonzero if any cell is
+//! missing — the CI updates-smoke gate (coverage only, never a perf
+//! threshold: CI boxes are too noisy to gate on ops/sec). Cross-policy
+//! answer checksums and threaded-vs-serial replay are asserted during
+//! measurement itself.
 
-use scrack_bench::throughput_report::{ThroughputConfig, ThroughputReport};
+use scrack_bench::updates_report::{UpdatesConfig, UpdatesReport};
 use scrack_bench::value_of;
 use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = ThroughputConfig::default();
+    let mut cfg = UpdatesConfig::default();
     let mut json_path: Option<String> = None;
     let mut check = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--threads" => {
-                i += 1;
-                cfg.threads = value_of(&args, i, "--threads")
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("--threads takes integers"))
-                    .collect();
-            }
             "--n" => {
                 i += 1;
                 cfg.n = value_of(&args, i, "--n").parse().expect("--n takes an integer");
@@ -42,17 +37,30 @@ fn main() {
                     .parse()
                     .expect("--queries takes an integer");
             }
-            "--batch" => {
+            "--rate" => {
                 i += 1;
-                cfg.batch = value_of(&args, i, "--batch")
+                cfg.update_rate = value_of(&args, i, "--rate")
                     .parse()
-                    .expect("--batch takes an integer");
+                    .expect("--rate takes a number");
             }
             "--samples" => {
                 i += 1;
                 cfg.samples = value_of(&args, i, "--samples")
                     .parse()
                     .expect("--samples takes an integer");
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = value_of(&args, i, "--threads")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads takes integers"))
+                    .collect();
+            }
+            "--batch" => {
+                i += 1;
+                cfg.batch = value_of(&args, i, "--batch")
+                    .parse()
+                    .expect("--batch takes an integer");
             }
             "--index" => {
                 i += 1;
@@ -64,13 +72,14 @@ fn main() {
             }
             "--smoke" => {
                 // Smoke scale: small column, short stream, two thread
-                // counts, one sample — seconds, not minutes, and still
-                // one cell per threads/strategy/workload combination.
+                // counts — seconds, not minutes, still one cell per
+                // scenario/engine/policy combination.
                 cfg.n = 50_000;
-                cfg.queries = 500;
-                cfg.batch = 64;
+                cfg.queries = 300;
+                cfg.update_rate = 10.0;
                 cfg.samples = 1;
                 cfg.threads = vec![1, 2];
+                cfg.batch = 64;
             }
             "--json" => {
                 i += 1;
@@ -79,8 +88,8 @@ fn main() {
             "--check" => check = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: scrack_throughput [--threads N,N,...] [--n N] \
-                     [--queries Q] [--batch B] [--samples K] \
+                    "usage: scrack_updates [--n N] [--queries Q] [--rate R] \
+                     [--samples K] [--threads N,N,...] [--batch B] \
                      [--index avl|flat] [--smoke] [--json PATH] [--check]"
                 );
                 return;
@@ -94,23 +103,23 @@ fn main() {
     }
 
     eprintln!(
-        "measuring {} workloads x {} strategies x {:?} threads, \
-         N={}, Q={}, batch={}, {} sample(s) each ...",
-        scrack_bench::throughput_report::WORKLOADS.len(),
-        scrack_bench::throughput_report::STRATEGIES.len(),
+        "measuring {} scenarios x {} engines x 2 update policies + \
+         scheduler {:?} threads, N={}, Q={}, rate={}, {} sample(s) each ...",
+        scrack_bench::updates_report::SCENARIOS.len(),
+        scrack_bench::updates_report::ENGINES.len(),
         cfg.threads,
         cfg.n,
         cfg.queries,
-        cfg.batch,
+        cfg.update_rate,
         cfg.samples,
     );
-    let report = ThroughputReport::measure(&cfg);
+    let report = UpdatesReport::measure(&cfg);
 
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     let _ = writeln!(
         lock,
-        "# Throughput bench — median queries/sec ({} host CPUs)\n",
+        "# Updates bench — mixed read/write serving ({} host CPUs)\n",
         report.host_cpus
     );
     let _ = writeln!(lock, "{}", report.render_table());
@@ -128,9 +137,10 @@ fn main() {
         }
         let _ = writeln!(
             lock,
-            "coverage check passed: {} cells, all threads/strategy/workload \
-             combinations present",
-            report.cells.len()
+            "coverage check passed: {} cells + {} scheduler cells, all \
+             scenario/engine/policy combinations present",
+            report.cells.len(),
+            report.scheduler.len()
         );
     }
 }

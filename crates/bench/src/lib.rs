@@ -13,18 +13,30 @@
 //! The `scrack_bench` binary (`src/bin/scrack_bench.rs`) runs the
 //! [`kernels_report`] harness, the `scrack_throughput` binary
 //! (`src/bin/scrack_throughput.rs`) the [`throughput_report`] harness,
-//! and the `scrack_latency` binary (`src/bin/scrack_latency.rs`) the
-//! [`latency_report`] harness; all write machine-readable
-//! `BENCH_*.json` perf baselines.
+//! the `scrack_latency` binary (`src/bin/scrack_latency.rs`) the
+//! [`latency_report`] harness, and the `scrack_updates` binary
+//! (`src/bin/scrack_updates.rs`) the [`updates_report`] mixed
+//! read/write harness; all write machine-readable `BENCH_*.json` perf
+//! baselines.
 
 #![forbid(unsafe_code)]
 
 pub mod kernels_report;
 pub mod latency_report;
 pub mod throughput_report;
+pub mod updates_report;
 
 use scrack_types::QueryRange;
 use scrack_workloads::{WorkloadKind, WorkloadSpec};
+
+/// CLI helper shared by the reporter binaries: the flag's value operand,
+/// or a usage error (exit 2) if it is missing.
+pub fn value_of<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    args.get(i).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("{flag} requires a value (try --help)");
+        std::process::exit(2);
+    })
+}
 
 /// Deterministic data for benches: a permutation of `0..n`.
 pub fn bench_data(n: u64) -> Vec<u64> {

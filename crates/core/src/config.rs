@@ -4,6 +4,61 @@ use scrack_index::IndexPolicy;
 use scrack_partition::KernelPolicy;
 use scrack_types::CacheProfile;
 
+/// How pending updates are merged into a cracked column.
+///
+/// Both policies implement the paper's §5 update model — updates queue on
+/// arrival and a query pays only for the pending updates qualifying for
+/// its range — and produce the **same multiset of tuples**, so per-query
+/// answers are bit-identical under either (pinned by
+/// `crates/updates/tests/prop.rs`). They differ in how the qualifying
+/// batch is physically rippled in:
+///
+/// * [`UpdatePolicy::Batched`] (the default) — the **merge-ripple**: sort
+///   the qualifying inserts/deletes once and apply them in a single
+///   left-to-right (deletes) / right-to-left (inserts) boundary walk.
+///   One index walk per *batch*: each crossed crack boundary is visited
+///   once and shifted by the batch's cumulative size delta.
+/// * [`UpdatePolicy::PerElement`] — the per-element Ripple of Idreos et
+///   al. (SIGMOD 2007), one full boundary walk per update. Kept as the
+///   differential reference; cost grows with
+///   `updates × boundaries` instead of `updates + boundaries`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum UpdatePolicy {
+    /// One ripple walk per update (the reference implementation).
+    PerElement,
+    /// One sorted merge-ripple pass per qualifying batch.
+    #[default]
+    Batched,
+}
+
+impl UpdatePolicy {
+    /// The policy's CLI/report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UpdatePolicy::PerElement => "per-element",
+            UpdatePolicy::Batched => "batched",
+        }
+    }
+
+    /// Parses a CLI label (case-insensitive); `None` if unrecognized.
+    pub fn parse(s: &str) -> Option<UpdatePolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "per-element" | "per_element" | "perelement" => Some(UpdatePolicy::PerElement),
+            "batched" | "batch" => Some(UpdatePolicy::Batched),
+            _ => None,
+        }
+    }
+
+    /// Both policies, for sweeps and differential tests.
+    pub const ALL: [UpdatePolicy; 2] = [UpdatePolicy::PerElement, UpdatePolicy::Batched];
+}
+
+impl std::fmt::Display for UpdatePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Configuration of the cracking engines.
 ///
 /// The two thresholds mirror the paper's:
@@ -42,6 +97,8 @@ pub struct CrackConfig {
     pub kernel: KernelPolicy,
     /// Which cracker-index representation the engines navigate.
     pub index: IndexPolicy,
+    /// How pending updates merge into the column (see [`UpdatePolicy`]).
+    pub update: UpdatePolicy,
 }
 
 impl CrackConfig {
@@ -82,6 +139,12 @@ impl CrackConfig {
         self.index = index;
         self
     }
+
+    /// Convenience: a config with an explicit update policy.
+    pub fn with_update(mut self, update: UpdatePolicy) -> Self {
+        self.update = update;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +179,18 @@ mod tests {
         assert_eq!(CrackConfig::default().index, IndexPolicy::Flat);
         let c = CrackConfig::default().with_index(IndexPolicy::Avl);
         assert_eq!(c.index, IndexPolicy::Avl);
+    }
+
+    #[test]
+    fn update_policy_defaults_to_batched_and_parses() {
+        assert_eq!(CrackConfig::default().update, UpdatePolicy::Batched);
+        let c = CrackConfig::default().with_update(UpdatePolicy::PerElement);
+        assert_eq!(c.update, UpdatePolicy::PerElement);
+        for p in UpdatePolicy::ALL {
+            assert_eq!(UpdatePolicy::parse(p.label()), Some(p));
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(UpdatePolicy::parse("Batched"), Some(UpdatePolicy::Batched));
+        assert_eq!(UpdatePolicy::parse("eager"), None);
     }
 }

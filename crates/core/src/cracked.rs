@@ -180,6 +180,28 @@ impl<E: Element> CrackedColumn<E> {
         }
     }
 
+    /// Completes every in-flight progressive partition job.
+    ///
+    /// The Ripple update paths shift elements across piece boundaries,
+    /// which would invalidate job cursors; merging pending updates into a
+    /// progressive engine therefore settles all jobs first. Cheap when no
+    /// jobs exist (one pass over the piece directory, the common case for
+    /// every non-progressive engine).
+    pub fn settle_all_jobs(&mut self) {
+        // Collect one in-range key per job-holding piece first: settling
+        // registers cracks, which would invalidate a live piece iterator.
+        let keys: Vec<u64> = self
+            .index
+            .iter_pieces()
+            .filter(|p| self.index.piece_meta(p).job.is_some())
+            .map(|p| p.lo_key.unwrap_or(0))
+            .collect();
+        for key in keys {
+            self.settle_job_at(key);
+        }
+        debug_assert!(!self.has_active_jobs());
+    }
+
     // ------------------------------------------------------------------
     // Original cracking
     // ------------------------------------------------------------------

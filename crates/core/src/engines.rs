@@ -75,6 +75,11 @@ impl<E: Element> DdcEngine<E> {
             col: CrackedColumn::new(data, config),
         }
     }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
+    }
 }
 
 impl<E: Element> Engine<E> for DdcEngine<E> {
@@ -104,6 +109,11 @@ impl<E: Element> DdrEngine<E> {
             rng: SmallRng::seed_from_u64(seed),
         }
     }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
+    }
 }
 
 impl<E: Element> Engine<E> for DdrEngine<E> {
@@ -131,6 +141,11 @@ impl<E: Element> Dd1cEngine<E> {
         Self {
             col: CrackedColumn::new(data, config),
         }
+    }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
     }
 }
 
@@ -160,6 +175,11 @@ impl<E: Element> Dd1rEngine<E> {
             col: CrackedColumn::new(data, config),
             rng: SmallRng::seed_from_u64(seed),
         }
+    }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
     }
 }
 
@@ -232,6 +252,15 @@ impl<E: Element> ProgressiveEngine<E> {
             rng: SmallRng::seed_from_u64(seed),
             swap_pct,
         }
+    }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    ///
+    /// Progressive engines may hold in-flight partition jobs; callers
+    /// that ripple updates in must settle them first
+    /// ([`CrackedColumn::settle_all_jobs`]).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
     }
 }
 

@@ -50,7 +50,7 @@ mod oracle;
 mod selective;
 
 pub use baseline::{ScanEngine, SortEngine};
-pub use config::CrackConfig;
+pub use config::{CrackConfig, UpdatePolicy};
 // Re-exported so engine construction sites can name the kernel and index
 // policies without depending on the substrate crates directly.
 pub use scrack_index::IndexPolicy;

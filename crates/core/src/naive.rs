@@ -45,6 +45,11 @@ impl<E: Element> RandomInjectEngine<E> {
             key_end,
         }
     }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
+    }
 }
 
 impl<E: Element> Engine<E> for RandomInjectEngine<E> {

@@ -73,6 +73,11 @@ impl<E: Element> SelectiveEngine<E> {
             query_no: 0,
         }
     }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
+    }
 }
 
 impl<E: Element> Engine<E> for SelectiveEngine<E> {

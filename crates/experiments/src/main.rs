@@ -4,6 +4,7 @@
 //! experiments [FIGURES...] [--n N] [--queries Q] [--seed S]
 //!             [--out DIR] [--verify] [--quick]
 //!             [--kernel branchy|branchless|auto] [--index avl|flat]
+//!             [--update per-element|batched]
 //!             [--threads N,N,...] [--batch B]
 //!
 //! FIGURES: fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
@@ -63,6 +64,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--update" => {
+                i += 1;
+                let value = args.get(i).map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("--update requires a value (per-element|batched)");
+                    std::process::exit(2);
+                });
+                cfg.update = scrack_core::UpdatePolicy::parse(value).unwrap_or_else(|| {
+                    eprintln!("--update takes per-element|batched, got {value}");
+                    std::process::exit(2);
+                });
+            }
             "--threads" => {
                 i += 1;
                 cfg.threads = args[i]
@@ -81,7 +93,8 @@ fn main() {
                      ext-io|ext-chooser|ext-parallel|all]... \
                      [--n N] [--queries Q] [--seed S] [--out DIR] \
                      [--verify] [--quick] [--kernel branchy|branchless|auto] \
-                     [--index avl|flat] [--threads N,N,...] [--batch B]"
+                     [--index avl|flat] [--update per-element|batched] \
+                     [--threads N,N,...] [--batch B]"
                 );
                 return;
             }
@@ -113,8 +126,8 @@ fn main() {
         lock,
         "# Stochastic Database Cracking — experiment run\n\n\
          Reproduction of Halim et al., VLDB 2012. Scale: N={}, Q={}, \
-         seed={}, verify={}, kernel={}, index={}.\n",
-        cfg.n, cfg.queries, cfg.seed, cfg.verify, cfg.kernel, cfg.index
+         seed={}, verify={}, kernel={}, index={}, update={}.\n",
+        cfg.n, cfg.queries, cfg.seed, cfg.verify, cfg.kernel, cfg.index, cfg.update
     );
     for fig in &figures_wanted {
         let t0 = std::time::Instant::now();

@@ -1,6 +1,6 @@
 //! Timed query-sequence execution.
 
-use scrack_core::{CrackConfig, Engine, IndexPolicy, KernelPolicy, Oracle};
+use scrack_core::{CrackConfig, Engine, IndexPolicy, KernelPolicy, Oracle, UpdatePolicy};
 use scrack_types::{Element, QueryRange, Stats};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -29,6 +29,10 @@ pub struct ExpConfig {
     /// (`--index avl|flat`). Like the kernel policy, a pure wall-clock
     /// knob: results are bit-identical under both.
     pub index: IndexPolicy,
+    /// How the update experiments merge pending updates
+    /// (`--update per-element|batched`). Answers are bit-identical under
+    /// both; per-query wall-clock differs (the merge-ripple's point).
+    pub update: UpdatePolicy,
     /// Thread counts the concurrency experiment sweeps (`--threads`).
     pub threads: Vec<usize>,
     /// Queries per `BatchScheduler` batch in the concurrency experiment
@@ -46,6 +50,7 @@ impl Default for ExpConfig {
             verify: false,
             kernel: KernelPolicy::default(),
             index: IndexPolicy::default(),
+            update: UpdatePolicy::default(),
             threads: vec![1, 2, 4],
             batch: 256,
         }
@@ -60,6 +65,7 @@ impl ExpConfig {
         CrackConfig::default()
             .with_kernel(self.kernel)
             .with_index(self.index)
+            .with_update(self.update)
     }
 
     /// A derived seed for a named sub-experiment, so runs are independent

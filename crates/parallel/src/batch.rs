@@ -31,14 +31,28 @@
 //! 4. **merges** the per-shard partial aggregates back into one
 //!    `(count, key_sum)` per query, in submission order.
 //!
+//! # Mixed read/write batches
+//!
+//! [`BatchScheduler::execute_ops`] generalizes the batch to interleaved
+//! [`BatchOp`]s: selects route as above, inserts and deletes are
+//! **key-routed** to the single shard owning their key and queue into
+//! that shard's [`PendingUpdates`] set (the paper's §5 update model,
+//! per shard). A select merges the qualifying pending updates of its
+//! shard — under the column's configured
+//! [`scrack_core::UpdatePolicy`], batched merge-ripple by default —
+//! before answering. Op queues preserve submission order (no key-region
+//! sort), so each select observes exactly the updates submitted before
+//! it, on every shard, under every interleaving.
+//!
 //! # Determinism
 //!
 //! Each shard drains its queue in a fixed order with its own RNG, so the
 //! work a shard performs is independent of thread scheduling.
-//! [`BatchScheduler::execute_serial`] replays the identical per-shard
-//! queues on the calling thread; results *and* [`Stats`] are
-//! bit-identical to the parallel path under any interleaving (pinned by
-//! `tests/threaded_determinism.rs`).
+//! [`BatchScheduler::execute_serial`] (and
+//! [`BatchScheduler::execute_ops_serial`] for mixed batches) replays the
+//! identical per-shard queues on the calling thread; results *and*
+//! [`Stats`] are bit-identical to the parallel path under any
+//! interleaving (pinned by `tests/threaded_determinism.rs`).
 
 use crate::ParallelStrategy;
 use rand::rngs::SmallRng;
@@ -46,33 +60,85 @@ use rand::SeedableRng;
 use scrack_core::{CrackConfig, CrackedColumn};
 use scrack_partition::{crack_in_two_policy, select_nth_key};
 use scrack_types::{Element, QueryRange, Stats};
+use scrack_updates::PendingUpdates;
 
-/// One key-range shard: its key span, cracker column, and RNG stream.
+/// One operation of a mixed read/write batch.
+///
+/// Updates follow the paper's §5 model inside every shard: they queue on
+/// arrival and are merged (per the column's configured
+/// [`scrack_core::UpdatePolicy`]) by the first *later* select in the
+/// batch stream whose range they qualify for — submission order within a
+/// shard is execution order, so a select observes exactly the updates
+/// submitted before it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BatchOp<E> {
+    /// A range select; produces a `(count, key_sum)` result.
+    Select(QueryRange),
+    /// Insert one element; the result slot stays `(0, 0)`.
+    Insert(E),
+    /// Delete one element with this key (absent keys evaporate); the
+    /// result slot stays `(0, 0)`.
+    Delete(u64),
+}
+
+/// One key-range shard: its key span, cracker column, pending-update
+/// queue, and RNG stream.
 #[derive(Debug)]
 struct BatchShard<E: Element> {
     /// Keys `k` of this shard satisfy `span.low <= k < span.high`.
     span: QueryRange,
     col: CrackedColumn<E>,
+    pending: PendingUpdates<E>,
     rng: SmallRng,
 }
 
 impl<E: Element> BatchShard<E> {
+    /// Answers one clipped query against this shard.
+    fn select(&mut self, q: QueryRange, strategy: ParallelStrategy) -> (usize, u64) {
+        self.pending.merge_qualifying(&mut self.col, q);
+        let out = match strategy {
+            ParallelStrategy::Crack => self.col.select_original(q),
+            ParallelStrategy::Stochastic => self.col.mdd1r_select(q, &mut self.rng),
+        };
+        out.resolve(self.col.data())
+            .fold((0usize, 0u64), |(c, s), e| (c + 1, s.wrapping_add(e.key())))
+    }
+
     /// Drains `queue` in order, answering each clipped query against this
     /// shard; returns `(query_index, count, key_sum)` partials.
-    fn drain(&mut self, queue: &[(usize, QueryRange)], strategy: ParallelStrategy) -> Vec<(usize, usize, u64)> {
+    fn drain(
+        &mut self,
+        queue: &[(usize, QueryRange)],
+        strategy: ParallelStrategy,
+    ) -> Vec<(usize, usize, u64)> {
         queue
             .iter()
             .map(|&(qi, q)| {
-                let out = match strategy {
-                    ParallelStrategy::Crack => self.col.select_original(q),
-                    ParallelStrategy::Stochastic => self.col.mdd1r_select(q, &mut self.rng),
-                };
-                let (count, sum) = out
-                    .resolve(self.col.data())
-                    .fold((0usize, 0u64), |(c, s), e| (c + 1, s.wrapping_add(e.key())));
+                let (count, sum) = self.select(q, strategy);
                 (qi, count, sum)
             })
             .collect()
+    }
+
+    /// Drains a mixed op queue in submission order; selects produce
+    /// partials, updates queue into the shard's pending set.
+    fn drain_ops(
+        &mut self,
+        queue: &[(usize, BatchOp<E>)],
+        strategy: ParallelStrategy,
+    ) -> Vec<(usize, usize, u64)> {
+        let mut partials = Vec::new();
+        for &(qi, op) in queue {
+            match op {
+                BatchOp::Select(q) => {
+                    let (count, sum) = self.select(q, strategy);
+                    partials.push((qi, count, sum));
+                }
+                BatchOp::Insert(e) => self.pending.queue_insert(e),
+                BatchOp::Delete(k) => self.pending.queue_delete(k),
+            }
+        }
+        partials
     }
 }
 
@@ -102,6 +168,9 @@ pub struct BatchScheduler<E: Element> {
     /// Per-shard work queues, kept across batches and refilled in place:
     /// steady-state batches route without allocating.
     queues: Vec<Vec<(usize, QueryRange)>>,
+    /// Per-shard mixed-op queues for [`BatchScheduler::execute_ops`],
+    /// reused the same way.
+    op_queues: Vec<Vec<(usize, BatchOp<E>)>>,
 }
 
 impl<E: Element> BatchScheduler<E> {
@@ -151,6 +220,7 @@ impl<E: Element> BatchScheduler<E> {
             shards.push(BatchShard {
                 span: QueryRange::new(lo, b),
                 col: CrackedColumn::new(data, config),
+                pending: PendingUpdates::new(),
                 rng: SmallRng::seed_from_u64(seed.wrapping_add(i)),
             });
             data = tail;
@@ -160,13 +230,16 @@ impl<E: Element> BatchScheduler<E> {
         shards.push(BatchShard {
             span: QueryRange::new(lo, u64::MAX),
             col: CrackedColumn::new(data, config),
+            pending: PendingUpdates::new(),
             rng: SmallRng::seed_from_u64(seed.wrapping_add(i)),
         });
         let queues = vec![Vec::new(); shards.len()];
+        let op_queues = vec![Vec::new(); shards.len()];
         Self {
             shards,
             strategy,
             queues,
+            op_queues,
         }
     }
 
@@ -263,6 +336,116 @@ impl<E: Element> BatchScheduler<E> {
             .map(|(shard, queue)| shard.drain(queue, strategy))
             .collect();
         Self::merge(batch.len(), partials)
+    }
+
+    /// Fills the reusable per-shard op queues for a mixed batch: selects
+    /// are clipped against every overlapping shard span (as in
+    /// [`BatchScheduler::build_queues`]); inserts and deletes are
+    /// **key-routed** to the single shard whose span holds their key.
+    /// Unlike the query-only path, queues are *not* sorted — submission
+    /// order is execution order, so selects observe exactly the updates
+    /// submitted before them.
+    fn build_op_queues(&mut self, ops: &[BatchOp<E>]) {
+        for queue in &mut self.op_queues {
+            queue.clear();
+        }
+        for (qi, op) in ops.iter().enumerate() {
+            match *op {
+                BatchOp::Select(q) => {
+                    if q.is_empty() {
+                        continue;
+                    }
+                    for (si, shard) in self.shards.iter().enumerate() {
+                        let clipped = q.intersect(&shard.span);
+                        if !clipped.is_empty() {
+                            self.op_queues[si].push((qi, BatchOp::Select(clipped)));
+                        }
+                    }
+                }
+                BatchOp::Insert(e) => {
+                    let si = self.route(e.key());
+                    self.op_queues[si].push((qi, *op));
+                }
+                BatchOp::Delete(k) => {
+                    let si = self.route(k);
+                    self.op_queues[si].push((qi, *op));
+                }
+            }
+        }
+    }
+
+    /// The shard owning `key`. Spans chain contiguously over
+    /// `[0, u64::MAX)`; the one unreachable key (`u64::MAX` itself) maps
+    /// to the last shard.
+    fn route(&self, key: u64) -> usize {
+        self.shards
+            .iter()
+            .position(|s| s.span.contains(key))
+            .unwrap_or(self.shards.len() - 1)
+    }
+
+    /// Executes a mixed read/write batch partition-parallel: one scoped
+    /// worker per shard drains that shard's op queue in submission
+    /// order. Returns one `(count, key_sum)` per op in submission order;
+    /// update ops report `(0, 0)`.
+    ///
+    /// Updates queue into their shard's pending set and merge on the
+    /// first later qualifying select (possibly in a later batch — call
+    /// [`BatchScheduler::flush_updates`] to force a checkpoint).
+    pub fn execute_ops(&mut self, ops: &[BatchOp<E>]) -> Vec<(usize, u64)> {
+        self.build_op_queues(ops);
+        let strategy = self.strategy;
+        let Self {
+            shards, op_queues, ..
+        } = self;
+        let partials: Vec<Vec<(usize, usize, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .zip(op_queues.iter())
+                .map(|(shard, queue)| scope.spawn(move || shard.drain_ops(queue, strategy)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        Self::merge(ops.len(), partials)
+    }
+
+    /// [`BatchScheduler::execute_ops`] on the calling thread: identical
+    /// queues drained in shard order. Answers and [`Stats`] are
+    /// bit-identical to the parallel path — the determinism oracle for
+    /// mixed batches.
+    pub fn execute_ops_serial(&mut self, ops: &[BatchOp<E>]) -> Vec<(usize, u64)> {
+        self.build_op_queues(ops);
+        let strategy = self.strategy;
+        let Self {
+            shards, op_queues, ..
+        } = self;
+        let partials: Vec<Vec<(usize, usize, u64)>> = shards
+            .iter_mut()
+            .zip(op_queues.iter())
+            .map(|(shard, queue)| shard.drain_ops(queue, strategy))
+            .collect();
+        Self::merge(ops.len(), partials)
+    }
+
+    /// Updates queued across all shards but not yet merged into a
+    /// cracker column.
+    pub fn pending_updates(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pending.pending_inserts() + s.pending.pending_deletes())
+            .sum()
+    }
+
+    /// Merges every pending update in every shard now (a checkpoint),
+    /// returning how many were applied.
+    pub fn flush_updates(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|s| s.pending.merge_all(&mut s.col))
+            .sum()
     }
 
     /// Aggregated physical costs across shards (splitting the column at
@@ -456,6 +639,130 @@ mod tests {
             1,
         );
         assert_eq!(sched.execute(&[QueryRange::new(0, 10)]), vec![(3, 9)]);
+        sched.check_integrity().unwrap();
+    }
+
+    /// A deterministic mixed op batch: selects, key-routed inserts and
+    /// deletes (some beyond the original domain, exercising the last
+    /// shard's open span).
+    fn mixed_ops(n: u64, count: usize, salt: u64) -> Vec<BatchOp<u64>> {
+        let mut state = 0xA076_1D64_78BD_642Fu64 ^ salt;
+        (0..count)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                match i % 5 {
+                    0 | 1 => {
+                        let a = state % n;
+                        BatchOp::Select(QueryRange::new(a, a + 1 + state % 2_000))
+                    }
+                    2 => BatchOp::Select(QueryRange::new(0, n * 2)), // spans all shards
+                    3 => BatchOp::Insert(state % (n + n / 4)),
+                    _ => BatchOp::Delete(state % (n + n / 4)),
+                }
+            })
+            .collect()
+    }
+
+    /// A sorted-vec oracle replaying the same op stream with the same
+    /// per-shard visibility rule (updates apply before any later select).
+    fn ops_oracle(data: &[u64], ops: &[BatchOp<u64>]) -> Vec<(usize, u64)> {
+        let mut model: Vec<u64> = data.to_vec();
+        ops.iter()
+            .map(|op| match *op {
+                BatchOp::Select(q) => model
+                    .iter()
+                    .filter(|k| q.contains(**k))
+                    .fold((0, 0u64), |(c, s), k| (c + 1, s.wrapping_add(*k))),
+                BatchOp::Insert(k) => {
+                    model.push(k);
+                    (0, 0)
+                }
+                BatchOp::Delete(k) => {
+                    if let Some(at) = model.iter().position(|x| *x == k) {
+                        model.swap_remove(at);
+                    }
+                    (0, 0)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mixed_ops_match_oracle_in_submission_order() {
+        let n = 30_000u64;
+        let data = permuted(n);
+        for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
+            let mut sched =
+                BatchScheduler::new(data.clone(), 4, strategy, CrackConfig::default(), 11);
+            let mut model_ops: Vec<BatchOp<u64>> = Vec::new();
+            for round in 0..3u64 {
+                let ops = mixed_ops(n, 80, round);
+                let results = sched.execute_ops(&ops);
+                assert_eq!(results.len(), ops.len());
+                // The oracle needs the full history (updates persist
+                // across batches until merged).
+                let history_base = model_ops.len();
+                model_ops.extend_from_slice(&ops);
+                let expect = ops_oracle(&data, &model_ops);
+                for (qi, op) in ops.iter().enumerate() {
+                    assert_eq!(
+                        results[qi],
+                        expect[history_base + qi],
+                        "{strategy:?} round {round} op {qi} ({op:?})"
+                    );
+                }
+            }
+            sched.check_integrity().unwrap();
+            sched.flush_updates();
+            assert_eq!(sched.pending_updates(), 0);
+            sched.check_integrity().unwrap();
+        }
+    }
+
+    #[test]
+    fn ops_parallel_and_serial_execution_are_bit_identical() {
+        let n = 20_000u64;
+        let data = permuted(n);
+        for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
+            let config = CrackConfig::default();
+            let mut par = BatchScheduler::new(data.clone(), 6, strategy, config, 3);
+            let mut ser = BatchScheduler::new(data.clone(), 6, strategy, config, 3);
+            for round in 0..3u64 {
+                let ops = mixed_ops(n, 64, round);
+                assert_eq!(
+                    par.execute_ops(&ops),
+                    ser.execute_ops_serial(&ops),
+                    "{strategy:?} round {round}: answers"
+                );
+            }
+            assert_eq!(par.stats(), ser.stats(), "{strategy:?}: Stats");
+            assert_eq!(par.pending_updates(), ser.pending_updates());
+        }
+    }
+
+    #[test]
+    fn updates_are_visible_to_later_selects_only() {
+        let mut sched = BatchScheduler::new(
+            permuted(1_000),
+            4,
+            ParallelStrategy::Crack,
+            CrackConfig::default(),
+            5,
+        );
+        let ops = vec![
+            BatchOp::Select(QueryRange::new(500, 501)),
+            BatchOp::Insert(500u64),
+            BatchOp::Select(QueryRange::new(500, 501)),
+            BatchOp::Delete(500),
+            BatchOp::Delete(500),
+            BatchOp::Select(QueryRange::new(500, 501)),
+        ];
+        let results = sched.execute_ops(&ops);
+        assert_eq!(results[0], (1, 500), "before the insert");
+        assert_eq!(results[2], (2, 1_000), "after the insert");
+        assert_eq!(results[5], (0, 0), "after both deletes");
         sched.check_integrity().unwrap();
     }
 

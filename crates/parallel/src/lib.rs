@@ -21,6 +21,9 @@
 //! * [`BatchScheduler`] — throughput execution: batches of queries are
 //!   grouped by key region and run partition-parallel over key-disjoint
 //!   shards with per-shard work queues (Alvarez et al., DaMoN 2014).
+//!   Batches may interleave update ops ([`BatchOp`]): inserts/deletes
+//!   key-route to their owning shard and merge on demand through
+//!   `scrack_updates`' pending queues.
 //!
 //! Every wrapper takes a [`scrack_core::CrackConfig`], so the concurrent
 //! paths run the same branchy/branchless reorganization kernels
@@ -37,7 +40,7 @@ mod piecelock;
 mod sharded;
 mod shared;
 
-pub use batch::BatchScheduler;
+pub use batch::{BatchOp, BatchScheduler};
 pub use piecelock::PieceLockedCracker;
 pub use sharded::ShardedCracker;
 pub use shared::SharedCracker;

@@ -20,8 +20,10 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use scrack_core::{CrackConfig, CrackedColumn, IndexPolicy, KernelPolicy};
-use scrack_parallel::{BatchScheduler, ParallelStrategy, PieceLockedCracker, ShardedCracker};
+use scrack_core::{CrackConfig, CrackedColumn, IndexPolicy, KernelPolicy, UpdatePolicy};
+use scrack_parallel::{
+    BatchOp, BatchScheduler, ParallelStrategy, PieceLockedCracker, ShardedCracker,
+};
 use scrack_types::{QueryRange, Stats};
 use std::sync::Arc;
 
@@ -101,6 +103,87 @@ fn batch_scheduler_threads_match_serial_replay_bitwise() {
             }
         }
     }
+}
+
+/// A deterministic mixed read/write stream confined to keys `[0, hi)`
+/// plus an append fringe above it.
+fn mixed_op_batch(hi: u64, count: usize, salt: u64) -> Vec<BatchOp<u64>> {
+    let mut state = 0x27BB_2EE6_87B0_B0FDu64 ^ salt.wrapping_mul(0x100_0000_01B3);
+    (0..count)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let k = state % (hi + hi / 8);
+            match i % 5 {
+                0 | 1 => BatchOp::Select(QueryRange::new(state % hi, state % hi + 1 + state % 512)),
+                2 => BatchOp::Select(QueryRange::new(0, hi * 2)),
+                3 => BatchOp::Insert(k),
+                _ => BatchOp::Delete(k),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn batch_scheduler_mixed_ops_match_serial_replay_bitwise() {
+    // The mixed read/write extension of the pillar above: interleaved
+    // inserts/deletes/selects, threaded vs serial, must be bit-identical
+    // in answers, Stats, and leftover pending updates — under both
+    // kernel policies, both index policies, and both update policies.
+    let n = 30_000u64;
+    let data = column(n);
+    for kernel in POLICIES {
+        for index in INDEXES {
+            for update in UpdatePolicy::ALL {
+                let config = CrackConfig::default()
+                    .with_kernel(kernel)
+                    .with_index(index)
+                    .with_update(update);
+                let strategy = ParallelStrategy::Stochastic;
+                let mut threaded = BatchScheduler::new(data.clone(), 4, strategy, config, SEED);
+                let mut serial = BatchScheduler::new(data.clone(), 4, strategy, config, SEED);
+                for round in 0..4u64 {
+                    let ops = mixed_op_batch(n, 64, round);
+                    assert_eq!(
+                        threaded.execute_ops(&ops),
+                        serial.execute_ops_serial(&ops),
+                        "{kernel:?}/{index}/{update} round {round}: answers diverged"
+                    );
+                }
+                assert_eq!(
+                    threaded.stats(),
+                    serial.stats(),
+                    "{kernel:?}/{index}/{update}: Stats must be bit-identical"
+                );
+                assert_eq!(threaded.pending_updates(), serial.pending_updates());
+                threaded.flush_updates();
+                threaded.check_integrity().unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_scheduler_mixed_ops_answers_are_update_policy_invariant() {
+    // The tentpole contract at the concurrent layer: per-element ripple
+    // and batched merge-ripple must answer identically through the
+    // scheduler (Stats legitimately differ — fewer moves is the point).
+    let n = 24_000u64;
+    let data = column(n);
+    let mut runs = Vec::new();
+    for update in UpdatePolicy::ALL {
+        let config = CrackConfig::default().with_update(update);
+        let mut sched =
+            BatchScheduler::new(data.clone(), 4, ParallelStrategy::Stochastic, config, SEED);
+        let mut answers = Vec::new();
+        for round in 0..4u64 {
+            answers.push(sched.execute_ops(&mixed_op_batch(n, 96, round)));
+        }
+        sched.check_integrity().unwrap();
+        runs.push(answers);
+    }
+    assert_eq!(runs[0], runs[1], "answers diverged across update policies");
 }
 
 #[test]

@@ -14,16 +14,31 @@
 //! interiors are unordered, so moving an element from one edge of a piece
 //! to the other preserves every invariant.
 //!
+//! Two merge strategies implement this model behind
+//! [`scrack_core::UpdatePolicy`]:
+//!
+//! * **per-element** ([`ripple_insert`] / [`ripple_delete`]) — one full
+//!   boundary walk per update, the reference implementation;
+//! * **batched merge-ripple** ([`merge_ripple_inserts`] /
+//!   [`merge_ripple_deletes`], the default) — the qualifying batch is
+//!   sorted once and applied in a single boundary walk.
+//!
 //! [`PendingUpdates`] holds the queued inserts/deletes; [`Updatable`]
-//! wraps any cracking `Engine` with on-demand merging.
+//! wraps any cracking `Engine` exposing [`CrackAccess`] (every
+//! cracker-backed engine in the factory — build one with
+//! [`build_update_engine`]) with on-demand merging.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod merge;
 mod pending;
 mod ripple;
 mod wrapper;
 
+pub use merge::{merge_ripple_deletes, merge_ripple_inserts};
 pub use pending::PendingUpdates;
 pub use ripple::{ripple_delete, ripple_insert};
-pub use wrapper::{CrackAccess, Updatable};
+pub use wrapper::{
+    build_update_engine, update_capable_kinds, CrackAccess, Updatable, UpdateEngine,
+};

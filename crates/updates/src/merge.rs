@@ -1,0 +1,367 @@
+//! The batched **merge-ripple**: one boundary walk per update batch.
+//!
+//! The per-element Ripple ([`crate::ripple_insert`] /
+//! [`crate::ripple_delete`]) pays one full boundary walk per update —
+//! with `U` qualifying updates and `B` crack boundaries that is
+//! `O(U · B)` index hops (each a binary search on the flat
+//! representation). The merge-ripple sorts the qualifying batch once and
+//! applies it in a **single pass over the boundaries**: every crossed
+//! crack is visited exactly once and shifted by the batch's cumulative
+//! size delta, so the index cost drops to `O(U log U + B)` while the
+//! element moves stay bounded by the per-element count (at each boundary
+//! the merge moves `min(holes, piece len)` elements where per-element
+//! Ripple moves `holes`).
+//!
+//! Both passes preserve the cracker invariant piece by piece — piece
+//! interiors are unordered, so a piece may donate *any* of its elements
+//! to a neighboring slot:
+//!
+//! * **Inserts** walk boundaries right-to-left. The array grows by the
+//!   batch size, opening a hole block at the end; at each crack, the
+//!   pending inserts belonging to the piece right of it drop into the top
+//!   of the hole block, then the crack shifts right over the remaining
+//!   holes while its right piece donates leading elements to refill them.
+//! * **Deletes** walk boundaries left-to-right. Matches inside a piece
+//!   are swapped out against the piece's tail, growing a hole block at
+//!   the piece end; at each crack, the boundary shifts left over the
+//!   holes while the next piece donates trailing elements, until the
+//!   block reaches the array end and is truncated.
+//!
+//! Answers are bit-identical to the per-element reference (the merged
+//! multiset is the same); physical interior order and `Stats` counters
+//! may differ — that difference *is* the optimization.
+
+use scrack_core::CrackedColumn;
+use scrack_types::Element;
+
+/// Inserts a sorted batch of elements in one right-to-left boundary walk.
+///
+/// Equivalent in effect to calling [`crate::ripple_insert`] once per
+/// element: every insert lands in the piece whose key range contains it,
+/// and every crack position shifts by the number of inserts below it.
+///
+/// # Panics
+/// Debug builds panic if a progressive partition job is active (settle
+/// with [`CrackedColumn::settle_all_jobs`] first).
+pub fn merge_ripple_inserts<E: Element>(col: &mut CrackedColumn<E>, mut ins: Vec<E>) {
+    if ins.is_empty() {
+        return;
+    }
+    debug_assert!(
+        !col.has_active_jobs(),
+        "merge-ripple cannot run with progressive jobs in flight"
+    );
+    ins.sort_unstable_by_key(Element::key);
+    let (data, index, stats) = col.parts_mut();
+    let old_len = data.len();
+    // Grow by the batch size; the tail is a hole block (placeholder
+    // values, overwritten before the pass ends).
+    data.resize(old_len + ins.len(), ins[0]);
+    index.set_column_len(data.len());
+    let mut hole_start = old_len; // hole block spans [hole_start, hole_start + h)
+    let mut h = ins.len(); // unplaced inserts == holes
+    let mut cur = index.max_crack();
+    while let Some(id) = cur {
+        let ckey = index.crack_key(id);
+        // Inserts with key >= ckey belong to the piece right of this
+        // crack (higher cracks were already handled); drop them into the
+        // top of the hole block, which sits at that piece's end.
+        let keep = ins[..h].partition_point(|e| e.key() < ckey);
+        let placed = h - keep;
+        for i in 0..placed {
+            data[hole_start + keep + i] = ins[keep + i];
+        }
+        stats.touched += placed as u64;
+        h = keep;
+        if h == 0 {
+            break; // no inserts below this crack: nothing left to shift
+        }
+        let p = index.crack_pos(id);
+        // Shift the boundary right by the remaining holes: the right
+        // piece (currently [p, hole_start)) donates leading elements to
+        // the hole block; the vacated/remaining slots become the new
+        // hole block at the end of the piece left of the crack.
+        let s = hole_start - p;
+        let m = h.min(s);
+        let off = h.max(s);
+        for i in 0..m {
+            data[p + off + i] = data[p + i];
+        }
+        stats.touched += m as u64;
+        stats.swaps += m as u64;
+        index.set_crack_pos(id, p + h);
+        hole_start = p;
+        cur = index.crack_before(ckey);
+    }
+    // Inserts below every crack land in the bottom piece's hole block.
+    data[hole_start..hole_start + h].copy_from_slice(&ins[..h]);
+    stats.touched += h as u64;
+}
+
+/// Deletes one element per key in `del` (keys that match nothing
+/// evaporate) in one left-to-right boundary walk; returns how many
+/// elements were actually removed.
+///
+/// Equivalent in effect to calling [`crate::ripple_delete`] once per
+/// key. Pieces between delete clusters with no holes in flight are
+/// skipped entirely (the walk re-seeds at the next targeted piece).
+///
+/// # Panics
+/// Debug builds panic if a progressive partition job is active (settle
+/// with [`CrackedColumn::settle_all_jobs`] first).
+pub fn merge_ripple_deletes<E: Element>(col: &mut CrackedColumn<E>, mut del: Vec<u64>) -> usize {
+    if del.is_empty() {
+        return 0;
+    }
+    debug_assert!(
+        !col.has_active_jobs(),
+        "merge-ripple cannot run with progressive jobs in flight"
+    );
+    del.sort_unstable();
+    let mut removed = 0usize;
+    let mut di = 0usize; // cursor into the sorted delete keys
+    let mut g = 0usize; // hole block size, always at [piece_end - g, piece_end)
+    // Per-piece delete multiset, run-length encoded as sorted
+    // (key, remaining) pairs: O(log d) lookup and O(1) decrement per
+    // scanned element, so a large batch on one piece stays linear.
+    let mut want: Vec<(u64, usize)> = Vec::new();
+
+    // Seed at the piece containing the smallest delete key.
+    let first = col.index().piece_containing(del[0]);
+    let (mut start, mut end, mut hi_key, mut right) =
+        (first.start, first.end, first.hi_key, first.right_crack);
+    loop {
+        let (data, index, stats) = col.parts_mut();
+        // Delete keys targeting this piece: del[di..dj).
+        let dj = di + del[di..].partition_point(|k| hi_key.is_none_or(|hi| *k < hi));
+        if dj > di {
+            want.clear();
+            for &k in &del[di..dj] {
+                match want.last_mut() {
+                    Some((wk, c)) if *wk == k => *c += 1,
+                    _ => want.push((k, 1)),
+                }
+            }
+            let mut want_left = dj - di;
+            di = dj;
+            // Scan the piece content [start, end - g); each match swaps
+            // the piece's last content element into its slot, growing
+            // the hole block. The swapped-in element is re-examined.
+            let mut pos = start;
+            while pos < end - g && want_left > 0 {
+                let k = data[pos].key();
+                stats.touched += 1;
+                stats.comparisons += 1;
+                let hit = want
+                    .binary_search_by_key(&k, |&(wk, _)| wk)
+                    .ok()
+                    .filter(|&w| want[w].1 > 0);
+                if let Some(w) = hit {
+                    want[w].1 -= 1;
+                    want_left -= 1;
+                    data[pos] = data[end - g - 1];
+                    g += 1;
+                    removed += 1;
+                    stats.swaps += 1;
+                } else {
+                    pos += 1;
+                }
+            }
+            // Unmatched keys evaporate (absent from the column).
+        }
+        match right {
+            None => {
+                // Topmost piece: the hole block sits at the array end.
+                debug_assert_eq!(end, data.len());
+                data.truncate(end - g);
+                index.set_column_len(data.len());
+                break;
+            }
+            Some(_) if g == 0 && di < del.len() => {
+                // No holes in flight: jump straight to the next targeted
+                // piece instead of walking the boundaries between.
+                let next = col.index().piece_containing(del[di]);
+                (start, end, hi_key, right) = (next.start, next.end, next.hi_key, next.right_crack);
+            }
+            Some(_) if g == 0 => break, // nothing left to do anywhere
+            Some(id) => {
+                // Shift this boundary left over the holes; the next piece
+                // donates trailing elements to refill them, re-forming
+                // the hole block at its own end.
+                let p = index.crack_pos(id);
+                debug_assert_eq!(p, end);
+                index.set_crack_pos(id, p - g);
+                let ckey = index.crack_key(id);
+                let next_right = index.crack_after(ckey);
+                let next_end = next_right.map_or(data.len(), |nid| index.crack_pos(nid));
+                let s = next_end - p;
+                let m = g.min(s);
+                for i in 0..m {
+                    data[p - g + i] = data[next_end - m + i];
+                }
+                stats.touched += m as u64;
+                stats.swaps += m as u64;
+                let next_hi = next_right.map(|nid| index.crack_key(nid));
+                (start, end, hi_key, right) = (p - g, next_end, next_hi, next_right);
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ripple_delete, ripple_insert};
+    use scrack_core::CrackConfig;
+    use scrack_types::QueryRange;
+
+    fn cracked_column(n: u64, cracks: &[u64]) -> CrackedColumn<u64> {
+        let keys: Vec<u64> = (0..n).map(|i| (i * 7919) % n).collect();
+        let mut col = CrackedColumn::new(keys, CrackConfig::default());
+        for c in cracks {
+            col.crack_on(*c);
+        }
+        col.check_integrity().unwrap();
+        col
+    }
+
+    fn sorted_keys(col: &CrackedColumn<u64>) -> Vec<u64> {
+        let mut v = col.data().to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn batch_insert_matches_per_element_multiset_and_cracks() {
+        let ins: Vec<u64> = vec![0, 39, 40, 41, 250, 999, 1_500, 40];
+        let mut batched = cracked_column(1_000, &[100, 500, 900]);
+        let mut reference = cracked_column(1_000, &[100, 500, 900]);
+        merge_ripple_inserts(&mut batched, ins.clone());
+        for k in &ins {
+            ripple_insert(&mut reference, *k);
+        }
+        batched.check_integrity().unwrap();
+        assert_eq!(sorted_keys(&batched), sorted_keys(&reference));
+        let cb: Vec<(u64, usize)> = batched.index().iter_cracks().map(|(k, p, _)| (k, p)).collect();
+        let cr: Vec<(u64, usize)> = reference.index().iter_cracks().map(|(k, p, _)| (k, p)).collect();
+        assert_eq!(cb, cr, "crack positions must shift identically");
+    }
+
+    #[test]
+    fn batch_insert_into_uncracked_and_empty_columns() {
+        let mut col = cracked_column(10, &[]);
+        merge_ripple_inserts(&mut col, vec![3, 7, 100]);
+        assert_eq!(col.data().len(), 13);
+        col.check_integrity().unwrap();
+
+        let mut empty: CrackedColumn<u64> = CrackedColumn::new(vec![], CrackConfig::default());
+        merge_ripple_inserts(&mut empty, vec![5, 1]);
+        assert_eq!(sorted_keys(&empty), vec![1, 5]);
+        empty.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn batch_insert_through_empty_pieces() {
+        // Adjacent cracks with nothing between them: donation count is
+        // bounded by the (zero) piece size.
+        let mut col = cracked_column(100, &[]);
+        let _ = col.select_original(QueryRange::new(40, 41)); // cracks 40, 41
+        let _ = col.select_original(QueryRange::new(41, 42)); // piece [41,42) of size 1
+        merge_ripple_inserts(&mut col, vec![0, 1, 2, 3, 40, 41]);
+        col.check_integrity().unwrap();
+        assert_eq!(col.data().len(), 106);
+        let out = col.select_original(QueryRange::new(40, 42));
+        assert_eq!(out.keys_sorted(col.data()), vec![40, 40, 41, 41]);
+    }
+
+    #[test]
+    fn batch_delete_matches_per_element_multiset_and_cracks() {
+        let del: Vec<u64> = vec![0, 99, 100, 450, 450, 899, 999, 5_000];
+        let mut batched = cracked_column(1_000, &[100, 500, 900]);
+        let mut reference = cracked_column(1_000, &[100, 500, 900]);
+        let removed = merge_ripple_deletes(&mut batched, del.clone());
+        let mut ref_removed = 0;
+        for k in &del {
+            if ripple_delete(&mut reference, *k).is_some() {
+                ref_removed += 1;
+            }
+        }
+        batched.check_integrity().unwrap();
+        assert_eq!(removed, ref_removed);
+        assert_eq!(removed, 6, "450 exists once; 5000 never");
+        assert_eq!(sorted_keys(&batched), sorted_keys(&reference));
+        let cb: Vec<(u64, usize)> = batched.index().iter_cracks().map(|(k, p, _)| (k, p)).collect();
+        let cr: Vec<(u64, usize)> = reference.index().iter_cracks().map(|(k, p, _)| (k, p)).collect();
+        assert_eq!(cb, cr);
+    }
+
+    #[test]
+    fn batch_delete_drains_small_pieces_completely() {
+        let mut col = cracked_column(100, &[10, 20, 90]);
+        // Delete the whole piece [10, 20) plus neighbors in one batch.
+        let del: Vec<u64> = (5..25).collect();
+        let removed = merge_ripple_deletes(&mut col, del);
+        assert_eq!(removed, 20);
+        assert_eq!(col.data().len(), 80);
+        col.check_integrity().unwrap();
+        let out = col.select_original(QueryRange::new(0, 30));
+        assert_eq!(out.keys_sorted(col.data()), (0..5).chain(25..30).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn batch_delete_of_only_absent_keys_is_a_noop() {
+        let mut col = cracked_column(50, &[25]);
+        assert_eq!(merge_ripple_deletes(&mut col, vec![1_000, 2_000]), 0);
+        assert_eq!(col.data().len(), 50);
+        col.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn interleaved_batches_match_per_element_reference() {
+        let mut batched = cracked_column(500, &[100, 200, 300, 400]);
+        let mut reference = batched.clone();
+        let mut state = 0x1234_5678u64;
+        for round in 0..20u64 {
+            let mut ins = Vec::new();
+            let mut del = Vec::new();
+            for i in 0..25u64 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let k = state % 700;
+                if (round + i) % 3 == 0 {
+                    ins.push(k);
+                } else {
+                    del.push(k);
+                }
+            }
+            merge_ripple_inserts(&mut batched, ins.clone());
+            merge_ripple_deletes(&mut batched, del.clone());
+            for k in ins {
+                ripple_insert(&mut reference, k);
+            }
+            for k in del {
+                let _ = ripple_delete(&mut reference, k);
+            }
+            batched.check_integrity().unwrap();
+            assert_eq!(sorted_keys(&batched), sorted_keys(&reference), "round {round}");
+        }
+    }
+
+    #[test]
+    fn batch_cost_is_one_walk_not_per_element() {
+        // 8 boundaries, 64 inserts below all of them: per-element Ripple
+        // moves 64 * 8 elements; the merge moves at most 8 * 64 too, but
+        // its *index* walk is one pass — touched stays near one donation
+        // set per boundary plus the placements.
+        let cracks: Vec<u64> = (1..9).map(|i| i * 1_000).collect();
+        let mut col = cracked_column(10_000, &cracks);
+        let before = col.stats();
+        merge_ripple_inserts(&mut col, vec![0; 64]);
+        let delta = col.stats().since(&before);
+        // 64 placements + 8 boundaries x 64 donations max.
+        assert!(delta.touched <= 64 + 8 * 64, "touched {}", delta.touched);
+        col.check_integrity().unwrap();
+    }
+}

@@ -1,7 +1,8 @@
 //! Pending-update queues.
 
+use crate::merge::{merge_ripple_deletes, merge_ripple_inserts};
 use crate::ripple::{ripple_delete, ripple_insert};
-use scrack_core::CrackedColumn;
+use scrack_core::{CrackedColumn, UpdatePolicy};
 use scrack_types::{Element, QueryRange};
 
 /// Updates that have arrived but not yet been merged into the cracked
@@ -11,8 +12,17 @@ use scrack_types::{Element, QueryRange};
 /// nothing; a query pays only for the pending updates *qualifying for its
 /// range*, which are merged just before the query is answered ("the
 /// qualifying updates for the given query are merged during cracking for
-/// Q", §5). Inserts are merged before deletes, so a same-batch
-/// insert+delete of one key cancels out.
+/// Q", §5).
+///
+/// # Ordering invariant: inserts before deletes
+///
+/// Within one merge, **all qualifying inserts are applied before any
+/// qualifying delete**. This is what makes a same-batch insert+delete of
+/// one key cancel out (the delete finds the freshly inserted element)
+/// instead of silently dropping the delete against a key that does not
+/// exist yet. Both [`UpdatePolicy`] implementations uphold it: the
+/// per-element path ripples the insert queue first, the batched path runs
+/// its insert pass before its delete pass.
 #[derive(Debug, Clone, Default)]
 pub struct PendingUpdates<E> {
     inserts: Vec<E>,
@@ -48,38 +58,88 @@ impl<E: Element> PendingUpdates<E> {
         self.deletes.len()
     }
 
-    /// Merges every pending update whose key falls in `q` into the column,
-    /// returning how many updates were applied.
-    pub fn merge_qualifying(&mut self, col: &mut CrackedColumn<E>, q: QueryRange) -> usize {
-        let mut applied = 0;
-        let mut i = 0;
-        while i < self.inserts.len() {
-            if q.contains(self.inserts[i].key()) {
-                let e = self.inserts.swap_remove(i);
-                ripple_insert(col, e);
-                applied += 1;
-            } else {
-                i += 1;
+    /// Whether any pending update falls inside `q` (one non-allocating
+    /// pass; the cheap pre-check for the common no-merge query).
+    pub fn any_qualifying(&self, q: QueryRange) -> bool {
+        self.inserts.iter().any(|e| q.contains(e.key()))
+            || self.deletes.iter().any(|k| q.contains(*k))
+    }
+
+    /// Removes and returns the pending updates qualifying for `q` as
+    /// `(inserts, deletes)`, preserving arrival order. One stable
+    /// `retain` pass per queue — no per-removal rescans.
+    fn drain_qualifying(&mut self, q: QueryRange) -> (Vec<E>, Vec<u64>) {
+        let mut ins = Vec::new();
+        self.inserts.retain(|e| {
+            let take = q.contains(e.key());
+            if take {
+                ins.push(*e);
             }
+            !take
+        });
+        let mut del = Vec::new();
+        self.deletes.retain(|k| {
+            let take = q.contains(*k);
+            if take {
+                del.push(*k);
+            }
+            !take
+        });
+        (ins, del)
+    }
+
+    /// Merges every pending update whose key falls in `q` into the column,
+    /// returning how many updates were applied (a delete of an absent key
+    /// counts as applied: it leaves the queue and evaporates).
+    ///
+    /// The physical merge strategy follows the column's configured
+    /// [`UpdatePolicy`]; answers are identical under both (see the
+    /// type-level docs for the insert-before-delete ordering invariant).
+    pub fn merge_qualifying(&mut self, col: &mut CrackedColumn<E>, q: QueryRange) -> usize {
+        if !self.any_qualifying(q) {
+            return 0;
         }
-        let mut i = 0;
-        while i < self.deletes.len() {
-            if q.contains(self.deletes[i]) {
-                let k = self.deletes.swap_remove(i);
-                // A delete whose key is absent simply evaporates (it may
-                // have targeted a never-inserted key).
-                let _ = ripple_delete(col, k);
-                applied += 1;
-            } else {
-                i += 1;
+        let (ins, del) = self.drain_qualifying(q);
+        Self::apply(col, ins, del)
+    }
+
+    /// Merges *all* pending updates unconditionally (e.g. at a
+    /// checkpoint). Unlike any range-driven merge, this includes updates
+    /// with key `u64::MAX`, which no half-open [`QueryRange`] can cover.
+    pub fn merge_all(&mut self, col: &mut CrackedColumn<E>) -> usize {
+        let ins = std::mem::take(&mut self.inserts);
+        let del = std::mem::take(&mut self.deletes);
+        if ins.is_empty() && del.is_empty() {
+            return 0;
+        }
+        Self::apply(col, ins, del)
+    }
+
+    /// Applies a drained batch under the column's [`UpdatePolicy`],
+    /// inserts before deletes (see the type-level ordering invariant).
+    fn apply(col: &mut CrackedColumn<E>, ins: Vec<E>, del: Vec<u64>) -> usize {
+        let applied = ins.len() + del.len();
+        // Ripple moves elements across piece boundaries, which would
+        // invalidate progressive-job cursors; settle them first (no-op
+        // for every non-progressive engine).
+        col.settle_all_jobs();
+        match col.config().update {
+            UpdatePolicy::PerElement => {
+                for e in ins {
+                    ripple_insert(col, e);
+                }
+                for k in del {
+                    // A delete whose key is absent simply evaporates (it
+                    // may have targeted a never-inserted key).
+                    let _ = ripple_delete(col, k);
+                }
+            }
+            UpdatePolicy::Batched => {
+                merge_ripple_inserts(col, ins);
+                let _ = merge_ripple_deletes(col, del);
             }
         }
         applied
-    }
-
-    /// Merges *all* pending updates unconditionally (e.g. at a checkpoint).
-    pub fn merge_all(&mut self, col: &mut CrackedColumn<E>) -> usize {
-        self.merge_qualifying(col, QueryRange::new(0, u64::MAX))
     }
 }
 
@@ -88,67 +148,113 @@ mod tests {
     use super::*;
     use scrack_core::CrackConfig;
 
-    fn column(n: u64) -> CrackedColumn<u64> {
+    fn column(n: u64, update: UpdatePolicy) -> CrackedColumn<u64> {
         let keys: Vec<u64> = (0..n).map(|i| (i * 311) % n).collect();
-        let mut col = CrackedColumn::new(keys, CrackConfig::default());
+        let mut col = CrackedColumn::new(keys, CrackConfig::default().with_update(update));
         col.crack_on(n / 3);
         col.crack_on(2 * n / 3);
         col
     }
 
     #[test]
-    fn only_qualifying_updates_merge() {
-        let mut col = column(300);
-        let mut pending = PendingUpdates::new();
-        pending.queue_insert(50u64);
-        pending.queue_insert(250u64);
-        pending.queue_delete(60);
-        pending.queue_delete(260);
-        let applied = pending.merge_qualifying(&mut col, QueryRange::new(40, 70));
-        assert_eq!(applied, 2, "only the in-range insert and delete");
-        assert_eq!(pending.pending_inserts(), 1);
-        assert_eq!(pending.pending_deletes(), 1);
-        col.check_integrity().unwrap();
-        // 50 inserted (now twice), 60 gone.
-        let out = col.select_original(QueryRange::new(50, 51));
-        assert_eq!(out.len(), 2);
-        let out = col.select_original(QueryRange::new(60, 61));
-        assert_eq!(out.len(), 0);
+    fn only_qualifying_updates_merge_under_both_policies() {
+        for policy in UpdatePolicy::ALL {
+            let mut col = column(300, policy);
+            let mut pending = PendingUpdates::new();
+            pending.queue_insert(50u64);
+            pending.queue_insert(250u64);
+            pending.queue_delete(60);
+            pending.queue_delete(260);
+            assert!(pending.any_qualifying(QueryRange::new(40, 70)));
+            let applied = pending.merge_qualifying(&mut col, QueryRange::new(40, 70));
+            assert_eq!(applied, 2, "{policy}: only the in-range insert and delete");
+            assert_eq!(pending.pending_inserts(), 1);
+            assert_eq!(pending.pending_deletes(), 1);
+            col.check_integrity().unwrap();
+            // 50 inserted (now twice), 60 gone.
+            let out = col.select_original(QueryRange::new(50, 51));
+            assert_eq!(out.len(), 2, "{policy}");
+            let out = col.select_original(QueryRange::new(60, 61));
+            assert_eq!(out.len(), 0, "{policy}");
+        }
     }
 
     #[test]
     fn merge_all_drains_queues() {
-        let mut col = column(100);
-        let mut pending = PendingUpdates::new();
-        for k in [5u64, 15, 25] {
-            pending.queue_insert(k);
+        for policy in UpdatePolicy::ALL {
+            let mut col = column(100, policy);
+            let mut pending = PendingUpdates::new();
+            for k in [5u64, 15, 25] {
+                pending.queue_insert(k);
+            }
+            pending.queue_delete(40);
+            assert_eq!(pending.merge_all(&mut col), 4, "{policy}");
+            assert_eq!(pending.pending_inserts(), 0);
+            assert_eq!(pending.pending_deletes(), 0);
+            assert_eq!(col.data().len(), 102, "{policy}");
+            col.check_integrity().unwrap();
         }
-        pending.queue_delete(40);
-        assert_eq!(pending.merge_all(&mut col), 4);
-        assert_eq!(pending.pending_inserts(), 0);
-        assert_eq!(pending.pending_deletes(), 0);
-        assert_eq!(col.data().len(), 102);
-        col.check_integrity().unwrap();
     }
 
     #[test]
     fn insert_then_delete_same_key_cancels() {
-        let mut col = column(100);
-        let before = col.data().len();
-        let mut pending = PendingUpdates::new();
-        pending.queue_insert(1_000u64); // key outside original domain
-        pending.queue_delete(1_000);
-        pending.merge_all(&mut col);
-        assert_eq!(col.data().len(), before);
-        col.check_integrity().unwrap();
+        // The insert-before-delete ordering invariant, under both
+        // policies: a same-batch insert+delete of one (previously absent)
+        // key must cancel out.
+        for policy in UpdatePolicy::ALL {
+            let mut col = column(100, policy);
+            let before = col.data().len();
+            let mut pending = PendingUpdates::new();
+            pending.queue_insert(1_000u64); // key outside original domain
+            pending.queue_delete(1_000);
+            pending.merge_all(&mut col);
+            assert_eq!(col.data().len(), before, "{policy}");
+            col.check_integrity().unwrap();
+        }
     }
 
     #[test]
     fn delete_of_absent_key_evaporates() {
-        let mut col = column(100);
+        for policy in UpdatePolicy::ALL {
+            let mut col = column(100, policy);
+            let mut pending = PendingUpdates::new();
+            pending.queue_delete(9_999);
+            assert_eq!(pending.merge_all(&mut col), 1, "{policy}");
+            assert_eq!(col.data().len(), 100, "{policy}");
+        }
+    }
+
+    #[test]
+    fn merge_all_covers_the_extreme_key() {
+        // No half-open QueryRange can contain u64::MAX; the checkpoint
+        // merge must still flush it.
+        for policy in UpdatePolicy::ALL {
+            let mut col = column(100, policy);
+            let mut pending = PendingUpdates::new();
+            pending.queue_insert(u64::MAX);
+            assert_eq!(pending.merge_all(&mut col), 1, "{policy}");
+            assert_eq!(pending.pending_inserts(), 0, "{policy}");
+            assert_eq!(col.data().len(), 101, "{policy}");
+            col.check_integrity().unwrap();
+            pending.queue_delete(u64::MAX);
+            assert_eq!(pending.merge_all(&mut col), 1, "{policy}");
+            assert_eq!(col.data().len(), 100, "{policy}");
+            col.check_integrity().unwrap();
+        }
+    }
+
+    #[test]
+    fn non_qualifying_merge_is_free_and_keeps_order() {
+        let mut col = column(100, UpdatePolicy::Batched);
         let mut pending = PendingUpdates::new();
-        pending.queue_delete(9_999);
-        assert_eq!(pending.merge_all(&mut col), 1);
-        assert_eq!(col.data().len(), 100);
+        for k in [200u64, 300, 400] {
+            pending.queue_insert(k);
+        }
+        assert!(!pending.any_qualifying(QueryRange::new(0, 100)));
+        assert_eq!(pending.merge_qualifying(&mut col, QueryRange::new(0, 100)), 0);
+        // Drain order preserves arrival order (the partition is stable).
+        let (ins, _) = pending.drain_qualifying(QueryRange::new(250, 450));
+        assert_eq!(ins, vec![300, 400]);
+        assert_eq!(pending.pending_inserts(), 1);
     }
 }

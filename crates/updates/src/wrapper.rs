@@ -2,34 +2,183 @@
 
 use crate::pending::PendingUpdates;
 use scrack_columnstore::QueryOutput;
-use scrack_core::{CrackEngine, CrackedColumn, Engine, Mdd1rEngine};
+use scrack_core::{
+    CrackConfig, CrackEngine, CrackedColumn, Dd1cEngine, Dd1rEngine, DdcEngine, DdrEngine, Engine,
+    EngineKind, Mdd1rEngine, ProgressiveEngine, RandomInjectEngine, SelectiveEngine,
+};
 use scrack_types::{Element, QueryRange, Stats};
 
 /// Engines exposing their underlying cracker column, so updates can be
 /// rippled in.
+///
+/// Every cracker-backed engine in the factory implements this (`Scan` and
+/// `Sort` have no cracker column and are excluded); progressive engines
+/// are supported too — the merge path settles their in-flight partition
+/// jobs before rippling ([`CrackedColumn::settle_all_jobs`]).
 pub trait CrackAccess<E: Element> {
     /// The engine's cracker column.
     fn cracked_mut(&mut self) -> &mut CrackedColumn<E>;
 }
 
-impl<E: Element> CrackAccess<E> for CrackEngine<E> {
-    fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
-        CrackEngine::cracked_mut(self)
+macro_rules! impl_crack_access {
+    ($($ty:ident),+ $(,)?) => {
+        $(impl<E: Element> CrackAccess<E> for $ty<E> {
+            fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+                $ty::cracked_mut(self)
+            }
+        })+
+    };
+}
+
+impl_crack_access!(
+    CrackEngine,
+    DdcEngine,
+    DdrEngine,
+    Dd1cEngine,
+    Dd1rEngine,
+    Mdd1rEngine,
+    ProgressiveEngine,
+    SelectiveEngine,
+    RandomInjectEngine,
+);
+
+/// Object-safe union of [`Engine`] and [`CrackAccess`], so update-capable
+/// engines can be built dynamically from an [`EngineKind`]
+/// ([`build_update_engine`]) and still compose with [`Updatable`].
+pub trait UpdateEngine<E: Element>: Engine<E> + CrackAccess<E> {}
+
+impl<E: Element, T: Engine<E> + CrackAccess<E>> UpdateEngine<E> for T {}
+
+impl<E: Element> Engine<E> for Box<dyn UpdateEngine<E>> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        self.as_mut().select(q)
+    }
+
+    fn data(&self) -> &[E] {
+        self.as_ref().data()
+    }
+
+    fn stats(&self) -> Stats {
+        self.as_ref().stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.as_mut().reset_stats();
     }
 }
 
-impl<E: Element> CrackAccess<E> for Mdd1rEngine<E> {
+impl<E: Element> CrackAccess<E> for Box<dyn UpdateEngine<E>> {
     fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
-        Mdd1rEngine::cracked_mut(self)
+        self.as_mut().cracked_mut()
+    }
+}
+
+/// Every [`EngineKind`] that owns a cracker column and therefore supports
+/// updates — [`EngineKind::paper_selection`] minus the `Scan`/`Sort`
+/// baselines.
+pub fn update_capable_kinds() -> Vec<EngineKind> {
+    EngineKind::paper_selection()
+        .into_iter()
+        .filter(|k| !matches!(k, EngineKind::Scan | EngineKind::Sort))
+        .collect()
+}
+
+/// Builds an [`Updatable`] over any update-capable factory engine.
+///
+/// The mirror of [`scrack_core::build_engine`] for mixed read/write
+/// workloads: the same kinds, seeds and [`CrackConfig`] knobs (including
+/// [`scrack_core::UpdatePolicy`]), wrapped with an empty pending-update
+/// queue.
+///
+/// # Panics
+/// If `kind` is `Scan` or `Sort` (no cracker column to merge into).
+pub fn build_update_engine<E: Element>(
+    kind: EngineKind,
+    data: Vec<E>,
+    config: CrackConfig,
+    seed: u64,
+) -> Updatable<Box<dyn UpdateEngine<E>>, E> {
+    let engine: Box<dyn UpdateEngine<E>> = match kind {
+        EngineKind::Scan | EngineKind::Sort => {
+            panic!("{} has no cracker column; updates are unsupported", kind.label())
+        }
+        EngineKind::Crack => Box::new(CrackEngine::new(data, config)),
+        EngineKind::Ddc => Box::new(DdcEngine::new(data, config)),
+        EngineKind::Ddr => Box::new(DdrEngine::new(data, config, seed)),
+        EngineKind::Dd1c => Box::new(Dd1cEngine::new(data, config)),
+        EngineKind::Dd1r => Box::new(Dd1rEngine::new(data, config, seed)),
+        EngineKind::Mdd1r => Box::new(Mdd1rEngine::new(data, config, seed)),
+        EngineKind::Progressive { swap_pct } => Box::new(ProgressiveEngine::new(
+            data,
+            config,
+            seed,
+            f64::from(swap_pct),
+        )),
+        EngineKind::EveryX { .. }
+        | EngineKind::FlipCoin
+        | EngineKind::Monitor { .. }
+        | EngineKind::SizeThreshold
+        | EngineKind::RandomInject { .. } => {
+            return Updatable::new(build_selective_like(kind, data, config, seed));
+        }
+    };
+    Updatable::new(engine)
+}
+
+/// The selective/naive kinds share enough construction shape to go
+/// through one helper (keeps the match above readable).
+fn build_selective_like<E: Element>(
+    kind: EngineKind,
+    data: Vec<E>,
+    config: CrackConfig,
+    seed: u64,
+) -> Box<dyn UpdateEngine<E>> {
+    use scrack_core::SelectivePolicy;
+    match kind {
+        EngineKind::EveryX { x } => Box::new(SelectiveEngine::new(
+            data,
+            config,
+            seed,
+            SelectivePolicy::EveryX(x),
+        )),
+        EngineKind::FlipCoin => Box::new(SelectiveEngine::new(
+            data,
+            config,
+            seed,
+            SelectivePolicy::FlipCoin(0.5),
+        )),
+        EngineKind::Monitor { threshold } => Box::new(SelectiveEngine::new(
+            data,
+            config,
+            seed,
+            SelectivePolicy::Monitor(threshold),
+        )),
+        EngineKind::SizeThreshold => Box::new(SelectiveEngine::new(
+            data,
+            config,
+            seed,
+            SelectivePolicy::SizeThreshold,
+        )),
+        EngineKind::RandomInject { every } => {
+            Box::new(RandomInjectEngine::new(data, config, seed, every))
+        }
+        other => unreachable!("{other:?} handled by build_update_engine"),
     }
 }
 
 /// A cracking engine with a pending-update queue merged on demand.
 ///
-/// This is the setup of the paper's Fig. 15: updates interleave with
-/// queries; each query first ripples in the pending updates qualifying for
-/// its range, then proceeds as usual. Works for `Crack` and `MDD1R`
-/// (`Scrack`) — the two strategies the figure compares.
+/// This is the setup of the paper's Fig. 15 — updates interleave with
+/// queries; each query first ripples in the pending updates qualifying
+/// for its range, then proceeds as usual — generalized to the whole
+/// engine zoo: any [`Engine`] exposing [`CrackAccess`] composes, under
+/// either index representation and either
+/// [`scrack_core::UpdatePolicy`]. Use [`build_update_engine`] to
+/// construct one from an [`EngineKind`].
 #[derive(Debug, Clone)]
 pub struct Updatable<Eng, E> {
     engine: Eng,
@@ -64,9 +213,21 @@ where
         self.pending.pending_inserts() + self.pending.pending_deletes()
     }
 
+    /// Merges every pending update now (a checkpoint), returning how many
+    /// were applied.
+    pub fn flush(&mut self) -> usize {
+        self.pending.merge_all(self.engine.cracked_mut())
+    }
+
     /// The wrapped engine.
     pub fn inner(&self) -> &Eng {
         &self.engine
+    }
+
+    /// Full integrity check of the underlying cracker column (tests
+    /// only; O(n)).
+    pub fn check_integrity(&mut self) -> Result<(), String> {
+        self.engine.cracked_mut().check_integrity()
     }
 }
 
@@ -100,7 +261,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scrack_core::CrackConfig;
+    use scrack_core::{CrackConfig, UpdatePolicy};
 
     #[test]
     fn queries_see_queued_inserts_in_their_range() {
@@ -145,5 +306,100 @@ mod tests {
             delta.swaps
         );
         assert_eq!(eng.pending_len(), 100);
+    }
+
+    #[test]
+    fn every_update_capable_kind_builds_and_answers() {
+        let data: Vec<u64> = (0..2_000).map(|i| (i * 13) % 2_000).collect();
+        for kind in update_capable_kinds() {
+            for policy in UpdatePolicy::ALL {
+                let config = CrackConfig::default()
+                    .with_crack_size(64)
+                    .with_progressive_threshold(256)
+                    .with_update(policy);
+                let mut eng = build_update_engine(kind, data.clone(), config, 7);
+                eng.insert(100u64);
+                eng.insert(3_000u64); // beyond the original domain
+                eng.delete(101);
+                let out = eng.select(QueryRange::new(95, 110));
+                // 95..110 minus deleted 101, plus duplicate 100.
+                assert_eq!(out.len(), 15, "{} / {policy}", eng.name());
+                let out = eng.select(QueryRange::new(2_990, 3_010));
+                assert_eq!(out.len(), 1, "{} / {policy}: appended key", eng.name());
+                eng.check_integrity().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn progressive_jobs_are_settled_before_merging() {
+        // A progressive engine with a tiny budget holds partition jobs
+        // across queries; merging updates must settle them first instead
+        // of corrupting the cursors.
+        let data: Vec<u64> = (0..50_000).map(|i| (i * 7_919) % 50_000).collect();
+        let config = CrackConfig::default()
+            .with_crack_size(64)
+            .with_progressive_threshold(1_000);
+        let mut eng = Updatable::new(ProgressiveEngine::new(data, config, 3, 1.0));
+        let _ = eng.select(QueryRange::new(10_000, 10_100)); // starts a job
+        eng.insert(10_050u64);
+        eng.delete(10_060);
+        let out = eng.select(QueryRange::new(10_000, 10_100));
+        assert_eq!(out.len(), 100, "one insert, one delete");
+        eng.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn flush_applies_everything() {
+        let keys: Vec<u64> = (0..500).collect();
+        let mut eng = Updatable::new(CrackEngine::new(keys, CrackConfig::default()));
+        eng.insert(10_000u64);
+        eng.delete(3);
+        assert_eq!(eng.flush(), 2);
+        assert_eq!(eng.pending_len(), 0);
+        assert_eq!(eng.data().len(), 500);
+        eng.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn build_update_engine_mirrors_the_core_factory() {
+        // The "mirror of build_engine" contract: for every
+        // update-capable kind, both factories must construct
+        // identically-parameterized engines — same name, and (with no
+        // updates queued) bit-identical answers and Stats over a query
+        // stream. Catches silent drift between the two match arms.
+        let data: Vec<u64> = (0..3_000).map(|i| (i * 31) % 3_000).collect();
+        let queries: Vec<QueryRange> = (0..40u64)
+            .map(|i| QueryRange::new((i * 523) % 2_500, (i * 523) % 2_500 + 1 + (i * 17) % 200))
+            .collect();
+        let config = CrackConfig::default()
+            .with_crack_size(64)
+            .with_progressive_threshold(256);
+        for kind in update_capable_kinds() {
+            let mut core = scrack_core::build_engine::<u64>(kind, data.clone(), config, 9);
+            let mut upd = build_update_engine::<u64>(kind, data.clone(), config, 9);
+            assert_eq!(core.name(), Engine::name(&upd), "{kind:?}: name drifted");
+            for (qi, q) in queries.iter().enumerate() {
+                let a = core.select(*q);
+                let b = upd.select(*q);
+                assert_eq!(
+                    (a.len(), a.key_checksum(core.data())),
+                    (b.len(), b.key_checksum(Engine::data(&upd))),
+                    "{kind:?}: query {qi} diverged between factories"
+                );
+            }
+            assert_eq!(core.stats(), Engine::stats(&upd), "{kind:?}: Stats drifted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no cracker column")]
+    fn scan_is_rejected() {
+        let _ = build_update_engine::<u64>(
+            EngineKind::Scan,
+            vec![1, 2, 3],
+            CrackConfig::default(),
+            0,
+        );
     }
 }

@@ -12,9 +12,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+//! [`MixedWorkloadSpec`] interleaves any read pattern with update bursts
+//! (Fig. 15's scenario, generalized to rate/burst/key-distribution
+//! sweeps) for the update-grade serving experiments.
+
 pub mod data;
+mod mixed;
 mod skyserver;
 mod synthetic;
 
+pub use mixed::{MixedOp, MixedWorkloadSpec, UpdateKeyDist};
 pub use skyserver::{skyserver_trace, SkyServerConfig};
 pub use synthetic::{WorkloadKind, WorkloadSpec};

@@ -1,0 +1,166 @@
+//! Integration tests for the workload generators: cross-module
+//! determinism, distribution sanity against the documented key regions,
+//! and stability of the synthetic SkyServer sampling.
+//!
+//! The unit tests inside each module pin per-pattern formulas; this
+//! suite checks the generator *contracts* other crates rely on — the
+//! experiments harness and the `BENCH_*` reporters assume that a spec
+//! plus a seed identifies one exact stream forever.
+
+use scrack_types::QueryRange;
+use scrack_workloads::{
+    data, skyserver_trace, MixedOp, MixedWorkloadSpec, SkyServerConfig, UpdateKeyDist,
+    WorkloadKind, WorkloadSpec,
+};
+
+const N: u64 = 200_000;
+const Q: usize = 4_000;
+const SEED: u64 = 0xBE7C;
+
+#[test]
+fn every_generator_is_deterministic_under_a_fixed_seed() {
+    // One spec + one seed = one exact stream, across every generator
+    // the harness consumes.
+    for kind in WorkloadKind::all_concrete()
+        .into_iter()
+        .chain([WorkloadKind::Mixed])
+    {
+        let spec = WorkloadSpec::new(kind, N, Q, SEED);
+        assert_eq!(spec.generate(), spec.generate(), "{kind:?}");
+    }
+    let sky = SkyServerConfig::new(N, Q, SEED);
+    assert_eq!(skyserver_trace(sky), skyserver_trace(sky));
+    let mixed = MixedWorkloadSpec::fig15(WorkloadKind::Sequential, N, Q, SEED);
+    assert_eq!(mixed.generate(), mixed.generate());
+    assert_eq!(
+        data::unique_permutation::<u64>(N, SEED),
+        data::unique_permutation::<u64>(N, SEED)
+    );
+    assert_eq!(
+        data::uniform_with_duplicates::<u64>(N, 100, SEED),
+        data::uniform_with_duplicates::<u64>(N, 100, SEED)
+    );
+}
+
+#[test]
+fn skew_hits_the_documented_key_regions() {
+    // Skew's contract (Fig. 7): the first 80% of queries stay in the
+    // lower 80% of the domain, the final 20% in the top 20%.
+    let qs = WorkloadSpec::new(WorkloadKind::Skew, N, Q, SEED).generate();
+    let split = Q * 4 / 5;
+    assert!(qs[..split].iter().all(|r| r.low < N * 4 / 5));
+    assert!(qs[split..].iter().all(|r| r.low >= N * 4 / 5));
+    // And the low phase actually spreads over its region rather than
+    // clustering: every decile of [0, 0.8N) gets hit.
+    let decile = N * 4 / 5 / 10;
+    for d in 0..10u64 {
+        let hits = qs[..split]
+            .iter()
+            .filter(|r| r.low / decile == d)
+            .count();
+        assert!(hits > split / 100, "decile {d} underpopulated: {hits}");
+    }
+}
+
+#[test]
+fn periodic_sweeps_cover_the_domain_repeatedly() {
+    let qs = WorkloadSpec::new(WorkloadKind::Periodic, N, Q, SEED).generate();
+    let wraps = qs.windows(2).filter(|w| w[1].low < w[0].low).count();
+    assert!(wraps >= 5, "documented as ~10 sweeps, saw {wraps} wraps");
+    // Each sweep visits both halves of the domain.
+    assert!(qs.iter().any(|r| r.low < N / 10));
+    assert!(qs.iter().any(|r| r.low > N * 8 / 10));
+}
+
+#[test]
+fn sequential_walks_the_domain_once_in_order() {
+    let qs = WorkloadSpec::new(WorkloadKind::Sequential, N, Q, SEED).generate();
+    assert_eq!(qs[0].low, 0, "starts at the domain bottom");
+    assert!(qs.windows(2).all(|w| w[0].low <= w[1].low), "monotone walk");
+    assert!(
+        qs.last().unwrap().high > N * 9 / 10,
+        "reaches the domain end"
+    );
+}
+
+#[test]
+fn skyserver_sampling_is_stable_and_sky_shaped() {
+    // The trace's two defining properties hold at any sampled scale and
+    // seed: local focus (consecutive queries close) and eventual broad
+    // coverage — the robustness pathology the paper replays.
+    for seed in [1u64, 7, 42] {
+        let t = skyserver_trace(SkyServerConfig::new(N, Q, seed));
+        assert_eq!(t.len(), Q);
+        assert!(t.iter().all(|q| !q.is_empty() && q.high <= N), "seed {seed}");
+        let close = t
+            .windows(2)
+            .filter(|w| w[0].low.abs_diff(w[1].low) < N / 50)
+            .count();
+        assert!(
+            close > t.len() * 3 / 4,
+            "seed {seed}: trace not locally focused ({close}/{} close steps)",
+            t.len()
+        );
+    }
+    // Stability across scales: a longer trace with the same seed starts
+    // with more phases, not a different shape — the span keeps growing.
+    let short = skyserver_trace(SkyServerConfig::new(N, Q, SEED));
+    let long = skyserver_trace(SkyServerConfig::new(N, Q * 4, SEED));
+    let span = |t: &[QueryRange]| {
+        let min = t.iter().map(|q| q.low).min().unwrap();
+        let max = t.iter().map(|q| q.high).max().unwrap();
+        max - min
+    };
+    assert!(span(&long) >= span(&short));
+}
+
+#[test]
+fn mixed_stream_preserves_the_read_pattern() {
+    // Filtering the queries back out of a mixed stream must yield
+    // exactly the underlying read workload — updates interleave, they
+    // do not perturb the read side.
+    let spec = MixedWorkloadSpec::fig15(WorkloadKind::SeqRandom, N, Q, SEED)
+        .with_update_rate(2.0)
+        .with_burst(25)
+        .with_insert_fraction(0.6)
+        .with_keys(UpdateKeyDist::Uniform);
+    let ops = spec.generate();
+    let reads: Vec<QueryRange> = ops
+        .iter()
+        .filter_map(|op| match op {
+            MixedOp::Query(q) => Some(*q),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reads, spec.read.generate());
+    let updates = ops.len() - reads.len();
+    assert_eq!(updates, spec.total_updates());
+    assert_eq!(updates, 2 * Q);
+}
+
+#[test]
+fn mixed_key_distributions_land_where_documented() {
+    for (keys, check) in [
+        (
+            UpdateKeyDist::Uniform,
+            Box::new(|k: u64| k < N) as Box<dyn Fn(u64) -> bool>,
+        ),
+        (
+            UpdateKeyDist::Hotspot {
+                center: 0.25,
+                width: 0.02,
+            },
+            Box::new(|k: u64| k.abs_diff(N / 4) <= N / 100),
+        ),
+        (UpdateKeyDist::Append, Box::new(|k: u64| k >= N)),
+    ] {
+        let ops = MixedWorkloadSpec::fig15(WorkloadKind::Random, N, Q, SEED)
+            .with_keys(keys)
+            .generate();
+        for op in &ops {
+            if let MixedOp::Insert(k) = op {
+                assert!(check(*k), "{}: insert key {k} out of region", keys.label());
+            }
+        }
+    }
+}

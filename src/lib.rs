@@ -192,15 +192,19 @@ pub mod prelude {
     pub use scrack_core::{
         build_engine, CrackConfig, CrackEngine, CrackedColumn, Dd1cEngine, Dd1rEngine, DdcEngine,
         DdrEngine, Engine, EngineKind, IndexPolicy, KernelPolicy, Mdd1rEngine, Oracle,
-        ProgressiveEngine, ScanEngine, SelectiveEngine, SelectivePolicy, SortEngine,
+        ProgressiveEngine, ScanEngine, SelectiveEngine, SelectivePolicy, SortEngine, UpdatePolicy,
     };
     pub use scrack_hybrids::{HybridEngine, HybridKind};
     pub use scrack_parallel::{
-        BatchScheduler, ParallelStrategy, PieceLockedCracker, ShardedCracker, SharedCracker,
+        BatchOp, BatchScheduler, ParallelStrategy, PieceLockedCracker, ShardedCracker,
+        SharedCracker,
     };
     pub use scrack_sideways::{BudgetedSideways, CrackerMap, MapStrategy, SidewaysCracker};
     pub use scrack_types::{CacheProfile, Element, QueryRange, Stats, Tuple};
-    pub use scrack_updates::Updatable;
+    pub use scrack_updates::{build_update_engine, Updatable};
     pub use scrack_workloads::data::unique_permutation;
-    pub use scrack_workloads::{skyserver_trace, SkyServerConfig, WorkloadKind, WorkloadSpec};
+    pub use scrack_workloads::{
+        skyserver_trace, MixedOp, MixedWorkloadSpec, SkyServerConfig, UpdateKeyDist, WorkloadKind,
+        WorkloadSpec,
+    };
 }
