@@ -8,12 +8,16 @@
 //!
 //! Sweeps `threads × strategy × workload` over the `scrack_parallel`
 //! wrappers and prints a summary table; `--json PATH` also writes the
-//! machine-readable report committed as `BENCH_3.json`. `--check` exits
-//! nonzero if any threads/strategy/workload cell is missing — the CI
-//! throughput-smoke gate (coverage only, never a perf threshold: CI
-//! boxes are too noisy to gate on queries/sec).
+//! machine-readable report committed as `BENCH_6.json`. `--check` exits
+//! nonzero if any threads/strategy/workload cell is missing **or** the
+//! chunked strategy's threaded replay diverges from its serial twin on
+//! a 1/2/4-thread sweep — the CI throughput-smoke gate (coverage and
+//! determinism only, never a perf threshold: CI boxes are too noisy to
+//! gate on queries/sec).
 
-use scrack_bench::throughput_report::{ThroughputConfig, ThroughputReport};
+use scrack_bench::throughput_report::{
+    verify_chunked_identity, ThroughputConfig, ThroughputReport,
+};
 use scrack_bench::value_of;
 use std::io::Write as _;
 
@@ -126,10 +130,16 @@ fn main() {
             eprintln!("coverage check FAILED; missing cells: {missing:?}");
             std::process::exit(1);
         }
+        let failures = verify_chunked_identity(&cfg);
+        if !failures.is_empty() {
+            eprintln!("chunked identity check FAILED: {failures:?}");
+            std::process::exit(1);
+        }
         let _ = writeln!(
             lock,
             "coverage check passed: {} cells, all threads/strategy/workload \
-             combinations present",
+             combinations present; chunked threaded-vs-serial replay \
+             bit-identical over a 1/2/4-thread sweep",
             report.cells.len()
         );
     }

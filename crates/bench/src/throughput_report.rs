@@ -4,27 +4,38 @@
 //! ns/element; this module tracks the ROADMAP's other axis — sustained
 //! **query throughput** under concurrent execution. It sweeps
 //! `threads × strategy × workload` over the `scrack_parallel` wrappers
-//! and emits a stable JSON document (`BENCH_3.json` in the repo root,
-//! regenerated via `cargo run --release -p scrack_bench --bin
-//! scrack_throughput -- --json BENCH_3.json`).
+//! and emits a stable JSON document (`BENCH_6.json` in the repo root,
+//! superseding PR 3's `BENCH_3.json`; regenerated via `cargo run
+//! --release -p scrack_bench --bin scrack_throughput -- --json
+//! BENCH_6.json`).
 //!
 //! Per cell the harness reports:
 //!
 //! * `qps_median` — median queries/sec over the sample runs (medians for
 //!   the same reason as the kernel harness: shared-box tail noise);
 //! * `p99_latency_us` — the 99th-percentile latency of one *unit of
-//!   work* in microseconds. For the `batch` strategy the unit is one
-//!   batch (`BatchScheduler::execute` call); for `piecelock` and
-//!   `shared` it is one query.
+//!   work* in microseconds. For the `batch` and `chunked` strategies the
+//!   unit is one batch (one `execute` call); for `piecelock` and
+//!   `shared` it is one query;
+//! * `scaling_efficiency` — `qps(T) / (T * qps(1))` against the same
+//!   strategy/workload's single-thread cell (1.0 = perfect scaling;
+//!   absent when the sweep has no `T = 1` baseline). Recorded together
+//!   with `host_cpus`: efficiency on a 1-core host measures overhead,
+//!   not speedup.
 //!
 //! All strategies run MDD1R-style stochastic cracking (the paper's
 //! robust engine) under the session's
 //! [`KernelPolicy`](scrack_core::KernelPolicy); answers are the
 //! same `(count, key_sum)` aggregates the parallel crate's tests pin
-//! against the scan oracle.
+//! against the scan oracle. [`verify_chunked_identity`] additionally
+//! sweeps the chunked strategy over 1/2/4 threads asserting the
+//! threaded and serial replays stay bit-identical (answers *and*
+//! `Stats`) — the CI `--check` gate.
 
 use scrack_core::{CrackConfig, IndexPolicy};
-use scrack_parallel::{BatchScheduler, ParallelStrategy, PieceLockedCracker, SharedCracker};
+use scrack_parallel::{
+    BatchScheduler, ChunkedCracker, ParallelStrategy, PieceLockedCracker, SharedCracker,
+};
 use scrack_types::QueryRange;
 use scrack_workloads::data::unique_permutation;
 use scrack_workloads::{WorkloadKind, WorkloadSpec};
@@ -32,7 +43,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// The concurrent execution strategies the sweep covers.
-pub const STRATEGIES: [&str; 3] = ["batch", "piecelock", "shared"];
+pub const STRATEGIES: [&str; 4] = ["batch", "chunked", "piecelock", "shared"];
 
 /// The workload patterns the sweep covers (Fig. 7 names).
 pub const WORKLOADS: [&str; 3] = ["random", "sequential", "skew"];
@@ -87,6 +98,9 @@ pub struct ThroughputCell {
     /// Median (across samples) of the per-run p99 unit-of-work latency,
     /// in microseconds (see module docs for the unit per strategy).
     pub p99_latency_us: f64,
+    /// `qps(T) / (T * qps(1))` against this strategy/workload's
+    /// single-thread cell; `None` when the sweep has no `T = 1` baseline.
+    pub scaling_efficiency: Option<f64>,
 }
 
 /// The full harness output: every threads/strategy/workload cell.
@@ -127,6 +141,13 @@ fn workload_kind(name: &str) -> WorkloadKind {
     }
 }
 
+/// Query volume after which the harness's chunked columns
+/// partition-merge: a quarter of the stream, so every measured run
+/// exercises both the chunk phase and the merged (sharded) phase.
+fn chunked_merge_after(queries: usize) -> usize {
+    (queries / 4).max(1)
+}
+
 /// One timed run; returns `(wall_seconds, unit_latencies_ns, checksum)`.
 fn run_once(
     strategy: &str,
@@ -153,6 +174,28 @@ fn run_once(
             for chunk in queries.chunks(batch) {
                 let b0 = Instant::now();
                 let results = sched.execute(chunk);
+                latencies.push(b0.elapsed().as_nanos() as f64);
+                for (c, s) in results {
+                    checksum = checksum.wrapping_add(c as u64).wrapping_add(s);
+                }
+            }
+            (t0.elapsed().as_secs_f64(), latencies, checksum)
+        }
+        "chunked" => {
+            let mut cc = ChunkedCracker::new(
+                data.to_vec(),
+                threads,
+                ParallelStrategy::Stochastic,
+                config,
+                seed,
+            )
+            .with_merge_after(chunked_merge_after(queries.len()));
+            let mut latencies = Vec::with_capacity(queries.len().div_ceil(batch));
+            let mut checksum = 0u64;
+            let t0 = Instant::now();
+            for chunk in queries.chunks(batch) {
+                let b0 = Instant::now();
+                let results = cc.execute(chunk);
                 latencies.push(b0.elapsed().as_nanos() as f64);
                 for (c, s) in results {
                     checksum = checksum.wrapping_add(c as u64).wrapping_add(s);
@@ -274,9 +317,24 @@ impl ThroughputReport {
                         workload,
                         qps_median: median(qps_runs),
                         p99_latency_us: median(p99_runs),
+                        scaling_efficiency: None,
                     });
                 }
             }
+        }
+        // Scaling efficiency against each strategy/workload's T = 1 cell.
+        for i in 0..cells.len() {
+            let base = cells
+                .iter()
+                .find(|b| {
+                    b.threads == 1
+                        && b.strategy == cells[i].strategy
+                        && b.workload == cells[i].workload
+                })
+                .map(|b| b.qps_median);
+            cells[i].scaling_efficiency = base.map(|base_qps| {
+                cells[i].qps_median / (cells[i].threads as f64 * base_qps.max(1e-12))
+            });
         }
         ThroughputReport {
             config: config.clone(),
@@ -314,7 +372,7 @@ impl ThroughputReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"scrack-throughput-bench/v1\",\n");
+        s.push_str("  \"schema\": \"scrack-throughput-bench/v2\",\n");
         s.push_str(&format!("  \"n\": {},\n", self.config.n));
         s.push_str(&format!("  \"queries\": {},\n", self.config.queries));
         s.push_str(&format!("  \"batch_size\": {},\n", self.config.batch));
@@ -334,14 +392,19 @@ impl ThroughputReport {
         s.push_str(&format!("  \"workloads\": [{}],\n", quoted(&WORKLOADS)));
         s.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
+            let efficiency = c
+                .scaling_efficiency
+                .map_or_else(|| "null".to_string(), |e| format!("{e:.3}"));
             s.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \
-                 \"qps_median\": {:.1}, \"p99_latency_us\": {:.2}}}{}\n",
+                 \"qps_median\": {:.1}, \"p99_latency_us\": {:.2}, \
+                 \"scaling_efficiency\": {}}}{}\n",
                 c.workload,
                 c.strategy,
                 c.threads,
                 c.qps_median,
                 c.p99_latency_us,
+                efficiency,
                 if i + 1 < self.cells.len() { "," } else { "" }
             ));
         }
@@ -352,16 +415,70 @@ impl ThroughputReport {
     /// A human-readable summary table (markdown).
     pub fn render_table(&self) -> String {
         let mut s = String::new();
-        s.push_str("| workload | strategy | threads | queries/sec | p99 latency (µs) |\n");
-        s.push_str("|---|---|---|---|---|\n");
+        s.push_str(
+            "| workload | strategy | threads | queries/sec | p99 latency (µs) | scaling eff. |\n",
+        );
+        s.push_str("|---|---|---|---|---|---|\n");
         for c in &self.cells {
+            let efficiency = c
+                .scaling_efficiency
+                .map_or_else(|| "—".to_string(), |e| format!("{e:.2}"));
             s.push_str(&format!(
-                "| {} | {} | {} | {:.0} | {:.1} |\n",
-                c.workload, c.strategy, c.threads, c.qps_median, c.p99_latency_us
+                "| {} | {} | {} | {:.0} | {:.1} | {} |\n",
+                c.workload, c.strategy, c.threads, c.qps_median, c.p99_latency_us, efficiency
             ));
         }
         s
     }
+}
+
+/// Thread counts [`verify_chunked_identity`] sweeps.
+pub const IDENTITY_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// The determinism gate for the chunked strategy: for each thread count
+/// in [`IDENTITY_SWEEP`], replays the random workload through a
+/// work-stealing [`ChunkedCracker`] and a serial twin (same chunk count,
+/// same seed, same merge point) batch by batch, asserting answers and
+/// [`Stats`](scrack_types::Stats) stay **bit-identical** across the
+/// partition-merge. Returns every divergence found (empty = pass); the
+/// CI `scrack_throughput --smoke --check` step gates on this.
+pub fn verify_chunked_identity(config: &ThroughputConfig) -> Vec<String> {
+    let data = unique_permutation::<u64>(config.n, config.seed);
+    let queries = WorkloadSpec::new(WorkloadKind::Random, config.n, config.queries, config.seed)
+        .with_selectivity((config.n / 1_000).max(10))
+        .generate();
+    let crack_config = CrackConfig::default().with_index(config.index);
+    let mut failures = Vec::new();
+    for threads in IDENTITY_SWEEP {
+        let mut par = ChunkedCracker::new(
+            data.clone(),
+            threads,
+            ParallelStrategy::Stochastic,
+            crack_config,
+            config.seed,
+        )
+        .with_merge_after(chunked_merge_after(queries.len()));
+        let mut ser = ChunkedCracker::new(
+            data.clone(),
+            threads,
+            ParallelStrategy::Stochastic,
+            crack_config,
+            config.seed,
+        )
+        .with_merge_after(chunked_merge_after(queries.len()));
+        for (bi, chunk) in queries.chunks(config.batch).enumerate() {
+            if par.execute(chunk) != ser.execute_serial(chunk) {
+                failures.push(format!("chunked t={threads} batch {bi}: answers diverged"));
+            }
+        }
+        if par.stats() != ser.stats() {
+            failures.push(format!("chunked t={threads}: Stats diverged"));
+        }
+        if par.has_merged() != ser.has_merged() {
+            failures.push(format!("chunked t={threads}: merge points diverged"));
+        }
+    }
+    failures
 }
 
 #[cfg(test)]
@@ -398,8 +515,17 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "schema", "n", "queries", "batch_size", "samples", "host_cpus", "threads",
-            "strategies", "workloads", "cells",
+            "schema",
+            "n",
+            "queries",
+            "batch_size",
+            "samples",
+            "host_cpus",
+            "threads",
+            "strategies",
+            "workloads",
+            "cells",
+            "scaling_efficiency",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
         }
@@ -408,6 +534,25 @@ mod tests {
         }
         assert!(!json.contains(",\n  ]"), "trailing comma before ]");
         assert!(!json.contains(",\n}"), "trailing comma before }}");
+    }
+
+    #[test]
+    fn scaling_efficiency_is_one_at_a_single_thread() {
+        let r = ThroughputReport::measure(&tiny_config());
+        for c in &r.cells {
+            let eff = c.scaling_efficiency.expect("T=1 baseline in the sweep");
+            assert!(eff.is_finite() && eff > 0.0, "{c:?}");
+            if c.threads == 1 {
+                assert!((eff - 1.0).abs() < 1e-9, "T=1 must be its own baseline: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_identity_gate_passes() {
+        let cfg = tiny_config();
+        let failures = verify_chunked_identity(&cfg);
+        assert!(failures.is_empty(), "{failures:?}");
     }
 
     #[test]

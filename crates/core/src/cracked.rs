@@ -82,6 +82,25 @@ impl<E: Element> CrackedColumn<E> {
         (&mut self.data, &mut self.index, &mut self.stats)
     }
 
+    /// The `(min_key, max_key)` span of the column's keys, or `None` for
+    /// an empty column.
+    ///
+    /// One O(n) scan, not charged to [`Stats`] (it is metadata for
+    /// snapshot publication, not query work): a reader holding the span
+    /// can answer bounds that fall **outside** it without any crack
+    /// existing — `q.low <= min_key` pins the view start to `0`,
+    /// `q.high > max_key` pins the view end to `len` — which is what lets
+    /// edge queries (tails past the max key, lows under the min) take the
+    /// concurrent read fast path forever instead of re-cracking.
+    pub fn key_span(&self) -> Option<(u64, u64)> {
+        let mut it = self.data.iter();
+        let first = it.next()?.key();
+        Some(it.fold((first, first), |(lo, hi), e| {
+            let k = e.key();
+            (lo.min(k), hi.max(k))
+        }))
+    }
+
     /// `CRACK_SIZE` in elements (piece-size threshold of DDC/DDR).
     #[inline]
     fn crack_size(&self) -> usize {

@@ -463,6 +463,24 @@ impl<M: PieceMeta> CrackerIndex<M> {
         self.iter_pieces().collect()
     }
 
+    /// The crack directory as two parallel sorted arrays
+    /// `(crack_keys, crack_positions)`, ascending in key.
+    ///
+    /// This is the export used by snapshot publication (the epoch-style
+    /// read path of `scrack-parallel`): an immutable copy of exactly the
+    /// metadata a reader needs to resolve a view — binary-searchable,
+    /// representation-independent, and detached from the live index so
+    /// later cracks cannot invalidate it.
+    pub fn crack_arrays(&self) -> (Vec<u64>, Vec<usize>) {
+        let n = self.crack_count();
+        let (mut keys, mut positions) = (Vec::with_capacity(n), Vec::with_capacity(n));
+        for (key, pos, _) in self.iter_cracks() {
+            keys.push(key);
+            positions.push(pos);
+        }
+        (keys, positions)
+    }
+
     /// Whether crack positions are non-decreasing in key order and within
     /// the column bounds.
     pub fn check_positions_monotone(&self) -> bool {

@@ -26,8 +26,11 @@
 //!    land on exactly one shard;
 //! 2. **sorts** each shard's queue by clipped bound (queries touching
 //!    the same key region run back to back, cache-warm);
-//! 3. **executes** shard queues in parallel, one scoped worker per
-//!    shard — shards share nothing, so reorganization never contends;
+//! 3. **executes** shard queues in parallel on the work-stealing
+//!    [`executor`](crate::executor) — shards share nothing, so
+//!    reorganization never contends; shards with empty queues spawn no
+//!    task, live workers cap at available parallelism, and idle workers
+//!    steal queued shards so a skewed batch cannot idle cores;
 //! 4. **merges** the per-shard partial aggregates back into one
 //!    `(count, key_sum)` per query, in submission order.
 //!
@@ -80,6 +83,10 @@ pub enum BatchOp<E> {
     /// result slot stays `(0, 0)`.
     Delete(u64),
 }
+
+/// The executor's work list: each live shard paired with its non-empty
+/// queue of `(submission index, item)` entries.
+type ShardTasks<'a, E, Q> = Vec<(&'a mut BatchShard<E>, &'a Vec<(usize, Q)>)>;
 
 /// One key-range shard: its key span, cracker column, pending-update
 /// queue, and RNG stream.
@@ -302,23 +309,24 @@ impl<E: Element> BatchScheduler<E> {
         results
     }
 
-    /// Executes `batch` partition-parallel: one scoped worker per shard
-    /// drains that shard's queue, then partials merge into per-query
-    /// `(count, key_sum)` results in submission order.
+    /// Executes `batch` partition-parallel on the work-stealing
+    /// [`executor`](crate::executor): shards with empty queues spawn no
+    /// task, live workers cap at available parallelism, and idle workers
+    /// steal queued shards, so a skewed batch cannot idle cores. Partials
+    /// merge into per-query `(count, key_sum)` results in submission
+    /// order.
     pub fn execute(&mut self, batch: &[QueryRange]) -> Vec<(usize, u64)> {
         self.build_queues(batch);
         let strategy = self.strategy;
         let Self { shards, queues, .. } = self;
-        let partials: Vec<Vec<(usize, usize, u64)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter_mut()
-                .zip(queues.iter())
-                .map(|(shard, queue)| scope.spawn(move || shard.drain(queue, strategy)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+        let tasks: ShardTasks<'_, E, QueryRange> = shards
+            .iter_mut()
+            .zip(queues.iter())
+            .filter(|(_, queue)| !queue.is_empty())
+            .collect();
+        let workers = crate::executor::worker_count(tasks.len());
+        let partials = crate::executor::run_tasks(workers, tasks, |_, (shard, queue)| {
+            shard.drain(queue, strategy)
         });
         Self::merge(batch.len(), partials)
     }
@@ -375,19 +383,30 @@ impl<E: Element> BatchScheduler<E> {
     }
 
     /// The shard owning `key`. Spans chain contiguously over
-    /// `[0, u64::MAX)`; the one unreachable key (`u64::MAX` itself) maps
-    /// to the last shard.
+    /// `[0, u64::MAX)`, so every key except `u64::MAX` itself is covered;
+    /// that one unreachable key maps to the last shard. Any *other* miss
+    /// is a span-partitioning bug — fail loudly instead of silently
+    /// misrouting the update.
     fn route(&self, key: u64) -> usize {
-        self.shards
-            .iter()
-            .position(|s| s.span.contains(key))
-            .unwrap_or(self.shards.len() - 1)
+        match self.shards.iter().position(|s| s.span.contains(key)) {
+            Some(si) => si,
+            None => {
+                debug_assert_eq!(
+                    key,
+                    u64::MAX,
+                    "key {key} not covered by any shard span — partitioning bug"
+                );
+                self.shards.len() - 1
+            }
+        }
     }
 
-    /// Executes a mixed read/write batch partition-parallel: one scoped
-    /// worker per shard drains that shard's op queue in submission
-    /// order. Returns one `(count, key_sum)` per op in submission order;
-    /// update ops report `(0, 0)`.
+    /// Executes a mixed read/write batch partition-parallel on the
+    /// work-stealing [`executor`](crate::executor) (empty op queues spawn
+    /// no task; live workers cap at available parallelism). Each shard
+    /// drains its op queue in submission order. Returns one
+    /// `(count, key_sum)` per op in submission order; update ops report
+    /// `(0, 0)`.
     ///
     /// Updates queue into their shard's pending set and merge on the
     /// first later qualifying select (possibly in a later batch — call
@@ -398,16 +417,14 @@ impl<E: Element> BatchScheduler<E> {
         let Self {
             shards, op_queues, ..
         } = self;
-        let partials: Vec<Vec<(usize, usize, u64)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter_mut()
-                .zip(op_queues.iter())
-                .map(|(shard, queue)| scope.spawn(move || shard.drain_ops(queue, strategy)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+        let tasks: ShardTasks<'_, E, BatchOp<E>> = shards
+            .iter_mut()
+            .zip(op_queues.iter())
+            .filter(|(_, queue)| !queue.is_empty())
+            .collect();
+        let workers = crate::executor::worker_count(tasks.len());
+        let partials = crate::executor::run_tasks(workers, tasks, |_, (shard, queue)| {
+            shard.drain_ops(queue, strategy)
         });
         Self::merge(ops.len(), partials)
     }
@@ -567,6 +584,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn empty_shard_queues_spawn_no_work_and_change_nothing() {
+        // A batch confined to one shard's span leaves the other queues
+        // empty; skipping them must leave results and Stats exactly as
+        // the serial replay (which never spawned per-shard threads).
+        let n = 20_000u64;
+        let data = permuted(n);
+        let mut par = BatchScheduler::new(
+            data.clone(),
+            8,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            7,
+        );
+        let mut ser = BatchScheduler::new(
+            data.clone(),
+            8,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            7,
+        );
+        let span = par.shard_spans()[0];
+        // All queries inside shard 0 (plus some empties routed nowhere).
+        let batch: Vec<QueryRange> = (0..32u64)
+            .map(|i| {
+                if i % 5 == 4 {
+                    QueryRange::new(0, 0) // empty: routed to no shard
+                } else {
+                    let a = span.low + i * 13 % (span.high - span.low).max(1);
+                    QueryRange::new(a, a + 40)
+                }
+            })
+            .collect();
+        let rp = par.execute(&batch);
+        let rs = ser.execute_serial(&batch);
+        assert_eq!(rp, rs, "skipping empty queues must not change answers");
+        assert_eq!(par.stats(), ser.stats(), "nor Stats");
+        for (qi, q) in batch.iter().enumerate() {
+            assert_eq!(rp[qi], oracle(&data, *q), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn route_covers_every_key_and_maps_the_unreachable_max() {
+        let sched = BatchScheduler::new(
+            permuted(10_000),
+            8,
+            ParallelStrategy::Crack,
+            CrackConfig::default(),
+            1,
+        );
+        let spans = sched.shard_spans();
+        for (si, span) in spans.iter().enumerate() {
+            assert_eq!(sched.route(span.low), si, "span.low routes to its shard");
+            assert_eq!(sched.route(span.high - 1), si, "span end routes to its shard");
+        }
+        // `u64::MAX` is the one key no half-open span can contain; it
+        // belongs to the last (open-ended) shard by convention.
+        assert_eq!(sched.route(u64::MAX), spans.len() - 1);
     }
 
     #[test]

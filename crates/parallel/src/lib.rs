@@ -9,11 +9,13 @@
 //!   into independent shards, each its own cracker; a select cracks all
 //!   shards concurrently (scoped threads) and merges the results. Shards
 //!   never contend: reorganization is embarrassingly parallel.
-//! * [`SharedCracker`] — a reader/writer-locked cracker column for
-//!   concurrent query streams against *one* physical column. Queries
-//!   whose bounds already exist as cracks answer under a read lock
-//!   (cracking is self-stabilizing: hot ranges stop needing
-//!   reorganization); everything else upgrades to a write lock and cracks
+//! * [`SharedCracker`] — an epoch-published cracker column for
+//!   concurrent query streams against *one* physical column. Writers
+//!   reorganize the live column and periodically publish an immutable
+//!   snapshot of the layout; queries whose bounds are resolvable against
+//!   the published epoch (existing cracks, or bounds outside the key
+//!   span) answer over frozen data and never block on an in-flight
+//!   crack. Everything else takes the write lock and cracks
 //!   stochastically.
 //! * [`PieceLockedCracker`] — §6's "proper fine grained locking": one
 //!   lock per piece, so queries in different key regions crack
@@ -24,6 +26,18 @@
 //!   Batches may interleave update ops ([`BatchOp`]): inserts/deletes
 //!   key-route to their owning shard and merge on demand through
 //!   `scrack_updates`' pending queues.
+//! * [`ChunkedCracker`] — parallel-chunked cracking with refined
+//!   partition-merge (Alvarez et al., DaMoN 2014): each worker cracks a
+//!   private contiguous chunk under its own chunk-local cracker index
+//!   (no coordination at all while cracking), reads merge over
+//!   chunk-local views, and once query volume accumulates the chunks
+//!   partition-merge into key-disjoint shards — converging onto the
+//!   [`ShardedCracker`]/[`BatchScheduler`] layout while carrying the
+//!   crack structure already earned.
+//!
+//! Threaded paths run on [`executor`], a small work-stealing pool that
+//! caps live workers at available parallelism and lets idle workers
+//! steal queued tasks, so skewed shards or chunks don't idle cores.
 //!
 //! Every wrapper takes a [`scrack_core::CrackConfig`], so the concurrent
 //! paths run the same branchy/branchless reorganization kernels
@@ -36,11 +50,14 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod chunked;
+pub mod executor;
 mod piecelock;
 mod sharded;
 mod shared;
 
 pub use batch::{BatchOp, BatchScheduler};
+pub use chunked::ChunkedCracker;
 pub use piecelock::PieceLockedCracker;
 pub use sharded::ShardedCracker;
 pub use shared::SharedCracker;

@@ -1,4 +1,4 @@
-//! A reader/writer-locked cracker column for concurrent query streams.
+//! A shared cracker column with an epoch-published read fast path.
 
 use crate::ParallelStrategy;
 use parking_lot::RwLock;
@@ -6,20 +6,37 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use scrack_core::{CrackConfig, CrackedColumn};
 use scrack_types::{Element, QueryRange, Stats};
+use std::sync::Arc;
 
-/// A shared cracker column: many threads, one physical array.
+/// A shared cracker column: many threads, one logical column.
 ///
 /// The insight making a read fast path possible is that cracking is
-/// self-stabilizing: once a range's bounds exist as cracks, answering it
-/// needs **no reorganization** — a read lock suffices to compute the view
-/// and aggregate over it. Only queries whose bounds are still missing (or
-/// whose strategy wants stochastic refinement of large pieces) take the
-/// write lock and crack.
+/// self-stabilizing: once a range's bounds are resolvable — each bound
+/// either exists as a crack or lies outside the column's key span —
+/// answering it needs **no reorganization**. This wrapper turns that into
+/// an **epoch-published** read path: writers (queries that still need to
+/// crack) reorganize the live column under a write lock and, when enough
+/// new structure has accumulated, *publish* an immutable `Snapshot` of
+/// the layout — the frozen element array plus the sorted crack directory
+/// and the column's key span. Readers resolve their view against the
+/// latest published snapshot and aggregate over frozen data, so they
+/// **never block on an in-flight crack**: a reorganization in progress is
+/// invisible until its writer publishes.
 ///
-/// This is deliberately coarse-grained (one lock for the whole column) —
-/// the simplest correct design on the road the paper's §6 sketches;
-/// per-piece locking is a further step the piece metadata already has a
-/// natural home for.
+/// Two properties make the stale-snapshot read sound:
+///
+/// * cracking only *permutes* elements (the multiset never changes), so a
+///   view over any published epoch returns exactly the live answer;
+/// * crack metadata in a snapshot describes that snapshot's frozen array,
+///   so later reorganizations cannot tear it — readers and writers share
+///   no mutable state at all.
+///
+/// The costs are one extra copy of the column (the published epoch) and
+/// an O(n) re-publication each time the crack directory grows past a
+/// geometric threshold (every crack early on, then 12.5% growth steps —
+/// O(log n) publications over a column's lifetime). Queries whose bounds
+/// are not yet published fall back to the write lock, crack, and converge
+/// onto the fast path.
 ///
 /// ```
 /// use scrack_core::CrackConfig;
@@ -44,25 +61,165 @@ use scrack_types::{Element, QueryRange, Stats};
 /// ```
 #[derive(Debug)]
 pub struct SharedCracker<E: Element> {
+    /// The live column: the write (cracking) path and the cost counters.
     inner: RwLock<Inner<E>>,
+    /// The published epoch. The lock is held only to clone or swap the
+    /// `Arc` — never while cracking — so readers wait at most for a
+    /// pointer exchange, not for reorganization.
+    published: RwLock<Arc<Snapshot<E>>>,
     strategy: ParallelStrategy,
+}
+
+/// One immutable published epoch of the column.
+#[derive(Debug)]
+struct Snapshot<E> {
+    /// The element array frozen at publication time.
+    data: Vec<E>,
+    /// Sorted crack keys of the frozen layout.
+    crack_keys: Vec<u64>,
+    /// `crack_pos[i]` is the position of `crack_keys[i]` in `data`.
+    crack_pos: Vec<usize>,
+    /// `(min_key, max_key)` over the column; `None` for an empty column.
+    /// Immutable for the column's lifetime (reorganization never changes
+    /// the multiset), so every epoch carries the same span.
+    key_span: Option<(u64, u64)>,
+}
+
+impl<E: Element> Snapshot<E> {
+    /// Resolves `[q.low, q.high)` to view bounds over this epoch's frozen
+    /// array, or `None` if a bound is neither a published crack nor
+    /// outside the key span.
+    ///
+    /// A bound outside the span needs no crack: `q.low <= min_key` pins
+    /// the start to `0` (nothing can precede it), `q.high > max_key` pins
+    /// the end to `len`, and a bound past the *opposite* edge yields the
+    /// empty view. This is what keeps repeated edge queries — tails past
+    /// the max key, lows under the min crack — on the read path instead
+    /// of serializing behind the write lock forever.
+    fn view_bounds(&self, q: QueryRange) -> Option<(usize, usize)> {
+        let Some((min_key, max_key)) = self.key_span else {
+            return Some((0, 0)); // empty column: every view is empty
+        };
+        let n = self.data.len();
+        let lo = if q.low <= min_key {
+            0
+        } else if q.low > max_key {
+            n
+        } else {
+            self.crack_position(q.low)?
+        };
+        let hi = if q.high > max_key {
+            n
+        } else if q.high <= min_key {
+            0
+        } else {
+            self.crack_position(q.high)?
+        };
+        debug_assert!(lo <= hi && hi <= n, "snapshot view bounds inverted");
+        Some((lo, hi))
+    }
+
+    /// Position of the crack at exactly `key`, if published.
+    #[inline]
+    fn crack_position(&self, key: u64) -> Option<usize> {
+        let i = self.crack_keys.partition_point(|k| *k < key);
+        (i < self.crack_keys.len() && self.crack_keys[i] == key).then(|| self.crack_pos[i])
+    }
+
+    /// `(count, key_sum)` over the frozen view `[lo, hi)`.
+    fn aggregate(&self, lo: usize, hi: usize) -> (usize, u64) {
+        let sum = self.data[lo..hi]
+            .iter()
+            .fold(0u64, |s, e| s.wrapping_add(e.key()));
+        (hi - lo, sum)
+    }
 }
 
 #[derive(Debug)]
 struct Inner<E: Element> {
     col: CrackedColumn<E>,
     rng: SmallRng,
+    /// Cached [`CrackedColumn::key_span`] (one scan at construction).
+    key_span: Option<(u64, u64)>,
+    /// Crack count of the epoch last published.
+    published_cracks: usize,
+}
+
+impl<E: Element> Inner<E> {
+    /// Whether `[q.low, q.high)` is answerable without reorganization
+    /// against the **live** index: each bound already exists as a crack
+    /// or lies outside the column's key span. Same condition as
+    /// [`Snapshot::view_bounds`], used to re-check under the write lock
+    /// (the bounds may have become ready while the lock was awaited).
+    fn view_bounds_ready(&self, q: QueryRange) -> Option<(usize, usize)> {
+        let Some((min_key, max_key)) = self.key_span else {
+            return Some((0, 0));
+        };
+        let n = self.col.data().len();
+        let lo = if q.low <= min_key {
+            0
+        } else if q.low > max_key {
+            n
+        } else {
+            let p = self.col.index().piece_containing(q.low);
+            if p.lo_key != Some(q.low) {
+                return None;
+            }
+            p.start
+        };
+        let hi = if q.high > max_key {
+            n
+        } else if q.high <= min_key {
+            0
+        } else {
+            let p = self.col.index().piece_containing(q.high);
+            if p.lo_key != Some(q.high) {
+                return None;
+            }
+            p.start
+        };
+        Some((lo, hi))
+    }
+
+    /// Whether the crack directory has outgrown the published epoch
+    /// enough to warrant an O(n) re-publication: every new crack while
+    /// the directory is small, then 12.5% growth steps — geometric, so a
+    /// column pays O(log(cracks)) publications total.
+    fn publish_due(&self) -> bool {
+        let live = self.col.index().crack_count();
+        live >= self.published_cracks + (self.published_cracks / 8).max(1)
+    }
+
+    /// Freezes the current layout as a new epoch.
+    fn snapshot(&mut self) -> Arc<Snapshot<E>> {
+        let (crack_keys, crack_pos) = self.col.index().crack_arrays();
+        self.published_cracks = crack_keys.len();
+        Arc::new(Snapshot {
+            data: self.col.data().to_vec(),
+            crack_keys,
+            crack_pos,
+            key_span: self.key_span,
+        })
+    }
 }
 
 impl<E: Element> SharedCracker<E> {
     /// Wraps `data` for shared use; `config.kernel` selects the
-    /// reorganization kernel the slow (cracking) path runs.
+    /// reorganization kernel the slow (cracking) path runs. Publishes the
+    /// initial epoch (uncracked layout + key span), so edge queries are
+    /// on the read path from the first call.
     pub fn new(data: Vec<E>, strategy: ParallelStrategy, config: CrackConfig, seed: u64) -> Self {
+        let col = CrackedColumn::new(data, config);
+        let mut inner = Inner {
+            key_span: col.key_span(),
+            col,
+            rng: SmallRng::seed_from_u64(seed),
+            published_cracks: 0,
+        };
+        let first_epoch = inner.snapshot();
         Self {
-            inner: RwLock::new(Inner {
-                col: CrackedColumn::new(data, config),
-                rng: SmallRng::seed_from_u64(seed),
-            }),
+            inner: RwLock::new(inner),
+            published: RwLock::new(first_epoch),
             strategy,
         }
     }
@@ -73,70 +230,85 @@ impl<E: Element> SharedCracker<E> {
         Self::new(data, strategy, CrackConfig::default(), seed)
     }
 
-    /// Whether `[q.low, q.high)` is answerable without reorganization:
-    /// both bounds already exist as cracks (or lie outside the key span
-    /// of their piece edge).
-    fn view_bounds_ready(col: &CrackedColumn<E>, q: QueryRange) -> Option<(usize, usize)> {
-        let p1 = col.index().piece_containing(q.low);
-        if p1.lo_key != Some(q.low) {
-            return None;
+    /// The latest published epoch (a cheap `Arc` clone).
+    fn epoch(&self) -> Arc<Snapshot<E>> {
+        Arc::clone(&self.published.read())
+    }
+
+    /// Cracks for `q` under the write lock, answers it, and re-publishes
+    /// the epoch when enough structure accumulated. Returns the raw
+    /// `(view, materialized)` aggregate.
+    fn crack_and_aggregate(&self, q: QueryRange, mut each: Option<&mut dyn FnMut(E)>) -> (usize, u64) {
+        let mut guard = self.inner.write();
+        // Re-check against the live index: the bounds may have become
+        // ready while this thread awaited the lock.
+        if let Some((lo, hi)) = guard.view_bounds_ready(q) {
+            let mut count = 0usize;
+            let mut sum = 0u64;
+            for e in &guard.col.data()[lo..hi] {
+                count += 1;
+                sum = sum.wrapping_add(e.key());
+                if let Some(f) = each.as_deref_mut() {
+                    f(*e);
+                }
+            }
+            return (count, sum);
         }
-        let p2 = col.index().piece_containing(q.high);
-        if p2.lo_key != Some(q.high) {
-            return None;
+        let inner = &mut *guard;
+        let out = match self.strategy {
+            ParallelStrategy::Crack => inner.col.select_original(q),
+            ParallelStrategy::Stochastic => inner.col.mdd1r_select(q, &mut inner.rng),
+        };
+        let mut count = 0usize;
+        let mut sum = 0u64;
+        for e in out.resolve(inner.col.data()) {
+            count += 1;
+            sum = sum.wrapping_add(e.key());
+            if let Some(f) = each.as_deref_mut() {
+                f(e);
+            }
         }
-        Some((p1.start, p2.start))
+        if guard.publish_due() {
+            let epoch = guard.snapshot();
+            // Publish *before* releasing the column lock so epochs can
+            // never go backwards; the slot lock is held only for the swap.
+            *self.published.write() = epoch;
+        }
+        (count, sum)
     }
 
     /// Answers `q` with `(count, key_sum)`.
     ///
-    /// Fast path: read lock + view aggregation when both bounds are
-    /// already cracked. Slow path: write lock + (stochastic) cracking.
+    /// Fast path: resolve against the published epoch and aggregate over
+    /// frozen data — no shared lock with writers. Slow path: write lock +
+    /// (stochastic) cracking + possible epoch publication.
     pub fn select_aggregate(&self, q: QueryRange) -> (usize, u64) {
         if q.is_empty() {
             return (0, 0);
         }
-        {
-            let guard = self.inner.read();
-            if let Some((lo, hi)) = Self::view_bounds_ready(&guard.col, q) {
-                let slice = &guard.col.data()[lo..hi];
-                let sum = slice.iter().fold(0u64, |s, e| s.wrapping_add(e.key()));
-                return (hi - lo, sum);
-            }
+        let epoch = self.epoch();
+        if let Some((lo, hi)) = epoch.view_bounds(q) {
+            return epoch.aggregate(lo, hi);
         }
-        let mut guard = self.inner.write();
-        let Inner { col, rng } = &mut *guard;
-        let out = match self.strategy {
-            ParallelStrategy::Crack => col.select_original(q),
-            ParallelStrategy::Stochastic => col.mdd1r_select(q, rng),
-        };
-        out.resolve(col.data())
-            .fold((0usize, 0u64), |(c, s), e| (c + 1, s.wrapping_add(e.key())))
+        drop(epoch);
+        self.crack_and_aggregate(q, None)
     }
 
-    /// Runs `f` over the qualifying elements (under the appropriate lock).
+    /// Runs `f` over the qualifying elements (published epoch when the
+    /// bounds are ready, write lock otherwise).
     pub fn select_for_each(&self, q: QueryRange, mut f: impl FnMut(E)) {
         if q.is_empty() {
             return;
         }
-        {
-            let guard = self.inner.read();
-            if let Some((lo, hi)) = Self::view_bounds_ready(&guard.col, q) {
-                for e in &guard.col.data()[lo..hi] {
-                    f(*e);
-                }
-                return;
+        let epoch = self.epoch();
+        if let Some((lo, hi)) = epoch.view_bounds(q) {
+            for e in &epoch.data[lo..hi] {
+                f(*e);
             }
+            return;
         }
-        let mut guard = self.inner.write();
-        let Inner { col, rng } = &mut *guard;
-        let out = match self.strategy {
-            ParallelStrategy::Crack => col.select_original(q),
-            ParallelStrategy::Stochastic => col.mdd1r_select(q, rng),
-        };
-        for e in out.resolve(col.data()) {
-            f(e);
-        }
+        drop(epoch);
+        self.crack_and_aggregate(q, Some(&mut f));
     }
 
     /// Snapshot of the physical cost counters.
@@ -144,14 +316,61 @@ impl<E: Element> SharedCracker<E> {
         self.inner.read().col.stats()
     }
 
-    /// Number of cracks in the shared index.
+    /// Number of cracks in the live index.
     pub fn crack_count(&self) -> usize {
         self.inner.read().col.index().crack_count()
     }
 
-    /// Full integrity check (tests only; takes the read lock, O(n)).
+    /// Number of cracks in the published epoch (grows in publication
+    /// steps, trailing [`SharedCracker::crack_count`]).
+    pub fn published_crack_count(&self) -> usize {
+        self.published.read().crack_keys.len()
+    }
+
+    /// Full integrity check (tests only; takes the read lock, O(n)):
+    /// validates the live column *and* the published epoch (crack
+    /// directory sorted and monotone, every frozen element inside its
+    /// piece's key bounds, same element count as the live column).
     pub fn check_integrity(&self) -> Result<(), String> {
-        self.inner.read().col.check_integrity()
+        self.inner.read().col.check_integrity()?;
+        let epoch = self.epoch();
+        let n = epoch.data.len();
+        if n != self.inner.read().col.data().len() {
+            return Err("published epoch length diverged from live column".into());
+        }
+        if epoch.crack_keys.len() != epoch.crack_pos.len() {
+            return Err("published crack arrays length mismatch".into());
+        }
+        for w in epoch.crack_keys.windows(2) {
+            if w[0] >= w[1] {
+                return Err("published crack keys not strictly ascending".into());
+            }
+        }
+        // Every frozen piece [prev_pos, pos) must hold keys in
+        // [prev_key, key): the published layout is exactly as cracked.
+        let mut prev_pos = 0usize;
+        let mut prev_key = 0u64;
+        for (&key, &pos) in epoch.crack_keys.iter().zip(&epoch.crack_pos) {
+            if pos < prev_pos || pos > n {
+                return Err(format!("published crack {key} at {pos} breaks monotonicity"));
+            }
+            for e in &epoch.data[prev_pos..pos] {
+                if e.key() >= key || e.key() < prev_key {
+                    return Err(format!(
+                        "published key {} outside piece [{prev_key}, {key})",
+                        e.key()
+                    ));
+                }
+            }
+            (prev_pos, prev_key) = (pos, key);
+        }
+        if let Some(&last) = epoch.crack_keys.last() {
+            let start = *epoch.crack_pos.last().expect("nonempty");
+            if let Some(e) = epoch.data[start..].iter().find(|e| e.key() < last) {
+                return Err(format!("published key {} below final crack {last}", e.key()));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -214,6 +433,123 @@ mod tests {
     }
 
     #[test]
+    fn repeated_edge_bound_queries_take_the_read_path() {
+        // Regression (PR 6): a bound outside the column's key span never
+        // exists as a crack under MDD1R (stochastic cracking never cracks
+        // on query bounds), so the old `lo_key == Some(bound)` check sent
+        // every repeat to the write lock, serializing readers forever.
+        // The documented condition — bound outside the key span of its
+        // piece edge — answers these from the published epoch with zero
+        // touches from the very first call.
+        let data = permuted(10_000); // keys 0..10_000
+        let sc = SharedCracker::new(
+            data.clone(),
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            5,
+        );
+        // Tail past the max key AND low at the min key: both edges.
+        let q = QueryRange::new(0, 20_000);
+        let expect = oracle(&data, q);
+        for round in 0..5 {
+            assert_eq!(sc.select_aggregate(q), expect, "round {round}");
+            assert_eq!(
+                sc.stats().touched,
+                0,
+                "round {round}: edge-bound query must stay on the read path"
+            );
+        }
+        assert_eq!(sc.stats().queries, 0, "read path never takes the write lock");
+    }
+
+    #[test]
+    fn tail_query_read_path_after_first_crack() {
+        // The mixed case: q.low needs one crack (first call pays it),
+        // q.high lies past the max key (never a crack). The repeat must
+        // be touch-free — under the old check it re-cracked forever.
+        let data = permuted(10_000);
+        let sc = SharedCracker::new(
+            data.clone(),
+            ParallelStrategy::Crack,
+            CrackConfig::default(),
+            5,
+        );
+        let q = QueryRange::new(7_500, 50_000);
+        let first = sc.select_aggregate(q);
+        assert_eq!(first, oracle(&data, q));
+        let touched_after_first = sc.stats().touched;
+        assert!(touched_after_first > 0, "first call must crack q.low");
+        for _ in 0..3 {
+            assert_eq!(sc.select_aggregate(q), first);
+        }
+        assert_eq!(
+            sc.stats().touched,
+            touched_after_first,
+            "tail repeats must stay on the read path"
+        );
+        sc.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn queries_entirely_outside_the_domain_touch_nothing() {
+        let data: Vec<u64> = (1_000..11_000).map(|k| (k * 7) % 10_000 + 1_000).collect();
+        let sc = SharedCracker::new(
+            data.clone(),
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            5,
+        );
+        for q in [
+            QueryRange::new(0, 500),             // entirely below the min key
+            QueryRange::new(100_000, 200_000),   // entirely above the max key
+        ] {
+            assert_eq!(sc.select_aggregate(q), oracle(&data, q));
+            assert_eq!(sc.select_aggregate(q), (0, 0));
+        }
+        assert_eq!(sc.stats().touched, 0, "out-of-domain queries are pure reads");
+    }
+
+    #[test]
+    fn empty_column_answers_everything_for_free() {
+        let sc: SharedCracker<u64> = SharedCracker::new(
+            Vec::new(),
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            5,
+        );
+        assert_eq!(sc.select_aggregate(QueryRange::new(0, u64::MAX)), (0, 0));
+        assert_eq!(sc.stats().touched, 0);
+        sc.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn epoch_publication_trails_the_live_index() {
+        let data = permuted(50_000);
+        let sc = SharedCracker::new(
+            data.clone(),
+            ParallelStrategy::Crack,
+            CrackConfig::default(),
+            5,
+        );
+        let mut state = 0xFEED_u64;
+        for _ in 0..200 {
+            let a = xorshift(&mut state) % 49_000;
+            let q = QueryRange::new(a, a + 1 + xorshift(&mut state) % 500);
+            assert_eq!(sc.select_aggregate(q), oracle(&data, q));
+        }
+        let live = sc.crack_count();
+        let published = sc.published_crack_count();
+        assert!(live > 0 && published > 0);
+        assert!(published <= live, "published epoch can only trail the live index");
+        // The geometric schedule keeps the lag within one 12.5% step.
+        assert!(
+            live <= published + (published / 8).max(1),
+            "publication lag too large: live {live}, published {published}"
+        );
+        sc.check_integrity().unwrap();
+    }
+
+    #[test]
     fn concurrent_threads_agree_with_oracle() {
         let data = permuted(50_000);
         let sc = Arc::new(SharedCracker::new(
@@ -235,7 +571,7 @@ mod tests {
                     let q = QueryRange::new(a, a + w);
                     let got = sc.select_aggregate(q);
                     let expect = oracle(&data, q);
-                    assert_eq!(got, expect, "thread {t} query {q}");
+                    assert_eq!(got, expect, "thread {t} query {q:?}");
                 }
             }));
         }

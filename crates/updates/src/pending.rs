@@ -5,6 +5,22 @@ use crate::ripple::{ripple_delete, ripple_insert};
 use scrack_core::{CrackedColumn, UpdatePolicy};
 use scrack_types::{Element, QueryRange};
 
+/// One queued update, in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PendingOp<E> {
+    Insert(E),
+    Delete(u64),
+}
+
+impl<E: Element> PendingOp<E> {
+    fn key(&self) -> u64 {
+        match self {
+            PendingOp::Insert(e) => e.key(),
+            PendingOp::Delete(k) => *k,
+        }
+    }
+}
+
 /// Updates that have arrived but not yet been merged into the cracked
 /// column.
 ///
@@ -14,78 +30,74 @@ use scrack_types::{Element, QueryRange};
 /// qualifying updates for the given query are merged during cracking for
 /// Q", §5).
 ///
-/// # Ordering invariant: inserts before deletes
+/// # Ordering invariant: submission order is application order
 ///
-/// Within one merge, **all qualifying inserts are applied before any
-/// qualifying delete**. This is what makes a same-batch insert+delete of
-/// one key cancel out (the delete finds the freshly inserted element)
-/// instead of silently dropping the delete against a key that does not
-/// exist yet. Both [`UpdatePolicy`] implementations uphold it: the
-/// per-element path ripples the insert queue first, the batched path runs
-/// its insert pass before its delete pass.
+/// Within one merge, qualifying updates apply **in the order they were
+/// queued**. This makes a same-batch insert+delete of one absent key
+/// cancel out (the delete finds the freshly inserted element), and —
+/// the direction an inserts-first rule gets wrong — keeps a delete
+/// queued *before* an insert of the same absent key from annihilating
+/// that later insert: the delete evaporates at its own submission
+/// point, as a serial replay would have it. Both [`UpdatePolicy`]
+/// implementations uphold it: the per-element path ripples op by op,
+/// the batched path batches maximal same-kind runs (which cannot
+/// reorder across kinds).
 #[derive(Debug, Clone, Default)]
 pub struct PendingUpdates<E> {
-    inserts: Vec<E>,
-    deletes: Vec<u64>,
+    ops: Vec<PendingOp<E>>,
 }
 
 impl<E: Element> PendingUpdates<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        Self {
-            inserts: Vec::new(),
-            deletes: Vec::new(),
-        }
+        Self { ops: Vec::new() }
     }
 
     /// Queues an insertion.
     pub fn queue_insert(&mut self, elem: E) {
-        self.inserts.push(elem);
+        self.ops.push(PendingOp::Insert(elem));
     }
 
     /// Queues a deletion (of one element with the given key).
     pub fn queue_delete(&mut self, key: u64) {
-        self.deletes.push(key);
+        self.ops.push(PendingOp::Delete(key));
     }
 
     /// Number of pending inserts.
     pub fn pending_inserts(&self) -> usize {
-        self.inserts.len()
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, PendingOp::Insert(_)))
+            .count()
     }
 
     /// Number of pending deletes.
     pub fn pending_deletes(&self) -> usize {
-        self.deletes.len()
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, PendingOp::Delete(_)))
+            .count()
     }
 
     /// Whether any pending update falls inside `q` (one non-allocating
     /// pass; the cheap pre-check for the common no-merge query).
     pub fn any_qualifying(&self, q: QueryRange) -> bool {
-        self.inserts.iter().any(|e| q.contains(e.key()))
-            || self.deletes.iter().any(|k| q.contains(*k))
+        self.ops.iter().any(|op| q.contains(op.key()))
     }
 
-    /// Removes and returns the pending updates qualifying for `q` as
-    /// `(inserts, deletes)`, preserving arrival order. One stable
-    /// `retain` pass per queue — no per-removal rescans.
-    fn drain_qualifying(&mut self, q: QueryRange) -> (Vec<E>, Vec<u64>) {
-        let mut ins = Vec::new();
-        self.inserts.retain(|e| {
-            let take = q.contains(e.key());
+    /// Removes and returns the pending updates qualifying for `q`,
+    /// preserving arrival order (one stable `retain` pass — no
+    /// per-removal rescans).
+    fn drain_qualifying(&mut self, q: QueryRange) -> Vec<PendingOp<E>> {
+        let mut taken = Vec::new();
+        self.ops.retain(|op| {
+            let take = q.contains(op.key());
             if take {
-                ins.push(*e);
+                taken.push(*op);
             }
             !take
         });
-        let mut del = Vec::new();
-        self.deletes.retain(|k| {
-            let take = q.contains(*k);
-            if take {
-                del.push(*k);
-            }
-            !take
-        });
-        (ins, del)
+        taken
     }
 
     /// Merges every pending update whose key falls in `q` into the column,
@@ -94,49 +106,72 @@ impl<E: Element> PendingUpdates<E> {
     ///
     /// The physical merge strategy follows the column's configured
     /// [`UpdatePolicy`]; answers are identical under both (see the
-    /// type-level docs for the insert-before-delete ordering invariant).
+    /// type-level docs for the submission-order invariant).
     pub fn merge_qualifying(&mut self, col: &mut CrackedColumn<E>, q: QueryRange) -> usize {
         if !self.any_qualifying(q) {
             return 0;
         }
-        let (ins, del) = self.drain_qualifying(q);
-        Self::apply(col, ins, del)
+        let ops = self.drain_qualifying(q);
+        Self::apply(col, ops)
     }
 
     /// Merges *all* pending updates unconditionally (e.g. at a
     /// checkpoint). Unlike any range-driven merge, this includes updates
     /// with key `u64::MAX`, which no half-open [`QueryRange`] can cover.
     pub fn merge_all(&mut self, col: &mut CrackedColumn<E>) -> usize {
-        let ins = std::mem::take(&mut self.inserts);
-        let del = std::mem::take(&mut self.deletes);
-        if ins.is_empty() && del.is_empty() {
+        let ops = std::mem::take(&mut self.ops);
+        if ops.is_empty() {
             return 0;
         }
-        Self::apply(col, ins, del)
+        Self::apply(col, ops)
     }
 
-    /// Applies a drained batch under the column's [`UpdatePolicy`],
-    /// inserts before deletes (see the type-level ordering invariant).
-    fn apply(col: &mut CrackedColumn<E>, ins: Vec<E>, del: Vec<u64>) -> usize {
-        let applied = ins.len() + del.len();
+    /// Applies a drained batch under the column's [`UpdatePolicy`], in
+    /// submission order (see the type-level ordering invariant).
+    fn apply(col: &mut CrackedColumn<E>, ops: Vec<PendingOp<E>>) -> usize {
+        let applied = ops.len();
         // Ripple moves elements across piece boundaries, which would
         // invalidate progressive-job cursors; settle them first (no-op
         // for every non-progressive engine).
         col.settle_all_jobs();
         match col.config().update {
             UpdatePolicy::PerElement => {
-                for e in ins {
-                    ripple_insert(col, e);
-                }
-                for k in del {
-                    // A delete whose key is absent simply evaporates (it
-                    // may have targeted a never-inserted key).
-                    let _ = ripple_delete(col, k);
+                for op in ops {
+                    match op {
+                        PendingOp::Insert(e) => ripple_insert(col, e),
+                        // A delete whose key is absent simply evaporates
+                        // (it may have targeted a never-inserted key).
+                        PendingOp::Delete(k) => {
+                            let _ = ripple_delete(col, k);
+                        }
+                    }
                 }
             }
             UpdatePolicy::Batched => {
-                merge_ripple_inserts(col, ins);
-                let _ = merge_ripple_deletes(col, del);
+                // Batch maximal same-kind runs: within a run order is
+                // free (distinct ripples commute), across runs the
+                // submission order is preserved.
+                let mut ops = ops.into_iter().peekable();
+                while let Some(op) = ops.next() {
+                    match op {
+                        PendingOp::Insert(e) => {
+                            let mut run = vec![e];
+                            while let Some(PendingOp::Insert(e)) = ops.peek() {
+                                run.push(*e);
+                                ops.next();
+                            }
+                            merge_ripple_inserts(col, run);
+                        }
+                        PendingOp::Delete(k) => {
+                            let mut run = vec![k];
+                            while let Some(PendingOp::Delete(k)) = ops.peek() {
+                                run.push(*k);
+                                ops.next();
+                            }
+                            let _ = merge_ripple_deletes(col, run);
+                        }
+                    }
+                }
             }
         }
         applied
@@ -253,8 +288,28 @@ mod tests {
         assert!(!pending.any_qualifying(QueryRange::new(0, 100)));
         assert_eq!(pending.merge_qualifying(&mut col, QueryRange::new(0, 100)), 0);
         // Drain order preserves arrival order (the partition is stable).
-        let (ins, _) = pending.drain_qualifying(QueryRange::new(250, 450));
-        assert_eq!(ins, vec![300, 400]);
+        let taken = pending.drain_qualifying(QueryRange::new(250, 450));
+        assert_eq!(taken, vec![PendingOp::Insert(300), PendingOp::Insert(400)]);
         assert_eq!(pending.pending_inserts(), 1);
+    }
+
+    #[test]
+    fn delete_then_insert_of_same_absent_key_keeps_the_insert() {
+        // The submission-order invariant's hard direction: a delete
+        // queued BEFORE an insert of the same (absent) key must
+        // evaporate at its own submission point — an inserts-first
+        // reordering would let it annihilate the later insert.
+        for policy in UpdatePolicy::ALL {
+            let mut col = column(100, policy);
+            let before = col.data().len();
+            let mut pending = PendingUpdates::new();
+            pending.queue_delete(5_000);
+            pending.queue_insert(5_000u64);
+            assert_eq!(pending.merge_all(&mut col), 2, "{policy}");
+            assert_eq!(col.data().len(), before + 1, "{policy}: insert must survive");
+            let out = col.select_original(QueryRange::new(5_000, 5_001));
+            assert_eq!(out.len(), 1, "{policy}");
+            col.check_integrity().unwrap();
+        }
     }
 }

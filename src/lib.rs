@@ -32,7 +32,7 @@
 //! | [`hybrids`] | `scrack_hybrids` | hybrid crack/sort engines |
 //! | [`sideways`] | `scrack_sideways` | sideways cracking under storage budgets |
 //! | [`updates`] | `scrack_updates` | Ripple merge of pending updates |
-//! | [`parallel`] | `scrack_parallel` | sharded / shared / piece-locked cracking |
+//! | [`parallel`] | `scrack_parallel` | sharded / shared / piece-locked / chunked cracking |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -99,10 +99,12 @@ pub mod updates {
 
 /// Parallel cracking ([`scrack_parallel`]).
 ///
-/// Four concurrency shapes, all config-aware (the [`CrackConfig`]
+/// Five concurrency shapes, all config-aware (the [`CrackConfig`]
 /// kernel policy selects the branchy/branchless reorganization kernels
 /// on the concurrent paths too) and all oracle-equal under any
-/// interleaving.
+/// interleaving. The threaded paths share one work-stealing executor
+/// ([`scrack_parallel::executor`]) that caps live workers at available
+/// parallelism.
 ///
 /// [`ShardedCracker`] — one query fans out over independently cracked
 /// shards:
@@ -119,8 +121,10 @@ pub mod updates {
 /// assert_eq!(sc.select_aggregate(q), (oracle.count(q), oracle.checksum(q)));
 /// ```
 ///
-/// [`SharedCracker`] — many threads share one locked column; hot ranges
-/// take a read-only fast path:
+/// [`SharedCracker`] — many threads share one column; writers publish
+/// immutable layout snapshots (epochs), and any query resolvable against
+/// the published epoch — existing cracks, or bounds outside the key
+/// span — answers over frozen data without blocking on in-flight cracks:
 ///
 /// ```
 /// use stochastic_cracking::prelude::*;
@@ -176,10 +180,33 @@ pub mod updates {
 /// }
 /// ```
 ///
+/// [`ChunkedCracker`] — parallel-chunked cracking: workers crack
+/// private chunks with zero coordination, then partition-merge into
+/// key-disjoint shards once query volume accumulates:
+///
+/// ```
+/// use stochastic_cracking::prelude::*;
+///
+/// let data: Vec<u64> = unique_permutation(2_000, 3);
+/// let oracle = Oracle::new(&data);
+/// let mut cc = ChunkedCracker::new(
+///     data, 4, ParallelStrategy::Stochastic, CrackConfig::default(), 3,
+/// )
+/// .with_merge_after(8); // partition-merge early for the demo
+/// let batch: Vec<QueryRange> = (0..16u64).map(|i| QueryRange::new(i * 120, i * 120 + 60)).collect();
+/// for half in batch.chunks(8) {
+///     for (q, got) in half.iter().zip(cc.execute(half)) {
+///         assert_eq!(got, (oracle.count(*q), oracle.checksum(*q)));
+///     }
+/// }
+/// assert!(cc.has_merged()); // the second batch dispatched post-merge
+/// ```
+///
 /// [`ShardedCracker`]: scrack_parallel::ShardedCracker
 /// [`SharedCracker`]: scrack_parallel::SharedCracker
 /// [`PieceLockedCracker`]: scrack_parallel::PieceLockedCracker
 /// [`BatchScheduler`]: scrack_parallel::BatchScheduler
+/// [`ChunkedCracker`]: scrack_parallel::ChunkedCracker
 /// [`CrackConfig`]: scrack_core::CrackConfig
 pub mod parallel {
     pub use scrack_parallel::*;
@@ -196,8 +223,8 @@ pub mod prelude {
     };
     pub use scrack_hybrids::{HybridEngine, HybridKind};
     pub use scrack_parallel::{
-        BatchOp, BatchScheduler, ParallelStrategy, PieceLockedCracker, ShardedCracker,
-        SharedCracker,
+        BatchOp, BatchScheduler, ChunkedCracker, ParallelStrategy, PieceLockedCracker,
+        ShardedCracker, SharedCracker,
     };
     pub use scrack_sideways::{BudgetedSideways, CrackerMap, MapStrategy, SidewaysCracker};
     pub use scrack_types::{CacheProfile, Element, QueryRange, Stats, Tuple};
