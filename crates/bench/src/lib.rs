@@ -14,15 +14,18 @@
 //! [`kernels_report`] harness, the `scrack_throughput` binary
 //! (`src/bin/scrack_throughput.rs`) the [`throughput_report`] harness,
 //! the `scrack_latency` binary (`src/bin/scrack_latency.rs`) the
-//! [`latency_report`] harness, and the `scrack_updates` binary
+//! [`latency_report`] harness, the `scrack_updates` binary
 //! (`src/bin/scrack_updates.rs`) the [`updates_report`] mixed
-//! read/write harness; all write machine-readable `BENCH_*.json` perf
-//! baselines.
+//! read/write harness, and the `scrack_robustness` binary
+//! (`src/bin/scrack_robustness.rs`) the [`robustness_report`]
+//! fault-injection gauntlet; all write machine-readable `BENCH_*.json`
+//! perf baselines.
 
 #![forbid(unsafe_code)]
 
 pub mod kernels_report;
 pub mod latency_report;
+pub mod robustness_report;
 pub mod throughput_report;
 pub mod updates_report;
 

@@ -169,6 +169,10 @@ impl<E: Element> Engine<E> for ChooserEngine<E> {
     fn reset_stats(&mut self) {
         self.col.stats_mut().reset();
     }
+
+    fn quarantine_rebuild(&mut self) {
+        self.col.quarantine_rebuild();
+    }
 }
 
 #[cfg(test)]

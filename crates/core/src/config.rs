@@ -1,5 +1,6 @@
 //! Tuning knobs shared by all cracking engines.
 
+use crate::fault::FaultPlan;
 use scrack_index::IndexPolicy;
 use scrack_partition::KernelPolicy;
 use scrack_types::CacheProfile;
@@ -99,6 +100,10 @@ pub struct CrackConfig {
     pub index: IndexPolicy,
     /// How pending updates merge into the column (see [`UpdatePolicy`]).
     pub update: UpdatePolicy,
+    /// Planned fault injection (disabled by default; see
+    /// [`crate::fault`]). Rides on the config so any engine or scheduler
+    /// path can be stressed reproducibly.
+    pub fault: FaultPlan,
 }
 
 impl CrackConfig {
@@ -145,6 +150,12 @@ impl CrackConfig {
         self.update = update;
         self
     }
+
+    /// Convenience: a config with a planned fault (see [`crate::fault`]).
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +190,14 @@ mod tests {
         assert_eq!(CrackConfig::default().index, IndexPolicy::Flat);
         let c = CrackConfig::default().with_index(IndexPolicy::Avl);
         assert_eq!(c.index, IndexPolicy::Avl);
+    }
+
+    #[test]
+    fn fault_plan_defaults_to_disabled_and_overrides() {
+        assert!(!CrackConfig::default().fault.is_armed());
+        let c = CrackConfig::default().with_fault(FaultPlan::panic_in_kernel(5));
+        assert_eq!(c.fault.kind(), Some(crate::fault::FaultKind::PanicInKernel));
+        assert_eq!(c.fault.trigger(), 5);
     }
 
     #[test]

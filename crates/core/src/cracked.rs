@@ -13,6 +13,7 @@
 //! * [`CrackedColumn::pmdd1r_select`] — progressive stochastic cracking.
 
 use crate::config::CrackConfig;
+use crate::fault::{self, FaultInjector, FaultKind};
 use crate::meta::PieceState;
 use rand::Rng;
 use scrack_columnstore::QueryOutput;
@@ -35,6 +36,9 @@ pub struct CrackedColumn<E: Element> {
     index: CrackerIndex<PieceState>,
     stats: Stats,
     config: CrackConfig,
+    /// Evaluates `config.fault` at the reorganization site; one branch
+    /// per new crack when disabled (the default).
+    fault: FaultInjector,
 }
 
 impl<E: Element> CrackedColumn<E> {
@@ -47,6 +51,7 @@ impl<E: Element> CrackedColumn<E> {
             index,
             stats: Stats::new(),
             config,
+            fault: FaultInjector::new(config.fault),
         }
     }
 
@@ -157,8 +162,37 @@ impl<E: Element> CrackedColumn<E> {
         Ok(())
     }
 
+    /// Discards the cracker index (and its cost counters) and restarts
+    /// from the column's current physical data — the quarantine ladder's
+    /// rebuild step. The data multiset is exactly preserved (cracking
+    /// only ever swaps within the array), so answers over the rebuilt
+    /// column are bit-identical to answers over the old one; what is
+    /// lost is the earned crack structure, which subsequent queries
+    /// re-earn adaptively. Any planned fault is disarmed: the faulted
+    /// unit has been replaced.
+    ///
+    /// The rebuilt column is bit-identical (state, answers and future
+    /// [`Stats`]) to a fresh `CrackedColumn::new` over the same data —
+    /// the determinism property `tests` pin across every factory engine.
+    pub fn quarantine_rebuild(&mut self) {
+        let data = std::mem::take(&mut self.data);
+        let config = CrackConfig {
+            fault: crate::fault::FaultPlan::disabled(),
+            ..self.config
+        };
+        *self = CrackedColumn::new(data, config);
+    }
+
     /// Registers a crack, counting it only if it is new.
     fn register_crack(&mut self, key: u64, pos: usize) {
+        // The fault site: physical reorganization has run, the index has
+        // not yet heard about it — the worst place to die or stall.
+        if self.fault.poll(FaultKind::PanicInKernel) {
+            fault::fire_panic("kernel: crack partition complete, index not updated");
+        }
+        if self.fault.poll(FaultKind::DelayInCrack) {
+            fault::spin_delay(self.fault.plan().delay_units());
+        }
         let before = self.index.crack_count();
         self.index.add_crack(key, pos);
         if self.index.crack_count() > before {

@@ -32,4 +32,13 @@ pub trait Engine<E: Element> {
 
     /// Zeroes the cost counters (e.g. between experiment phases).
     fn reset_stats(&mut self);
+
+    /// Discards any adaptive index state and rebuilds from the current
+    /// physical data — the serving layer's quarantine ladder, at engine
+    /// granularity. The data multiset is preserved, so subsequent
+    /// selects stay oracle-correct; the engine simply re-learns its
+    /// index adaptively, exactly as a freshly built engine over the same
+    /// physical column would. Engines with no discardable index state
+    /// (the scan and sort baselines) treat this as a no-op.
+    fn quarantine_rebuild(&mut self) {}
 }

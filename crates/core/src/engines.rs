@@ -21,6 +21,10 @@ macro_rules! impl_engine_common {
         fn reset_stats(&mut self) {
             self.col.stats_mut().reset();
         }
+
+        fn quarantine_rebuild(&mut self) {
+            self.col.quarantine_rebuild();
+        }
     };
 }
 

@@ -44,6 +44,7 @@ mod cracked;
 mod engine;
 mod engines;
 mod factory;
+pub mod fault;
 mod meta;
 mod naive;
 mod oracle;
@@ -61,6 +62,7 @@ pub use engines::{
     CrackEngine, Dd1cEngine, Dd1rEngine, DdcEngine, DdrEngine, Mdd1rEngine, ProgressiveEngine,
 };
 pub use factory::{build_engine, EngineKind};
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use meta::PieceState;
 pub use naive::RandomInjectEngine;
 pub use oracle::Oracle;

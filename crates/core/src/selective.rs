@@ -133,6 +133,10 @@ impl<E: Element> Engine<E> for SelectiveEngine<E> {
     fn reset_stats(&mut self) {
         self.col.stats_mut().reset();
     }
+
+    fn quarantine_rebuild(&mut self) {
+        self.col.quarantine_rebuild();
+    }
 }
 
 #[cfg(test)]

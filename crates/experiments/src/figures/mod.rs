@@ -20,6 +20,7 @@ pub mod ext_chooser;
 pub mod ext_io;
 pub mod ext_metrics;
 pub mod ext_parallel;
+pub mod ext_resilience;
 pub mod ext_updates;
 
 use crate::report::write_series;

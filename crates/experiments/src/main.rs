@@ -8,7 +8,8 @@
 //!             [--threads N,N,...] [--batch B]
 //!
 //! FIGURES: fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-//!          fig17 fig18 fig19 fig20 | ext-parallel ... | all (default: all)
+//!          fig17 fig18 fig19 fig20 | ext-parallel ext-resilience ... |
+//!          all (default: all)
 //! --quick: N=10^5, Q=10^3 — smoke-test scale
 //! --threads/--batch: the ext-parallel concurrency sweep's thread counts
 //!                    and BatchScheduler batch size
@@ -90,7 +91,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [fig2|fig8|...|fig20|ext-updates|\
-                     ext-io|ext-chooser|ext-parallel|all]... \
+                     ext-io|ext-chooser|ext-parallel|ext-resilience|all]... \
                      [--n N] [--queries Q] [--seed S] [--out DIR] \
                      [--verify] [--quick] [--kernel branchy|branchless|auto] \
                      [--index avl|flat] [--update per-element|batched] \
@@ -113,7 +114,7 @@ fn main() {
             "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
             "fig16",
             "fig17", "fig18", "fig19", "fig20", "ext-updates", "ext-io", "ext-chooser",
-            "ext-metrics", "ext-parallel",
+            "ext-metrics", "ext-parallel", "ext-resilience",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -152,6 +153,7 @@ fn main() {
             "ext-chooser" => figures::ext_chooser::run(&cfg),
             "ext-metrics" => figures::ext_metrics::run(&cfg),
             "ext-parallel" => figures::ext_parallel::run(&cfg),
+            "ext-resilience" => figures::ext_resilience::run(&cfg),
             other => {
                 eprintln!("unknown figure: {other}");
                 continue;

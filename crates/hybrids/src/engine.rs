@@ -209,6 +209,15 @@ impl<E: Element> Engine<E> for HybridEngine<E> {
             p.stats_mut().reset();
         }
     }
+
+    fn quarantine_rebuild(&mut self) {
+        // The final store holds already-merged sorted runs — data
+        // placement, not discardable index state (like the sort
+        // baseline); only the cracked partitions carry an index.
+        for p in &mut self.partitions {
+            p.quarantine_rebuild();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -57,13 +57,26 @@
 //! [`Stats`] are bit-identical to the parallel path under any
 //! interleaving (pinned by `tests/threaded_determinism.rs`).
 
+use crate::resilience::{
+    AdmissionPolicy, BatchReport, QueryOutcome, ResilienceStats, ServingConfig, ShardHealth,
+};
 use crate::ParallelStrategy;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use scrack_core::{CrackConfig, CrackedColumn};
+use scrack_core::{CrackConfig, CrackedColumn, FaultInjector, FaultKind};
 use scrack_partition::{crack_in_two_policy, select_nth_key};
 use scrack_types::{Element, QueryRange, Stats};
 use scrack_updates::PendingUpdates;
+use std::time::{Duration, Instant};
+
+/// Recently served crack bounds a shard remembers for its post-
+/// quarantine rebuild (enough to re-warm the hot key regions, small
+/// enough that a rebuild stays O(sample × piece)).
+const RECENT_BOUNDS_CAP: usize = 32;
+
+/// One resilient wave's per-query partial aggregates, keyed by query
+/// index (`None` = the query's deadline expired before it started).
+type WavePartials = Vec<(usize, Option<(usize, u64)>)>;
 
 /// One operation of a mixed read/write batch.
 ///
@@ -97,9 +110,29 @@ struct BatchShard<E: Element> {
     col: CrackedColumn<E>,
     pending: PendingUpdates<E>,
     rng: SmallRng,
+    /// Position in the degradation ladder (see [`ShardHealth`]).
+    health: ShardHealth,
+    /// Shard-level fault sites (poison, overload), scoped to this shard.
+    fault: FaultInjector,
+    /// Ring of recently served crack bounds for the rebuild re-crack.
+    recent_bounds: Vec<u64>,
 }
 
 impl<E: Element> BatchShard<E> {
+    /// Builds one shard; `owner` scopes any planned fault so a targeted
+    /// plan arms exactly one shard.
+    fn build(span: QueryRange, data: Vec<E>, config: CrackConfig, seed: u64, owner: usize) -> Self {
+        let scoped = config.fault.scoped_to(owner);
+        BatchShard {
+            span,
+            col: CrackedColumn::new(data, config.with_fault(scoped)),
+            pending: PendingUpdates::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            health: ShardHealth::Healthy,
+            fault: FaultInjector::new(scoped),
+            recent_bounds: Vec::new(),
+        }
+    }
     /// Answers one clipped query against this shard.
     fn select(&mut self, q: QueryRange, strategy: ParallelStrategy) -> (usize, u64) {
         self.pending.merge_qualifying(&mut self.col, q);
@@ -125,6 +158,88 @@ impl<E: Element> BatchShard<E> {
                 (qi, count, sum)
             })
             .collect()
+    }
+
+    /// Scan of the shard's current contents — the quarantine serving
+    /// path: no cracking, no index, bit-identical aggregates (they only
+    /// depend on the data multiset, which cracking preserves). Merges
+    /// any pending updates first so visibility matches the healthy path.
+    fn select_scan(&mut self, q: QueryRange) -> (usize, u64) {
+        self.pending.merge_all(&mut self.col);
+        self.col
+            .data()
+            .iter()
+            .filter(|e| q.contains(e.key()))
+            .fold((0usize, 0u64), |(c, s), e| (c + 1, s.wrapping_add(e.key())))
+    }
+
+    /// Enters quarantine: the cracker index is discarded (the data
+    /// multiset survives — cracking only swaps), pending updates fold
+    /// into the base data, and the shard serves scans for
+    /// `batches_left` more batches before rebuilding.
+    fn quarantine(&mut self, batches_left: u32) {
+        self.col.quarantine_rebuild();
+        self.pending.merge_all(&mut self.col);
+        self.health = ShardHealth::Quarantined { batches_left };
+    }
+
+    /// Leaves quarantine: re-cracks the remembered recently-served
+    /// bounds so hot key regions are warm again, then resumes adaptive
+    /// serving.
+    fn rebuild(&mut self) {
+        for b in std::mem::take(&mut self.recent_bounds) {
+            if self.span.contains(b) {
+                self.col.crack_on(b);
+            }
+        }
+        self.health = ShardHealth::Healthy;
+    }
+
+    /// Remembers a served query's bounds for the rebuild re-crack.
+    fn note_bounds(&mut self, q: QueryRange) {
+        for b in [q.low, q.high] {
+            if self.recent_bounds.len() == RECENT_BOUNDS_CAP {
+                self.recent_bounds.remove(0);
+            }
+            self.recent_bounds.push(b);
+        }
+    }
+
+    /// Drains one resilient wave's queue: per query, deadline check,
+    /// then the health ladder (poison fault → quarantine; quarantined →
+    /// scan; healthy → adaptive select). Returns per-query partials
+    /// (`None` = deadline expired) and whether this drain entered
+    /// quarantine.
+    fn drain_resilient(
+        &mut self,
+        queue: &[(usize, QueryRange)],
+        strategy: ParallelStrategy,
+        arrival: Instant,
+        deadline: Option<Duration>,
+        rebuild_after: u32,
+    ) -> (WavePartials, bool) {
+        let mut newly_quarantined = false;
+        let partials = queue
+            .iter()
+            .map(|&(qi, q)| {
+                if deadline.is_some_and(|d| arrival.elapsed() > d) {
+                    return (qi, None);
+                }
+                if self.health == ShardHealth::Healthy && self.fault.poll(FaultKind::PoisonShard) {
+                    self.quarantine(rebuild_after);
+                    newly_quarantined = true;
+                }
+                let ans = match self.health {
+                    ShardHealth::Healthy => {
+                        self.note_bounds(q);
+                        self.select(q, strategy)
+                    }
+                    ShardHealth::Quarantined { .. } => self.select_scan(q),
+                };
+                (qi, Some(ans))
+            })
+            .collect();
+        (partials, newly_quarantined)
     }
 
     /// Drains a mixed op queue in submission order; selects produce
@@ -178,6 +293,18 @@ pub struct BatchScheduler<E: Element> {
     /// Per-shard mixed-op queues for [`BatchScheduler::execute_ops`],
     /// reused the same way.
     op_queues: Vec<Vec<(usize, BatchOp<E>)>>,
+    /// Cumulative counters over every resilient batch served.
+    resilience: ResilienceStats,
+}
+
+/// Per-query progress through [`BatchScheduler::execute_resilient`]'s
+/// admission waves.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// Waiting for admission; `retries` shed-retry waves so far.
+    Pending { retries: u32 },
+    /// Final verdict reached.
+    Done(QueryOutcome),
 }
 
 impl<E: Element> BatchScheduler<E> {
@@ -224,22 +351,24 @@ impl<E: Element> BatchScheduler<E> {
         for &b in &bounds {
             let pos = crack_in_two_policy(&mut data, b, config.kernel, &mut split_stats);
             let tail = data.split_off(pos);
-            shards.push(BatchShard {
-                span: QueryRange::new(lo, b),
-                col: CrackedColumn::new(data, config),
-                pending: PendingUpdates::new(),
-                rng: SmallRng::seed_from_u64(seed.wrapping_add(i)),
-            });
+            shards.push(BatchShard::build(
+                QueryRange::new(lo, b),
+                data,
+                config,
+                seed.wrapping_add(i),
+                i as usize,
+            ));
             data = tail;
             lo = b;
             i += 1;
         }
-        shards.push(BatchShard {
-            span: QueryRange::new(lo, u64::MAX),
-            col: CrackedColumn::new(data, config),
-            pending: PendingUpdates::new(),
-            rng: SmallRng::seed_from_u64(seed.wrapping_add(i)),
-        });
+        shards.push(BatchShard::build(
+            QueryRange::new(lo, u64::MAX),
+            data,
+            config,
+            seed.wrapping_add(i),
+            i as usize,
+        ));
         let queues = vec![Vec::new(); shards.len()];
         let op_queues = vec![Vec::new(); shards.len()];
         Self {
@@ -247,6 +376,7 @@ impl<E: Element> BatchScheduler<E> {
             strategy,
             queues,
             op_queues,
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -473,6 +603,302 @@ impl<E: Element> BatchScheduler<E> {
             s += shard.col.stats();
         }
         s
+    }
+
+    /// Executes `batch` under the fault-hardened serving path: bounded
+    /// admission queues, per-query deadlines, per-task panic isolation,
+    /// and the quarantine→scan→rebuild degradation ladder.
+    ///
+    /// The plain [`BatchScheduler::execute`] is the trusted closed-loop
+    /// path (unbounded `Admit`, fail-loud on panics) and stays the
+    /// determinism oracle; this entry point trades bit-identical `Stats`
+    /// for survival, while keeping the two contracts of
+    /// [`crate::resilience`]: every submitted query gets exactly one
+    /// [`QueryOutcome`], and every `Answered` outcome is oracle-correct
+    /// no matter which faults fired.
+    ///
+    /// Admission runs in **waves**: pending queries route in submission
+    /// order, and a query is admitted only if every shard it touches has
+    /// queue room (under [`AdmissionPolicy::Admit`] it is admitted
+    /// regardless). Non-fitting queries are shed with bounded retries
+    /// ([`AdmissionPolicy::Shed`]) or deferred to the next wave
+    /// ([`AdmissionPolicy::Block`]). Capacity of at least one guarantees
+    /// each wave admits at least the first pending query, so the loop
+    /// always terminates.
+    ///
+    /// A worker panic loses all of that shard's partials for the wave
+    /// (its whole task result is discarded), so after quarantining the
+    /// shard its *entire* queue is re-answered by scan — each query's
+    /// contribution is added exactly once, never double-counted.
+    ///
+    /// # Panics
+    /// If `serving.queue_capacity` is zero.
+    pub fn execute_resilient(
+        &mut self,
+        batch: &[QueryRange],
+        serving: &ServingConfig,
+    ) -> BatchReport {
+        assert!(
+            serving.queue_capacity >= 1,
+            "admission queue capacity must be at least 1"
+        );
+        let arrival = Instant::now();
+        let strategy = self.strategy;
+        let deadline = serving.deadline;
+        let rebuild_after = serving.rebuild_after;
+
+        // An overload fault clamps the shard's admission capacity for
+        // this whole batch; polled once per shard per batch.
+        let caps: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| {
+                if s.fault.poll(FaultKind::QueueOverload) {
+                    s.fault.plan().overload_capacity().unwrap_or(1).max(1)
+                } else {
+                    serving.queue_capacity
+                }
+            })
+            .collect();
+
+        let mut slots: Vec<Slot> = batch
+            .iter()
+            .map(|q| {
+                if q.is_empty() {
+                    Slot::Done(QueryOutcome::Answered {
+                        count: 0,
+                        key_sum: 0,
+                        retries: 0,
+                    })
+                } else {
+                    Slot::Pending { retries: 0 }
+                }
+            })
+            .collect();
+        let mut report = BatchReport {
+            outcomes: Vec::new(),
+            answered: 0,
+            shed: 0,
+            timed_out: 0,
+            panics_isolated: 0,
+            quarantined: Vec::new(),
+            rebuilt: Vec::new(),
+            waves: 0,
+            max_queue_depth: 0,
+        };
+
+        while slots.iter().any(|s| matches!(s, Slot::Pending { .. })) {
+            report.waves += 1;
+            // Queries still waiting for admission past their budget time
+            // out as a group — they were never started, so no partials.
+            if deadline.is_some_and(|d| arrival.elapsed() > d) {
+                for slot in &mut slots {
+                    if matches!(slot, Slot::Pending { .. }) {
+                        *slot = Slot::Done(QueryOutcome::TimedOut);
+                    }
+                }
+                break;
+            }
+
+            // Route this wave: pending queries in submission order; a
+            // query needs room on *every* shard it touches.
+            for queue in &mut self.queues {
+                queue.clear();
+            }
+            let mut admitted: Vec<usize> = Vec::new();
+            let mut shed_this_wave: Vec<usize> = Vec::new();
+            for (qi, q) in batch.iter().enumerate() {
+                if !matches!(slots[qi], Slot::Pending { .. }) {
+                    continue;
+                }
+                let targets: Vec<(usize, QueryRange)> = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(si, shard)| {
+                        let clipped = q.intersect(&shard.span);
+                        (!clipped.is_empty()).then_some((si, clipped))
+                    })
+                    .collect();
+                let fits = targets.iter().all(|&(si, _)| self.queues[si].len() < caps[si]);
+                match (fits, serving.admission) {
+                    (true, _) | (false, AdmissionPolicy::Admit) => {
+                        for (si, clipped) in targets {
+                            self.queues[si].push((qi, clipped));
+                            report.max_queue_depth =
+                                report.max_queue_depth.max(self.queues[si].len());
+                        }
+                        admitted.push(qi);
+                    }
+                    (false, AdmissionPolicy::Shed) => shed_this_wave.push(qi),
+                    (false, AdmissionPolicy::Block) => {} // next wave
+                }
+            }
+            for queue in &mut self.queues {
+                queue.sort_by_key(|&(qi, q)| (q.low, q.high, qi));
+            }
+
+            // Execute the wave with panic isolation; fold partials per
+            // query and remember deadline expiries.
+            let mut acc: Vec<(usize, u64)> = vec![(0, 0); batch.len()];
+            let mut timed: Vec<bool> = vec![false; batch.len()];
+            {
+                let Self { shards, queues, .. } = &mut *self;
+                let mut task_sis: Vec<usize> = Vec::new();
+                let tasks: ShardTasks<'_, E, QueryRange> = shards
+                    .iter_mut()
+                    .zip(queues.iter())
+                    .enumerate()
+                    .filter(|(_, (_, queue))| !queue.is_empty())
+                    .map(|(si, t)| {
+                        task_sis.push(si);
+                        t
+                    })
+                    .collect();
+                let workers = crate::executor::worker_count(tasks.len());
+                let results =
+                    crate::executor::run_tasks_isolated(workers, tasks, |_, (shard, queue)| {
+                        shard.drain_resilient(queue, strategy, arrival, deadline, rebuild_after)
+                    });
+                for (k, result) in results.into_iter().enumerate() {
+                    let si = task_sis[k];
+                    match result {
+                        Ok((partials, newly_quarantined)) => {
+                            if newly_quarantined {
+                                report.quarantined.push(si);
+                            }
+                            for (qi, part) in partials {
+                                match part {
+                                    Some((c, s)) => {
+                                        acc[qi].0 += c;
+                                        acc[qi].1 = acc[qi].1.wrapping_add(s);
+                                    }
+                                    None => timed[qi] = true,
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            // The task died mid-drain, so *all* its
+                            // partials were discarded with it; after
+                            // quarantining, re-answering its whole queue
+                            // by scan adds each query's contribution
+                            // exactly once.
+                            report.panics_isolated += 1;
+                            report.quarantined.push(si);
+                            let shard = &mut shards[si];
+                            shard.quarantine(rebuild_after);
+                            for &(qi, q) in &queues[si] {
+                                if deadline.is_some_and(|d| arrival.elapsed() > d) {
+                                    timed[qi] = true;
+                                } else {
+                                    let (c, s) = shard.select_scan(q);
+                                    acc[qi].0 += c;
+                                    acc[qi].1 = acc[qi].1.wrapping_add(s);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Verdicts: admitted queries resolve now; shed queries retry
+            // until the budget runs out.
+            for qi in admitted {
+                if let Slot::Pending { retries } = slots[qi] {
+                    slots[qi] = Slot::Done(if timed[qi] {
+                        QueryOutcome::TimedOut
+                    } else {
+                        QueryOutcome::Answered {
+                            count: acc[qi].0,
+                            key_sum: acc[qi].1,
+                            retries,
+                        }
+                    });
+                }
+            }
+            for qi in shed_this_wave {
+                if let Slot::Pending { retries } = slots[qi] {
+                    slots[qi] = if retries >= serving.max_retries {
+                        Slot::Done(QueryOutcome::Shed { retries })
+                    } else {
+                        Slot::Pending {
+                            retries: retries + 1,
+                        }
+                    };
+                }
+            }
+        }
+
+        // End-of-batch quarantine clock: timers at zero rebuild now, the
+        // rest tick down one batch.
+        for (si, shard) in self.shards.iter_mut().enumerate() {
+            if let ShardHealth::Quarantined { batches_left } = shard.health {
+                if batches_left == 0 {
+                    shard.rebuild();
+                    report.rebuilt.push(si);
+                } else {
+                    shard.health = ShardHealth::Quarantined {
+                        batches_left: batches_left - 1,
+                    };
+                }
+            }
+        }
+
+        report.outcomes = slots
+            .iter()
+            .map(|s| match s {
+                Slot::Done(o) => *o,
+                Slot::Pending { .. } => unreachable!("wave loop resolves every query"),
+            })
+            .collect();
+        for o in &report.outcomes {
+            match o {
+                QueryOutcome::Answered { .. } => report.answered += 1,
+                QueryOutcome::Shed { .. } => report.shed += 1,
+                QueryOutcome::TimedOut => report.timed_out += 1,
+            }
+        }
+        self.resilience.panics_isolated += report.panics_isolated as u64;
+        self.resilience.quarantines += report.quarantined.len() as u64;
+        self.resilience.rebuilds += report.rebuilt.len() as u64;
+        self.resilience.shed += report.shed as u64;
+        self.resilience.timed_out += report.timed_out as u64;
+        self.resilience.answered += report.answered as u64;
+        report
+    }
+
+    /// Force-quarantines shard `si` (operator kill switch / tests): its
+    /// index is discarded and it serves scans until the rebuild at the
+    /// end of the next resilient batch.
+    ///
+    /// # Panics
+    /// If `si` is out of range.
+    pub fn quarantine_shard(&mut self, si: usize) {
+        self.shards[si].quarantine(0);
+        self.resilience.quarantines += 1;
+    }
+
+    /// Health of shard `si` in the degradation ladder.
+    ///
+    /// # Panics
+    /// If `si` is out of range.
+    pub fn shard_health(&self, si: usize) -> ShardHealth {
+        self.shards[si].health
+    }
+
+    /// Indices of currently quarantined shards, in shard order.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.health, ShardHealth::Quarantined { .. }))
+            .map(|(si, _)| si)
+            .collect()
+    }
+
+    /// Cumulative resilience counters over this scheduler's lifetime.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.resilience
     }
 
     /// Full integrity check (tests only; O(n)): every shard's cracker
@@ -842,6 +1268,158 @@ mod tests {
         assert_eq!(results[2], (2, 1_000), "after the insert");
         assert_eq!(results[5], (0, 0), "after both deletes");
         sched.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn resilient_default_serving_matches_oracle_and_legacy() {
+        let n = 30_000u64;
+        let data = permuted(n);
+        for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
+            let mut sched =
+                BatchScheduler::new(data.clone(), 4, strategy, CrackConfig::default(), 11);
+            for round in 0..3u64 {
+                let batch = mixed_batch(n, 64, round);
+                let report = sched.execute_resilient(&batch, &ServingConfig::default());
+                assert!(report.fully_answered(), "{strategy:?} round {round}");
+                assert_eq!(report.waves, 1, "unbounded Admit fits in one wave");
+                assert_eq!(report.outcomes.len(), batch.len());
+                for (qi, q) in batch.iter().enumerate() {
+                    assert_eq!(
+                        report.outcomes[qi].answer(),
+                        Some(oracle(&data, *q)),
+                        "{strategy:?} round {round} query {qi} ({q})"
+                    );
+                }
+            }
+            let stats = sched.resilience_stats();
+            assert_eq!(stats.answered, 3 * 64);
+            assert_eq!(stats.shed + stats.timed_out + stats.panics_isolated, 0);
+        }
+    }
+
+    #[test]
+    fn bounded_shed_accounts_every_query_and_caps_queue_depth() {
+        let n = 20_000u64;
+        let data = permuted(n);
+        let mut sched = BatchScheduler::new(
+            data.clone(),
+            4,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            3,
+        );
+        // Wide queries hit every shard, so capacity 2 forces shedding.
+        let batch: Vec<QueryRange> = (0..24u64)
+            .map(|i| QueryRange::new(i * 10, n - i * 10))
+            .collect();
+        let serving = ServingConfig::bounded(2, AdmissionPolicy::Shed).with_max_retries(1);
+        let report = sched.execute_resilient(&batch, &serving);
+        assert_eq!(report.outcomes.len(), batch.len(), "no silent drops");
+        assert_eq!(report.answered + report.shed + report.timed_out, batch.len());
+        assert!(report.shed > 0, "capacity 2 over 24 wide queries must shed");
+        assert!(
+            report.max_queue_depth <= 2,
+            "Shed must enforce the bound, saw depth {}",
+            report.max_queue_depth
+        );
+        assert!(report.waves >= 2, "shed queries retried on later waves");
+        for (qi, q) in batch.iter().enumerate() {
+            match report.outcomes[qi] {
+                QueryOutcome::Answered { count, key_sum, .. } => {
+                    assert_eq!((count, key_sum), oracle(&data, *q), "query {qi}");
+                }
+                QueryOutcome::Shed { retries } => assert_eq!(retries, 1, "query {qi}"),
+                QueryOutcome::TimedOut => panic!("no deadline configured"),
+            }
+        }
+        assert!((report.shed_rate() - report.shed as f64 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_admission_answers_everything_across_waves() {
+        let n = 20_000u64;
+        let data = permuted(n);
+        let mut sched = BatchScheduler::new(
+            data.clone(),
+            4,
+            ParallelStrategy::Crack,
+            CrackConfig::default(),
+            5,
+        );
+        let batch: Vec<QueryRange> = (0..24u64).map(|i| QueryRange::new(0, n - i)).collect();
+        let serving = ServingConfig::bounded(1, AdmissionPolicy::Block);
+        let report = sched.execute_resilient(&batch, &serving);
+        assert!(report.fully_answered(), "Block never sheds");
+        assert!(report.waves >= 2, "capacity 1 needs many waves");
+        assert!(report.max_queue_depth <= 1);
+        for (qi, q) in batch.iter().enumerate() {
+            assert_eq!(report.outcomes[qi].answer(), Some(oracle(&data, *q)), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn quarantined_shard_serves_scans_then_rebuilds() {
+        let n = 20_000u64;
+        let data = permuted(n);
+        let mut sched = BatchScheduler::new(
+            data.clone(),
+            4,
+            ParallelStrategy::Stochastic,
+            CrackConfig::default(),
+            7,
+        );
+        sched.quarantine_shard(1);
+        assert_eq!(sched.quarantined_shards(), vec![1]);
+        assert_eq!(sched.shard_health(1), ShardHealth::Quarantined { batches_left: 0 });
+
+        let batch = mixed_batch(n, 48, 9);
+        let report =
+            sched.execute_resilient(&batch, &ServingConfig::default().with_rebuild_after(0));
+        assert!(report.fully_answered());
+        for (qi, q) in batch.iter().enumerate() {
+            assert_eq!(
+                report.outcomes[qi].answer(),
+                Some(oracle(&data, *q)),
+                "scan-degraded query {qi} ({q})"
+            );
+        }
+        assert_eq!(report.rebuilt, vec![1], "rebuild at end of batch");
+        assert_eq!(sched.shard_health(1), ShardHealth::Healthy);
+        sched.check_integrity().unwrap();
+
+        // Post-rebuild serving is healthy and still oracle-correct.
+        let batch2 = mixed_batch(n, 48, 10);
+        let report2 = sched.execute_resilient(&batch2, &ServingConfig::default());
+        assert!(report2.fully_answered());
+        assert!(report2.rebuilt.is_empty());
+        let stats = sched.resilience_stats();
+        assert_eq!((stats.quarantines, stats.rebuilds), (1, 1));
+    }
+
+    #[test]
+    fn expired_deadline_times_out_instead_of_partial_answers() {
+        let n = 10_000u64;
+        let mut sched = BatchScheduler::new(
+            permuted(n),
+            4,
+            ParallelStrategy::Crack,
+            CrackConfig::default(),
+            13,
+        );
+        // A zero deadline has always already expired at wave start.
+        let serving = ServingConfig::default().with_deadline(Duration::from_secs(0));
+        let batch = mixed_batch(n, 16, 1);
+        let report = sched.execute_resilient(&batch, &serving);
+        assert_eq!(report.outcomes.len(), batch.len());
+        for (qi, (q, o)) in batch.iter().zip(&report.outcomes).enumerate() {
+            if q.is_empty() {
+                assert_eq!(o.answer(), Some((0, 0)), "empty query {qi} costs nothing");
+            } else {
+                assert_eq!(*o, QueryOutcome::TimedOut, "query {qi}");
+            }
+        }
+        assert_eq!(report.timed_out + report.answered, batch.len());
+        assert!(report.timed_out > 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use rand::SeedableRng;
 use scrack_core::{CrackConfig, CrackedColumn};
 use scrack_partition::select_nth_key;
 use scrack_types::{Element, QueryRange, Stats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Queries answered before the chunks partition-merge into key-disjoint
 /// shards (override with [`ChunkedCracker::with_merge_after`]).
@@ -134,6 +135,10 @@ pub struct ChunkedCracker<E: Element> {
     retired: Stats,
     /// Reusable per-shard queues for the merged phase.
     queues: Vec<Vec<(usize, QueryRange)>>,
+    /// Worker panics caught on the resilient path
+    /// ([`ChunkedCracker::execute_resilient`]); each one quarantined and
+    /// rebuilt a chunk/shard index.
+    panics_isolated: u64,
 }
 
 impl<E: Element> ChunkedCracker<E> {
@@ -154,8 +159,11 @@ impl<E: Element> ChunkedCracker<E> {
         let mut i = 0u64;
         while !data.is_empty() {
             let tail = data.split_off(per.min(data.len()));
+            // Scope any planned fault to this chunk, so a targeted plan
+            // arms exactly one chunk.
+            let scoped = config.fault.scoped_to(i as usize);
             chunks.push(Chunk {
-                col: CrackedColumn::new(data, config),
+                col: CrackedColumn::new(data, config.with_fault(scoped)),
                 rng: SmallRng::seed_from_u64(seed.wrapping_add(i)),
             });
             data = tail;
@@ -176,6 +184,7 @@ impl<E: Element> ChunkedCracker<E> {
             merge_after: DEFAULT_MERGE_AFTER,
             retired: Stats::new(),
             queues: Vec::new(),
+            panics_isolated: 0,
         }
     }
 
@@ -216,19 +225,40 @@ impl<E: Element> ChunkedCracker<E> {
     /// returns per-query `(count, key_sum)` in submission order.
     pub fn execute(&mut self, batch: &[QueryRange]) -> Vec<(usize, u64)> {
         let workers = executor::worker_count(self.chunk_count());
-        self.dispatch(batch, workers)
+        self.dispatch(batch, workers, false)
     }
 
     /// [`ChunkedCracker::execute`] on the calling thread. Answers and
     /// [`Stats`] are bit-identical to the parallel path — the
     /// determinism oracle.
     pub fn execute_serial(&mut self, batch: &[QueryRange]) -> Vec<(usize, u64)> {
-        self.dispatch(batch, 1)
+        self.dispatch(batch, 1, false)
     }
 
-    fn dispatch(&mut self, batch: &[QueryRange], workers: usize) -> Vec<(usize, u64)> {
+    /// [`ChunkedCracker::execute`] with **panic isolation**: a worker
+    /// panic mid-crack quarantines just that chunk/shard — its cracker
+    /// index is discarded (the data multiset survives, cracking only
+    /// swaps), rebuilt fresh with fault injection disarmed, and its whole
+    /// queue replayed, so answers stay oracle-correct while every other
+    /// chunk's work is kept. Each recovery bumps
+    /// [`ChunkedCracker::panics_isolated`].
+    ///
+    /// Replayed work makes [`Stats`] (not answers) diverge from the
+    /// fail-loud paths, so this entry point is *not* part of the
+    /// bit-identical determinism contract.
+    pub fn execute_resilient(&mut self, batch: &[QueryRange]) -> Vec<(usize, u64)> {
+        let workers = executor::worker_count(self.chunk_count());
+        self.dispatch(batch, workers, true)
+    }
+
+    /// Worker panics caught and recovered on the resilient path.
+    pub fn panics_isolated(&self) -> u64 {
+        self.panics_isolated
+    }
+
+    fn dispatch(&mut self, batch: &[QueryRange], workers: usize, isolate: bool) -> Vec<(usize, u64)> {
         if !self.has_merged() && self.queries_seen >= self.merge_after {
-            self.partition_merge();
+            self.partition_merge(isolate);
         }
         self.queries_seen += batch.len();
         let strategy = self.strategy;
@@ -242,7 +272,28 @@ impl<E: Element> ChunkedCracker<E> {
                     .map(|(qi, q)| (qi, *q))
                     .collect();
                 let tasks: Vec<&mut Chunk<E>> = chunks.iter_mut().collect();
-                executor::run_tasks(workers, tasks, |_, chunk| chunk.drain(&queue, strategy))
+                if isolate {
+                    let results = executor::run_tasks_isolated(workers, tasks, |_, chunk| {
+                        chunk.drain(&queue, strategy)
+                    });
+                    let mut partials = Vec::with_capacity(results.len());
+                    for (k, r) in results.into_iter().enumerate() {
+                        partials.push(match r {
+                            Ok(p) => p,
+                            Err(_) => {
+                                // The chunk may be mid-reorganization;
+                                // discard its index (multiset intact),
+                                // rebuild disarmed, replay its queue.
+                                self.panics_isolated += 1;
+                                chunks[k].col.quarantine_rebuild();
+                                chunks[k].drain(&queue, strategy)
+                            }
+                        });
+                    }
+                    partials
+                } else {
+                    executor::run_tasks(workers, tasks, |_, chunk| chunk.drain(&queue, strategy))
+                }
             }
             Phase::Merged(shards) => {
                 // Key partitioning: clip each query against the shard
@@ -266,15 +317,40 @@ impl<E: Element> ChunkedCracker<E> {
                 for queue in queues.iter_mut() {
                     queue.sort_by_key(|&(qi, q)| (q.low, q.high, qi));
                 }
+                let mut task_sis: Vec<usize> = Vec::new();
                 let tasks: MergedTasks<'_, E> = shards
                     .iter_mut()
                     .map(|(_, shard)| shard)
                     .zip(queues.iter())
-                    .filter(|(_, queue)| !queue.is_empty())
+                    .enumerate()
+                    .filter(|(_, (_, queue))| !queue.is_empty())
+                    .map(|(si, t)| {
+                        task_sis.push(si);
+                        t
+                    })
                     .collect();
-                executor::run_tasks(workers, tasks, |_, (shard, queue)| {
-                    shard.drain(queue, strategy)
-                })
+                if isolate {
+                    let results = executor::run_tasks_isolated(workers, tasks, |_, (shard, queue)| {
+                        shard.drain(queue, strategy)
+                    });
+                    let mut partials = Vec::with_capacity(results.len());
+                    for (k, r) in results.into_iter().enumerate() {
+                        partials.push(match r {
+                            Ok(p) => p,
+                            Err(_) => {
+                                self.panics_isolated += 1;
+                                let si = task_sis[k];
+                                shards[si].1.col.quarantine_rebuild();
+                                shards[si].1.drain(&queues[si], strategy)
+                            }
+                        });
+                    }
+                    partials
+                } else {
+                    executor::run_tasks(workers, tasks, |_, (shard, queue)| {
+                        shard.drain(queue, strategy)
+                    })
+                }
             }
         };
         let mut results = vec![(0usize, 0u64); batch.len()];
@@ -308,7 +384,7 @@ impl<E: Element> ChunkedCracker<E> {
     ///    sample of the chunks' crack-key union inside each shard's span
     ///    (≤ [`MERGE_CRACK_SAMPLE`] keys) is re-cracked into the new
     ///    shard, warming it before the first post-merge query.
-    fn partition_merge(&mut self) {
+    fn partition_merge(&mut self, isolate: bool) {
         let Phase::Chunked(chunks) = &mut self.phase else {
             return;
         };
@@ -341,7 +417,24 @@ impl<E: Element> ChunkedCracker<E> {
         let mut segments: Vec<Vec<Vec<E>>> = Vec::with_capacity(chunks.len());
         for chunk in chunks.iter_mut() {
             crack_keys.extend(chunk.col.index().crack_arrays().0);
-            let cuts: Vec<usize> = bounds.iter().map(|&b| chunk.col.crack_on(b)).collect();
+            let cut_all = |col: &mut CrackedColumn<E>| -> Vec<usize> {
+                bounds.iter().map(|&b| col.crack_on(b)).collect()
+            };
+            let cuts: Vec<usize> = if isolate {
+                // A chunk with an armed fault can die in the cut itself;
+                // recover by discarding its earned structure (multiset
+                // intact) and cutting the rebuilt, disarmed column.
+                match catch_unwind(AssertUnwindSafe(|| cut_all(&mut chunk.col))) {
+                    Ok(cuts) => cuts,
+                    Err(_) => {
+                        self.panics_isolated += 1;
+                        chunk.col.quarantine_rebuild();
+                        cut_all(&mut chunk.col)
+                    }
+                }
+            } else {
+                cut_all(&mut chunk.col)
+            };
             self.retired += chunk.col.stats();
             let (data, _, _) = chunk.col.parts_mut();
             let mut data = std::mem::take(data);
@@ -374,7 +467,12 @@ impl<E: Element> ChunkedCracker<E> {
             for segs in &mut segments {
                 data.append(&mut segs[j]);
             }
-            let mut col = CrackedColumn::new(data, self.config);
+            // Merged shards build disarmed: fault plans describe faults
+            // in the columns armed at construction, and the merge itself
+            // re-cracks into these columns (an armed plan would fire
+            // inside the merge, not during serving).
+            let disarmed = self.config.with_fault(scrack_core::FaultPlan::disabled());
+            let mut col = CrackedColumn::new(data, disarmed);
             // Sample the earned crack keys strictly inside the span
             // (span edges are already piece boundaries by construction).
             let lo_i = crack_keys.partition_point(|k| *k <= span.low);
@@ -653,6 +751,56 @@ mod tests {
         assert_eq!(tiny.select_aggregate(QueryRange::new(0, 10)), (3, 9));
         assert!(tiny.has_merged());
         tiny.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn injected_panic_quarantines_one_chunk_and_stays_oracle_correct() {
+        use scrack_core::FaultPlan;
+        let n = 20_000u64;
+        let data = permuted(n);
+        // Chunk 1's first crack attempt dies mid-kernel; isolation must
+        // keep every answer oracle-correct and every other chunk's work.
+        let config = CrackConfig::default().with_fault(FaultPlan::panic_in_kernel(1).on_target(1));
+        let mut cc = ChunkedCracker::new(data.clone(), 4, ParallelStrategy::Stochastic, config, 7)
+            .with_merge_after(64);
+        let batch = mixed_batch(n, 64, 1);
+        let results = cc.execute_resilient(&batch);
+        for (qi, q) in batch.iter().enumerate() {
+            assert_eq!(results[qi], oracle(&data, *q), "query {qi} ({q})");
+        }
+        assert_eq!(cc.panics_isolated(), 1);
+        cc.check_integrity().unwrap();
+        // Next batch crosses the merge; the rebuilt chunk is disarmed and
+        // merged shards build disarmed, so serving stays clean.
+        let batch2 = mixed_batch(n, 64, 2);
+        let results2 = cc.execute_resilient(&batch2);
+        for (qi, q) in batch2.iter().enumerate() {
+            assert_eq!(results2[qi], oracle(&data, *q), "post-recovery query {qi}");
+        }
+        assert!(cc.has_merged());
+        assert_eq!(cc.panics_isolated(), 1, "the fault fires exactly once");
+        cc.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn injected_panic_during_the_merge_cut_recovers() {
+        use scrack_core::FaultPlan;
+        let n = 10_000u64;
+        let data = permuted(n);
+        // merge_after(0) runs the partition-merge before the first query
+        // is served, so chunk 0's trigger-1 fault fires inside the
+        // merge's bound cut — the recovery path under test.
+        let config = CrackConfig::default().with_fault(FaultPlan::panic_in_kernel(1).on_target(0));
+        let mut cc = ChunkedCracker::new(data.clone(), 4, ParallelStrategy::Crack, config, 3)
+            .with_merge_after(0);
+        let batch = mixed_batch(n, 16, 5);
+        let results = cc.execute_resilient(&batch);
+        assert!(cc.has_merged());
+        assert_eq!(cc.panics_isolated(), 1, "the cut itself must have died once");
+        for (qi, q) in batch.iter().enumerate() {
+            assert_eq!(results[qi], oracle(&data, *q), "query {qi}");
+        }
+        cc.check_integrity().unwrap();
     }
 
     #[test]

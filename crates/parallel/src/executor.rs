@@ -26,6 +26,31 @@
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One isolated task panic: which task died and the panic message.
+///
+/// Produced by [`run_tasks_isolated`]; the worker that caught it went on
+/// to run its remaining tasks, so one bad task never takes down a batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The item index of the task that panicked.
+    pub task: usize,
+    /// The panic payload rendered as text (`"<non-string panic>"` when
+    /// the payload was neither `&str` nor `String`).
+    pub message: String,
+}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Ok(s) = payload.downcast::<String>() {
+        *s
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
 
 /// Number of workers worth running for `tasks` independent tasks: one
 /// per available core, never more than there are tasks, at least one.
@@ -57,13 +82,49 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    run_tasks_isolated(workers, items, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(r) => r,
+            Err(p) => panic!("executor task {} panicked: {}", p.task, p.message),
+        })
+        .collect()
+}
+
+/// [`run_tasks`] with **panic isolation**: each task runs under
+/// `catch_unwind`, so a panicking task yields `Err(TaskPanic)` in its
+/// result slot while every other task — including later tasks on the
+/// same worker — still runs to completion. The serial (`workers <= 1`)
+/// path catches identically, so isolation semantics don't depend on the
+/// thread count.
+///
+/// Callers own the unwind-safety judgement: a task that panicked may
+/// have left its `&mut` state half-reorganized, and the schedulers that
+/// use this entry point quarantine that state (discard the cracker
+/// index, degrade to scans) rather than trusting it.
+pub fn run_tasks_isolated<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<Result<R, TaskPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let total = items.len();
     if total == 0 {
         return Vec::new();
     }
+    let run_one = |i: usize, item: T| -> Result<R, TaskPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| TaskPanic {
+            task: i,
+            message: panic_message(payload),
+        })
+    };
     let workers = workers.min(total).max(1);
     if workers == 1 {
-        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| run_one(i, t))
+            .collect();
     }
 
     // Deal tasks round-robin so every worker starts loaded; skew in task
@@ -73,11 +134,12 @@ where
         deques[i % workers].push_back((i, item));
     }
     let deques: Vec<Mutex<VecDeque<(usize, T)>>> = deques.into_iter().map(Mutex::new).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, TaskPanic>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
 
     let deques_ref = &deques;
     let slots_ref = &slots;
-    let f_ref = &f;
+    let run_ref = &run_one;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -93,7 +155,7 @@ where
                     };
                     match task {
                         Some((i, item)) => {
-                            let r = f_ref(i, item);
+                            let r = run_ref(i, item);
                             *slots_ref[i].lock() = Some(r);
                         }
                         // Every deque empty: total work is fixed, so
@@ -104,7 +166,9 @@ where
             })
             .collect();
         for h in handles {
-            h.join().expect("executor worker panicked");
+            // Workers catch task panics, so a join failure would be a bug
+            // in the executor itself, not in a task.
+            h.join().expect("executor worker infrastructure panicked");
         }
     });
 
@@ -179,6 +243,59 @@ mod tests {
         let none: Vec<u64> = run_tasks(4, Vec::<u64>::new(), |_, x| x);
         assert!(none.is_empty());
         assert_eq!(run_tasks(4, vec![9u64], |_, x| x + 1), vec![10]);
+    }
+
+    /// PR 7 regression pin (satellite): a panicking task still aborts
+    /// the *plain* `run_tasks` call — the legacy contract callers that
+    /// haven't opted into isolation rely on (fail loud, never return
+    /// partial results silently).
+    #[test]
+    fn run_tasks_propagates_a_task_panic() {
+        for workers in [1, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                run_tasks(workers, (0..8).collect::<Vec<usize>>(), |_, x| {
+                    if x == 3 {
+                        panic!("boom in task 3");
+                    }
+                    x
+                })
+            });
+            let msg = panic_message(caught.expect_err("must propagate"));
+            assert!(msg.contains("task 3"), "workers={workers}: {msg}");
+        }
+    }
+
+    #[test]
+    fn isolated_run_completes_every_other_task_around_a_panic() {
+        use std::sync::atomic::AtomicUsize;
+        for workers in [1, 2, 4] {
+            let ran = AtomicUsize::new(0);
+            let out = run_tasks_isolated(workers, (0..16).collect::<Vec<usize>>(), |_, x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if x % 5 == 2 {
+                    panic!("injected {x}");
+                }
+                x * 2
+            });
+            assert_eq!(ran.load(Ordering::Relaxed), 16, "workers={workers}");
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 2 {
+                    let p = r.as_ref().expect_err("panicking task yields Err");
+                    assert_eq!(p.task, i);
+                    assert!(p.message.contains(&format!("injected {i}")), "{p:?}");
+                } else {
+                    assert_eq!(*r.as_ref().expect("healthy task"), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_run_renders_non_str_panic_payloads() {
+        let out = run_tasks_isolated(1, vec![0u64], |_, _| -> u64 {
+            std::panic::panic_any(42u64)
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().message, "<non-string panic>");
     }
 
     #[test]

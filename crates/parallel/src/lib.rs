@@ -38,6 +38,11 @@
 //! Threaded paths run on [`executor`], a small work-stealing pool that
 //! caps live workers at available parallelism and lets idle workers
 //! steal queued tasks, so skewed shards or chunks don't idle cores.
+//! Tasks can run with per-task panic isolation
+//! ([`executor::run_tasks_isolated`]); [`BatchScheduler`]'s
+//! fault-hardened entry point (`execute_resilient`, policy surface in
+//! [`resilience`]) builds admission control, deadlines, and the
+//! quarantine→scan→rebuild degradation ladder on top of it.
 //!
 //! Every wrapper takes a [`scrack_core::CrackConfig`], so the concurrent
 //! paths run the same branchy/branchless reorganization kernels
@@ -53,12 +58,16 @@ mod batch;
 mod chunked;
 pub mod executor;
 mod piecelock;
+pub mod resilience;
 mod sharded;
 mod shared;
 
 pub use batch::{BatchOp, BatchScheduler};
 pub use chunked::ChunkedCracker;
 pub use piecelock::PieceLockedCracker;
+pub use resilience::{
+    AdmissionPolicy, BatchReport, QueryOutcome, ResilienceStats, ServingConfig, ShardHealth,
+};
 pub use sharded::ShardedCracker;
 pub use shared::SharedCracker;
 

@@ -69,6 +69,10 @@ impl<E: Element> Engine<E> for Box<dyn UpdateEngine<E>> {
     fn reset_stats(&mut self) {
         self.as_mut().reset_stats();
     }
+
+    fn quarantine_rebuild(&mut self) {
+        self.as_mut().quarantine_rebuild();
+    }
 }
 
 impl<E: Element> CrackAccess<E> for Box<dyn UpdateEngine<E>> {
@@ -255,6 +259,10 @@ where
 
     fn reset_stats(&mut self) {
         self.engine.reset_stats();
+    }
+
+    fn quarantine_rebuild(&mut self) {
+        self.engine.quarantine_rebuild();
     }
 }
 

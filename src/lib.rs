@@ -202,7 +202,35 @@ pub mod updates {
 /// assert!(cc.has_merged()); // the second batch dispatched post-merge
 /// ```
 ///
+/// **Fault-hardened serving** — [`BatchScheduler::execute_resilient`]
+/// runs the same batches behind admission control, per-query deadlines,
+/// and panic isolation. A worker panic (here injected deterministically
+/// via [`FaultPlan`]) quarantines its shard — queries degrade to exact
+/// scans over the preserved data, the index is rebuilt, and every
+/// admitted answer stays oracle-correct throughout:
+///
+/// ```
+/// use stochastic_cracking::prelude::*;
+///
+/// let data: Vec<u64> = unique_permutation(2_000, 3);
+/// let oracle = Oracle::new(&data);
+/// let config = CrackConfig::default()
+///     .with_fault(FaultPlan::panic_in_kernel(4).on_target(0));
+/// let mut sched = BatchScheduler::new(data, 4, ParallelStrategy::Stochastic, config, 3);
+/// let serving = ServingConfig::bounded(8, AdmissionPolicy::Block);
+/// let batch: Vec<QueryRange> = (0..32u64).map(|i| QueryRange::new(i * 60, i * 60 + 30)).collect();
+/// let report = sched.execute_resilient(&batch, &serving);
+/// assert!(report.fully_answered());
+/// for (q, outcome) in batch.iter().zip(&report.outcomes) {
+///     assert_eq!(outcome.answer().unwrap(), (oracle.count(*q), oracle.checksum(*q)));
+/// }
+/// assert!(sched.resilience_stats().panics_isolated >= 1);
+/// assert!(sched.quarantined_shards().is_empty()); // rebuilt, back to cracking
+/// ```
+///
 /// [`ShardedCracker`]: scrack_parallel::ShardedCracker
+/// [`BatchScheduler::execute_resilient`]: scrack_parallel::BatchScheduler::execute_resilient
+/// [`FaultPlan`]: scrack_core::FaultPlan
 /// [`SharedCracker`]: scrack_parallel::SharedCracker
 /// [`PieceLockedCracker`]: scrack_parallel::PieceLockedCracker
 /// [`BatchScheduler`]: scrack_parallel::BatchScheduler
@@ -218,13 +246,15 @@ pub mod prelude {
     pub use scrack_columnstore::{Column, QueryOutput, Table};
     pub use scrack_core::{
         build_engine, CrackConfig, CrackEngine, CrackedColumn, Dd1cEngine, Dd1rEngine, DdcEngine,
-        DdrEngine, Engine, EngineKind, IndexPolicy, KernelPolicy, Mdd1rEngine, Oracle,
-        ProgressiveEngine, ScanEngine, SelectiveEngine, SelectivePolicy, SortEngine, UpdatePolicy,
+        DdrEngine, Engine, EngineKind, FaultKind, FaultPlan, IndexPolicy, KernelPolicy,
+        Mdd1rEngine, Oracle, ProgressiveEngine, ScanEngine, SelectiveEngine, SelectivePolicy,
+        SortEngine, UpdatePolicy,
     };
     pub use scrack_hybrids::{HybridEngine, HybridKind};
     pub use scrack_parallel::{
-        BatchOp, BatchScheduler, ChunkedCracker, ParallelStrategy, PieceLockedCracker,
-        ShardedCracker, SharedCracker,
+        AdmissionPolicy, BatchOp, BatchReport, BatchScheduler, ChunkedCracker, ParallelStrategy,
+        PieceLockedCracker, QueryOutcome, ResilienceStats, ServingConfig, ShardedCracker,
+        SharedCracker, ShardHealth,
     };
     pub use scrack_sideways::{BudgetedSideways, CrackerMap, MapStrategy, SidewaysCracker};
     pub use scrack_types::{CacheProfile, Element, QueryRange, Stats, Tuple};
