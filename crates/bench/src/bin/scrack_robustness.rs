@@ -21,14 +21,31 @@
 //! box.
 
 use scrack_bench::robustness_report::{verify_gauntlet, RobustnessConfig, RobustnessReport};
+use scrack_bench::trajectory::CommonCli;
 use scrack_bench::value_of;
 use std::io::Write as _;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = CommonCli::extract(&mut args);
     let mut cfg = RobustnessConfig::default();
-    let mut json_path: Option<String> = None;
-    let mut check = false;
+    if cli.smoke {
+        // Smoke scale: small column, short stream — seconds, not
+        // minutes, and still one cell per fault/load combination with
+        // every planned fault actually firing. The stream stays long
+        // enough that the recovery window (final third of the batches)
+        // has a stable median.
+        cfg.n = 30_000;
+        cfg.queries = 1_536;
+        cfg.batch = 64;
+        cfg.shards = 4;
+        cfg.queue_capacity = 16;
+        cfg.fault_trigger = 8;
+        // Smoke batches route ~16 queries per shard; a clamp of 4 sheds
+        // through the retry budget the way the default clamp of 8 does
+        // against full-scale batches.
+        cfg.overload_capacity = 4;
+    }
     let mut min_recovery = 0.9f64;
     let mut i = 0;
     while i < args.len() {
@@ -88,28 +105,6 @@ fn main() {
                         std::process::exit(2);
                     });
             }
-            "--smoke" => {
-                // Smoke scale: small column, short stream — seconds, not
-                // minutes, and still one cell per fault/load combination
-                // with every planned fault actually firing. The stream
-                // stays long enough that the recovery window (final third
-                // of the batches) has a stable median.
-                cfg.n = 30_000;
-                cfg.queries = 1_536;
-                cfg.batch = 64;
-                cfg.shards = 4;
-                cfg.queue_capacity = 16;
-                cfg.fault_trigger = 8;
-                // Smoke batches route ~16 queries per shard; a clamp of
-                // 4 sheds through the retry budget the way the default
-                // clamp of 8 does against full-scale batches.
-                cfg.overload_capacity = 4;
-            }
-            "--json" => {
-                i += 1;
-                json_path = Some(value_of(&args, i, "--json").to_string());
-            }
-            "--check" => check = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: scrack_robustness [--n N] [--queries Q] [--batch B] \
@@ -149,27 +144,20 @@ fn main() {
     );
     let _ = writeln!(lock, "{}", report.render_table());
 
-    if let Some(path) = json_path {
-        std::fs::write(&path, report.to_json()).expect("write JSON report");
-        let _ = writeln!(lock, "wrote {path}");
-    }
+    cli.write_json(&report.to_json(), &mut lock);
 
-    if check {
+    if cli.check {
         let failures = verify_gauntlet(&report, min_recovery);
-        if !failures.is_empty() {
-            eprintln!("gauntlet FAILED:");
-            for f in &failures {
-                eprintln!("  - {f}");
-            }
-            std::process::exit(1);
-        }
-        let _ = writeln!(
-            lock,
-            "gauntlet passed: {} cells, every query accounted, every answer \
-             oracle-correct, every planned fault fired and recovered to at \
-             least {:.0}% of the unfaulted baseline",
-            report.cells.len(),
-            min_recovery * 100.0
+        scrack_bench::trajectory::finish_check(
+            "robustness",
+            &failures,
+            &format!(
+                "gauntlet passed: {} cells, every query accounted, every answer \
+                 oracle-correct, every planned fault fired and recovered to at \
+                 least {:.0}% of the unfaulted baseline",
+                report.cells.len(),
+                min_recovery * 100.0
+            ),
         );
     }
 }

@@ -18,14 +18,24 @@
 use scrack_bench::throughput_report::{
     verify_chunked_identity, ThroughputConfig, ThroughputReport,
 };
+use scrack_bench::trajectory::CommonCli;
 use scrack_bench::value_of;
 use std::io::Write as _;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = CommonCli::extract(&mut args);
     let mut cfg = ThroughputConfig::default();
-    let mut json_path: Option<String> = None;
-    let mut check = false;
+    if cli.smoke {
+        // Smoke scale: small column, short stream, two thread counts,
+        // one sample — seconds, not minutes, and still one cell per
+        // threads/strategy/workload combination.
+        cfg.n = 50_000;
+        cfg.queries = 500;
+        cfg.batch = 64;
+        cfg.samples = 1;
+        cfg.threads = vec![1, 2];
+    }
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -66,21 +76,6 @@ fn main() {
                         std::process::exit(2);
                     });
             }
-            "--smoke" => {
-                // Smoke scale: small column, short stream, two thread
-                // counts, one sample — seconds, not minutes, and still
-                // one cell per threads/strategy/workload combination.
-                cfg.n = 50_000;
-                cfg.queries = 500;
-                cfg.batch = 64;
-                cfg.samples = 1;
-                cfg.threads = vec![1, 2];
-            }
-            "--json" => {
-                i += 1;
-                json_path = Some(value_of(&args, i, "--json").to_string());
-            }
-            "--check" => check = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: scrack_throughput [--threads N,N,...] [--n N] \
@@ -119,28 +114,20 @@ fn main() {
     );
     let _ = writeln!(lock, "{}", report.render_table());
 
-    if let Some(path) = json_path {
-        std::fs::write(&path, report.to_json()).expect("write JSON report");
-        let _ = writeln!(lock, "wrote {path}");
-    }
+    cli.write_json(&report.to_json(), &mut lock);
 
-    if check {
-        let missing = report.missing_cells();
-        if !missing.is_empty() {
-            eprintln!("coverage check FAILED; missing cells: {missing:?}");
-            std::process::exit(1);
-        }
-        let failures = verify_chunked_identity(&cfg);
-        if !failures.is_empty() {
-            eprintln!("chunked identity check FAILED: {failures:?}");
-            std::process::exit(1);
-        }
-        let _ = writeln!(
-            lock,
-            "coverage check passed: {} cells, all threads/strategy/workload \
-             combinations present; chunked threaded-vs-serial replay \
-             bit-identical over a 1/2/4-thread sweep",
-            report.cells.len()
+    if cli.check {
+        let mut failures = report.missing_cells();
+        failures.extend(verify_chunked_identity(&cfg));
+        scrack_bench::trajectory::finish_check(
+            "throughput",
+            &failures,
+            &format!(
+                "coverage check passed: {} cells, all threads/strategy/workload \
+                 combinations present; chunked threaded-vs-serial replay \
+                 bit-identical over a 1/2/4-thread sweep",
+                report.cells.len()
+            ),
         );
     }
 }

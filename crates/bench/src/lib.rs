@@ -23,10 +23,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod gauntlet_report;
 pub mod kernels_report;
 pub mod latency_report;
 pub mod robustness_report;
 pub mod throughput_report;
+pub mod trajectory;
 pub mod updates_report;
 
 use scrack_types::QueryRange;

@@ -33,10 +33,12 @@
 //! closed-loop capacity (`base_qps`), so the sweep lands under, near, and
 //! over saturation on any host. Every answered query is checked against a
 //! sorted-prefix-sum oracle; a single wrong aggregate fails the cell.
-//! The baseline is committed as `BENCH_7.json` (regenerated via `cargo
-//! run --release -p scrack_bench --bin scrack_robustness -- --json
-//! BENCH_7.json`).
+//! The baseline is committed as `BENCH_7.json`, a
+//! [`scrack-trajectory/v1`](crate::trajectory) document (regenerated via
+//! `cargo run --release -p scrack_bench --bin scrack_robustness --
+//! --json BENCH_7.json`).
 
+use crate::trajectory::{median, obj, percentile, Json, TrajectoryDoc};
 use scrack_core::{CrackConfig, FaultPlan, IndexPolicy};
 use scrack_parallel::{
     AdmissionPolicy, BatchScheduler, ParallelStrategy, QueryOutcome, ServingConfig,
@@ -188,25 +190,6 @@ impl Oracle {
         let hi = self.keys.partition_point(|k| *k < q.high);
         (hi - lo, self.prefix[hi].wrapping_sub(self.prefix[lo]))
     }
-}
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    assert!(!xs.is_empty());
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let m = xs.len() / 2;
-    if xs.len() % 2 == 1 {
-        xs[m]
-    } else {
-        (xs[m - 1] + xs[m]) / 2.0
-    }
-}
-
-/// The `p`-th percentile (nearest-rank) of `xs` in place.
-fn percentile(xs: &mut [f64], p: f64) -> f64 {
-    assert!(!xs.is_empty());
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let rank = ((p / 100.0) * xs.len() as f64).ceil() as usize;
-    xs[rank.clamp(1, xs.len()) - 1]
 }
 
 /// The fault plan for a named cell. Panic and poison target shard 0 and
@@ -446,75 +429,55 @@ impl RobustnessReport {
         missing
     }
 
-    /// Serializes the report as JSON (hand-rolled, as the workspace
-    /// builds offline without serde).
+    /// Serializes the report as a `scrack-trajectory/v1` document (see
+    /// [`crate::trajectory`]; hand-rolled, as the workspace builds
+    /// offline without serde).
     pub fn to_json(&self) -> String {
-        let mut s = String::new();
-        s.push_str("{\n");
-        s.push_str("  \"schema\": \"scrack-robustness-bench/v1\",\n");
-        s.push_str(&format!("  \"n\": {},\n", self.config.n));
-        s.push_str(&format!("  \"queries\": {},\n", self.config.queries));
-        s.push_str(&format!("  \"batch_size\": {},\n", self.config.batch));
-        s.push_str(&format!("  \"shards\": {},\n", self.config.shards));
-        s.push_str(&format!(
-            "  \"queue_capacity\": {},\n",
-            self.config.queue_capacity
-        ));
-        s.push_str(&format!("  \"max_retries\": {},\n", self.config.max_retries));
-        s.push_str(&format!(
-            "  \"fault_trigger\": {},\n",
-            self.config.fault_trigger
-        ));
-        s.push_str(&format!(
-            "  \"overload_capacity\": {},\n",
-            self.config.overload_capacity
-        ));
-        s.push_str(&format!("  \"samples\": {},\n", self.config.samples));
-        s.push_str(&format!("  \"index_policy\": \"{}\",\n", self.config.index));
-        s.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
-        s.push_str(&format!("  \"base_qps\": {:.1},\n", self.base_qps));
-        let quoted: Vec<String> = FAULTS.iter().map(|f| format!("\"{f}\"")).collect();
-        s.push_str(&format!("  \"faults\": [{}],\n", quoted.join(", ")));
-        let loads: Vec<String> = self
-            .config
-            .load_factors
-            .iter()
-            .map(|f| format!("{f}"))
-            .collect();
-        s.push_str(&format!("  \"load_factors\": [{}],\n", loads.join(", ")));
-        s.push_str("  \"cells\": [\n");
-        for (i, c) in self.cells.iter().enumerate() {
-            let ratio = c
-                .recovery_ratio
-                .map_or_else(|| "null".to_string(), |r| format!("{r:.3}"));
-            s.push_str(&format!(
-                "    {{\"fault\": \"{}\", \"load_factor\": {}, \"offered_qps\": {:.1}, \
-                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
-                 \"answered\": {}, \"shed\": {}, \"timed_out\": {}, \"shed_rate\": {:.4}, \
-                 \"panics_isolated\": {}, \"quarantined\": {}, \"rebuilt\": {}, \
-                 \"oracle_failures\": {}, \"recovery_qps\": {:.1}, \
-                 \"recovery_ratio\": {}}}{}\n",
-                c.fault,
-                c.load_factor,
-                c.offered_qps,
-                c.p50_ms,
-                c.p99_ms,
-                c.p999_ms,
-                c.answered,
-                c.shed,
-                c.timed_out,
-                c.shed_rate,
-                c.panics_isolated,
-                c.quarantined,
-                c.rebuilt,
-                c.oracle_failures,
-                c.recovery_qps,
-                ratio,
-                if i + 1 < self.cells.len() { "," } else { "" }
-            ));
+        let mut doc = TrajectoryDoc::new("robustness")
+            .param("n", Json::UInt(self.config.n))
+            .param("queries", Json::UInt(self.config.queries as u64))
+            .param("batch_size", Json::UInt(self.config.batch as u64))
+            .param("shards", Json::UInt(self.config.shards as u64))
+            .param("queue_capacity", Json::UInt(self.config.queue_capacity as u64))
+            .param("max_retries", Json::UInt(self.config.max_retries as u64))
+            .param("fault_trigger", Json::UInt(self.config.fault_trigger as u64))
+            .param(
+                "overload_capacity",
+                Json::UInt(self.config.overload_capacity as u64),
+            )
+            .param("samples", Json::UInt(self.config.samples as u64))
+            .param("index_policy", Json::str(self.config.index.to_string()))
+            .param("host_cpus", Json::UInt(self.host_cpus as u64))
+            .param("base_qps", Json::fixed(self.base_qps, 1))
+            .axis("faults", FAULTS.iter().map(|f| Json::str(*f)).collect())
+            .axis(
+                "load_factors",
+                self.config.load_factors.iter().map(|f| Json::fixed(*f, 2)).collect(),
+            );
+        for c in &self.cells {
+            doc.cell(obj(vec![
+                ("fault", Json::str(c.fault)),
+                ("load_factor", Json::fixed(c.load_factor, 2)),
+                ("offered_qps", Json::fixed(c.offered_qps, 1)),
+                ("p50_ms", Json::fixed(c.p50_ms, 3)),
+                ("p99_ms", Json::fixed(c.p99_ms, 3)),
+                ("p999_ms", Json::fixed(c.p999_ms, 3)),
+                ("answered", Json::UInt(c.answered as u64)),
+                ("shed", Json::UInt(c.shed as u64)),
+                ("timed_out", Json::UInt(c.timed_out as u64)),
+                ("shed_rate", Json::fixed(c.shed_rate, 4)),
+                ("panics_isolated", Json::UInt(c.panics_isolated)),
+                ("quarantined", Json::UInt(c.quarantined)),
+                ("rebuilt", Json::UInt(c.rebuilt)),
+                ("oracle_failures", Json::UInt(c.oracle_failures as u64)),
+                ("recovery_qps", Json::fixed(c.recovery_qps, 1)),
+                (
+                    "recovery_ratio",
+                    Json::opt(c.recovery_ratio.map(|r| Json::fixed(r, 3))),
+                ),
+            ]));
         }
-        s.push_str("  ]\n}\n");
-        s
+        doc.to_json()
     }
 
     /// A human-readable summary table (markdown).
@@ -657,14 +620,7 @@ mod tests {
     }
 
     #[test]
-    fn percentile_and_recovery_helpers_are_exact() {
-        let mut xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&mut xs, 50.0), 50.0);
-        assert_eq!(percentile(&mut xs, 99.0), 99.0);
-        assert_eq!(percentile(&mut xs, 99.9), 100.0);
-        assert_eq!(percentile(&mut [7.0], 99.9), 7.0);
-        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
-        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+    fn recovery_tail_helper_is_exact() {
         // Final third of 6 batches = last 2; each serves 10 queries in
         // 0.1s and 0.2s → 100 and 50 q/s, median 75.
         let batches: Vec<(f64, usize)> = vec![
@@ -703,8 +659,9 @@ mod tests {
         let json = r.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"schema\": \"scrack-trajectory/v1\""));
+        assert!(json.contains("\"report\": \"robustness\""));
         for key in [
-            "schema",
             "base_qps",
             "faults",
             "load_factors",

@@ -4,10 +4,10 @@
 //! ns/element; this module tracks the ROADMAP's other axis — sustained
 //! **query throughput** under concurrent execution. It sweeps
 //! `threads × strategy × workload` over the `scrack_parallel` wrappers
-//! and emits a stable JSON document (`BENCH_6.json` in the repo root,
-//! superseding PR 3's `BENCH_3.json`; regenerated via `cargo run
-//! --release -p scrack_bench --bin scrack_throughput -- --json
-//! BENCH_6.json`).
+//! and emits a stable [`scrack-trajectory/v1`](crate::trajectory)
+//! document (`BENCH_6.json` in the repo root, superseding PR 3's
+//! `BENCH_3.json`; regenerated via `cargo run --release -p scrack_bench
+//! --bin scrack_throughput -- --json BENCH_6.json`).
 //!
 //! Per cell the harness reports:
 //!
@@ -32,6 +32,7 @@
 //! threaded and serial replays stay bit-identical (answers *and*
 //! `Stats`) — the CI `--check` gate.
 
+use crate::trajectory::{median, obj, percentile, Json, TrajectoryDoc};
 use scrack_core::{CrackConfig, IndexPolicy};
 use scrack_parallel::{
     BatchScheduler, ChunkedCracker, ParallelStrategy, PieceLockedCracker, SharedCracker,
@@ -112,24 +113,6 @@ pub struct ThroughputReport {
     pub host_cpus: usize,
     /// All cells, workload-major then strategy then threads.
     pub cells: Vec<ThroughputCell>,
-}
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let m = xs.len() / 2;
-    if xs.len() % 2 == 1 {
-        xs[m]
-    } else {
-        (xs[m - 1] + xs[m]) / 2.0
-    }
-}
-
-/// The `p`-th percentile (nearest-rank) of `xs` in place.
-fn percentile(xs: &mut [f64], p: f64) -> f64 {
-    assert!(!xs.is_empty());
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let rank = ((p / 100.0) * xs.len() as f64).ceil() as usize;
-    xs[rank.clamp(1, xs.len()) - 1]
 }
 
 fn workload_kind(name: &str) -> WorkloadKind {
@@ -367,49 +350,37 @@ impl ThroughputReport {
         missing
     }
 
-    /// Serializes the report as JSON (hand-rolled, as the workspace
-    /// builds offline without serde).
+    /// Serializes the report as a `scrack-trajectory/v1` document (see
+    /// [`crate::trajectory`]; hand-rolled, as the workspace builds
+    /// offline without serde).
     pub fn to_json(&self) -> String {
-        let mut s = String::new();
-        s.push_str("{\n");
-        s.push_str("  \"schema\": \"scrack-throughput-bench/v2\",\n");
-        s.push_str(&format!("  \"n\": {},\n", self.config.n));
-        s.push_str(&format!("  \"queries\": {},\n", self.config.queries));
-        s.push_str(&format!("  \"batch_size\": {},\n", self.config.batch));
-        s.push_str(&format!("  \"samples\": {},\n", self.config.samples));
-        s.push_str(&format!("  \"index_policy\": \"{}\",\n", self.config.index));
-        s.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
-        let threads: Vec<String> = self.config.threads.iter().map(|t| t.to_string()).collect();
-        s.push_str(&format!("  \"threads\": [{}],\n", threads.join(", ")));
-        let quoted = |names: &[&str]| -> String {
-            names
-                .iter()
-                .map(|n| format!("\"{n}\""))
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
-        s.push_str(&format!("  \"strategies\": [{}],\n", quoted(&STRATEGIES)));
-        s.push_str(&format!("  \"workloads\": [{}],\n", quoted(&WORKLOADS)));
-        s.push_str("  \"cells\": [\n");
-        for (i, c) in self.cells.iter().enumerate() {
-            let efficiency = c
-                .scaling_efficiency
-                .map_or_else(|| "null".to_string(), |e| format!("{e:.3}"));
-            s.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \
-                 \"qps_median\": {:.1}, \"p99_latency_us\": {:.2}, \
-                 \"scaling_efficiency\": {}}}{}\n",
-                c.workload,
-                c.strategy,
-                c.threads,
-                c.qps_median,
-                c.p99_latency_us,
-                efficiency,
-                if i + 1 < self.cells.len() { "," } else { "" }
-            ));
+        let mut doc = TrajectoryDoc::new("throughput")
+            .param("n", Json::UInt(self.config.n))
+            .param("queries", Json::UInt(self.config.queries as u64))
+            .param("batch_size", Json::UInt(self.config.batch as u64))
+            .param("samples", Json::UInt(self.config.samples as u64))
+            .param("index_policy", Json::str(self.config.index.to_string()))
+            .param("host_cpus", Json::UInt(self.host_cpus as u64))
+            .axis(
+                "threads",
+                self.config.threads.iter().map(|t| Json::UInt(*t as u64)).collect(),
+            )
+            .axis("strategies", STRATEGIES.iter().map(|s| Json::str(*s)).collect())
+            .axis("workloads", WORKLOADS.iter().map(|w| Json::str(*w)).collect());
+        for c in &self.cells {
+            doc.cell(obj(vec![
+                ("workload", Json::str(c.workload)),
+                ("strategy", Json::str(c.strategy)),
+                ("threads", Json::UInt(c.threads as u64)),
+                ("qps_median", Json::fixed(c.qps_median, 1)),
+                ("p99_latency_us", Json::fixed(c.p99_latency_us, 2)),
+                (
+                    "scaling_efficiency",
+                    Json::opt(c.scaling_efficiency.map(|e| Json::fixed(e, 3))),
+                ),
+            ]));
         }
-        s.push_str("  ]\n}\n");
-        s
+        doc.to_json()
     }
 
     /// A human-readable summary table (markdown).
@@ -514,8 +485,9 @@ mod tests {
         let json = r.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"schema\": \"scrack-trajectory/v1\""));
+        assert!(json.contains("\"report\": \"throughput\""));
         for key in [
-            "schema",
             "n",
             "queries",
             "batch_size",
@@ -553,14 +525,5 @@ mod tests {
         let cfg = tiny_config();
         let failures = verify_chunked_identity(&cfg);
         assert!(failures.is_empty(), "{failures:?}");
-    }
-
-    #[test]
-    fn percentile_is_nearest_rank() {
-        let mut xs: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&mut xs, 99.0), 99.0);
-        assert_eq!(percentile(&mut xs, 100.0), 100.0);
-        let mut one = vec![42.0];
-        assert_eq!(percentile(&mut one, 99.0), 42.0);
     }
 }

@@ -29,6 +29,13 @@ pub enum Action {
     /// Progressive MDD1R (§4) with the given swap budget in percent of the
     /// piece size; the lightest-initialization variant.
     Progressive(u32),
+    /// DDC (Fig. 4): recursive center cracks down to `CRACK_SIZE`, then
+    /// cracking on the bounds.
+    Ddc,
+    /// DDR: recursive random cracks down to `CRACK_SIZE`.
+    Ddr,
+    /// DD1C: one center crack per touched piece, then bound cracks.
+    Dd1c,
 }
 
 impl Action {
@@ -44,6 +51,17 @@ impl Action {
         ]
     }
 
+    /// Every crack path [`CrackedColumn`] exposes, one arm each — the
+    /// default menu plus the recursive data-driven family (DDC/DDR/DD1C)
+    /// added after the chooser was first written. Extends, never reorders,
+    /// [`default_menu`](Self::default_menu), so arm indices into the
+    /// default menu stay valid.
+    pub fn full_menu() -> Vec<Action> {
+        let mut menu = Self::default_menu();
+        menu.extend([Action::Ddc, Action::Ddr, Action::Dd1c]);
+        menu
+    }
+
     /// Figure-style label.
     pub fn label(&self) -> String {
         match self {
@@ -51,6 +69,9 @@ impl Action {
             Action::Dd1r => "DD1R".into(),
             Action::Mdd1r => "MDD1R".into(),
             Action::Progressive(pct) => format!("P{pct}%"),
+            Action::Ddc => "DDC".into(),
+            Action::Ddr => "DDR".into(),
+            Action::Dd1c => "DD1C".into(),
         }
     }
 
@@ -66,6 +87,9 @@ impl Action {
             Action::Dd1r => col.select_with(q, |c, key| c.dd1r_crack(key, rng)),
             Action::Mdd1r => col.mdd1r_select(q, rng),
             Action::Progressive(pct) => col.pmdd1r_select(q, f64::from(pct), rng),
+            Action::Ddc => col.select_with(q, |c, key| c.ddc_crack(key)),
+            Action::Ddr => col.select_with(q, |c, key| c.ddr_crack(key, rng)),
+            Action::Dd1c => col.select_with(q, |c, key| c.dd1c_crack(key)),
         }
     }
 }
@@ -91,7 +115,7 @@ mod tests {
         let data: Vec<u64> = (0..n).map(|i| (i * 2654435761) % n).collect();
         let mut col = CrackedColumn::new(data.clone(), CrackConfig::default());
         let mut rng = SmallRng::seed_from_u64(7);
-        let menu = Action::default_menu();
+        let menu = Action::full_menu();
         for i in 0..64u64 {
             let low = (i * 61) % (n - 40);
             let q = QueryRange::new(low, low + 37);
@@ -109,5 +133,18 @@ mod tests {
         assert_eq!(menu.len(), 4);
         assert!(menu.contains(&Action::Original));
         assert!(menu.contains(&Action::Mdd1r));
+    }
+
+    #[test]
+    fn full_menu_extends_the_default_without_reordering() {
+        let full = Action::full_menu();
+        let default = Action::default_menu();
+        assert_eq!(&full[..default.len()], &default[..]);
+        assert!(full.contains(&Action::Ddc));
+        assert!(full.contains(&Action::Ddr));
+        assert!(full.contains(&Action::Dd1c));
+        for (i, a) in full.iter().enumerate() {
+            assert!(!full[..i].contains(a), "duplicate arm {}", a.label());
+        }
     }
 }

@@ -22,6 +22,14 @@
 //! repository: each `select` answers the query exactly (oracle-verified in
 //! the tests) while reorganizing the column as a side effect.
 //!
+//! [`SelfDrivingEngine`] lifts the same idea from crack paths to whole
+//! configurations: its arms are a [`ConfigSpace`] over the full live
+//! cross-product (engine × kernel × index × update policy), decisions run
+//! at epoch granularity, and switching arms rebuilds the engine over the
+//! current data under quarantine-rebuild semantics — so it can move
+//! between engine families (selective wrappers, RNcrack, the recursive
+//! data-driven variants) that no shared-column chooser can reach.
+//!
 //! # Example
 //!
 //! ```
@@ -46,13 +54,19 @@
 
 mod action;
 pub mod bandit;
+mod config_space;
 mod context;
 pub mod contextual;
 mod engine;
 pub mod policy;
+mod scheduler;
+mod self_driving;
 
 pub use action::Action;
+pub use config_space::{ConfigArm, ConfigSpace};
 pub use context::QueryContext;
 pub use contextual::ContextualEpsGreedy;
 pub use engine::{ChooserEngine, PolicyKind};
 pub use policy::ChoicePolicy;
+pub use scheduler::{scheduler_space, SelfDrivingScheduler};
+pub use self_driving::{switch_seed, SelfDrivingEngine, SwitchEvent};

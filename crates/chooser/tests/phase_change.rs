@@ -1,0 +1,152 @@
+//! Mid-stream phase change: the self-driving engine must notice that its
+//! committed arm has turned pathological and re-explore its way out.
+//!
+//! The scripted scenario is a random→sequential flip built to create
+//! genuine distress: phase 1 runs random queries confined to the lowest
+//! eighth of the domain (so the rest of the column stays uncracked),
+//! phase 2 walks the untouched upper region sequentially. For plain
+//! cracking that walk is the paper's §2 pathology — every query rescans
+//! the shrinking unindexed tail — while MDD1R's random cuts shrug it
+//! off. The action space is deliberately ordered `[Crack, MDD1R]` so the
+//! engine *opens on the arm that will fail*, and the policy runs with
+//! ε = 0 so every post-flip pull of MDD1R is attributable to observed
+//! cost alone, not exploration luck.
+//!
+//! Asserted:
+//! * every answer is oracle-exact across the flip and the switch;
+//! * no switch happens before the flip (phase 1 is genuinely sticky);
+//! * the engine re-explores within a few epochs of the flip, lands on
+//!   MDD1R, and stays there;
+//! * post-flip cumulative §3 cost stays within the gauntlet factor (2×)
+//!   of the best static config's post-flip cost on the same stream.
+
+use scrack_chooser::bandit::EpsilonGreedy;
+use scrack_chooser::{ConfigArm, ConfigSpace, SelfDrivingEngine};
+use scrack_core::{build_engine, CrackConfig, Engine, EngineKind, Oracle};
+use scrack_types::{QueryRange, Stats};
+use scrack_workloads::data::unique_permutation;
+
+const N: u64 = 40_000;
+const PHASE1: usize = 320;
+const PHASE2: usize = 640;
+const WIDTH: u64 = 40;
+const EPOCH: u64 = 32;
+const SEED: u64 = 20120827;
+/// The gauntlet's default regret gate.
+const FACTOR: f64 = 2.0;
+
+/// Phase 1: random lows confined to `[0, N/8)`; phase 2: a sequential
+/// walk of the uncracked remainder `[N/8, N)`.
+fn flip_stream() -> Vec<QueryRange> {
+    let hot = N / 8 - WIDTH;
+    let mut state = SEED | 1;
+    let mut queries = Vec::with_capacity(PHASE1 + PHASE2);
+    for _ in 0..PHASE1 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let low = state % hot;
+        queries.push(QueryRange::new(low, low + WIDTH));
+    }
+    let step = (N - N / 8 - WIDTH) / PHASE2 as u64;
+    for j in 0..PHASE2 as u64 {
+        let low = N / 8 + j * step;
+        queries.push(QueryRange::new(low, low + WIDTH));
+    }
+    queries
+}
+
+fn cost(stats: Stats) -> u64 {
+    stats.touched + stats.materialized
+}
+
+/// Post-flip §3 cost of a static engine over the same stream.
+fn static_post_flip(kind: EngineKind) -> u64 {
+    let data: Vec<u64> = unique_permutation(N, SEED);
+    let mut engine = build_engine(kind, data, CrackConfig::default(), SEED);
+    let queries = flip_stream();
+    for q in &queries[..PHASE1] {
+        engine.select(*q);
+    }
+    let at_flip = cost(engine.stats());
+    for q in &queries[PHASE1..] {
+        engine.select(*q);
+    }
+    cost(engine.stats()) - at_flip
+}
+
+#[test]
+fn flip_triggers_reexploration_within_the_regret_gate() {
+    let space = ConfigSpace::new(vec![
+        ConfigArm::engine_only(EngineKind::Crack),
+        ConfigArm::engine_only(EngineKind::Mdd1r),
+    ]);
+    let data: Vec<u64> = unique_permutation(N, SEED);
+    let oracle = Oracle::new(&data);
+    let mut engine = SelfDrivingEngine::new(
+        data,
+        CrackConfig::default(),
+        SEED,
+        // ε = 0: pulls of the second arm can only come from observed
+        // cost crossing the prior, never from random exploration.
+        Box::new(EpsilonGreedy::with_schedule(0.0, 2.0, 0.5)),
+        space,
+    )
+    .with_epoch_len(EPOCH)
+    .with_min_probe(4);
+    assert_eq!(engine.current_arm(), 0, "ties must open on the first arm");
+
+    let queries = flip_stream();
+    let mut at_flip = Stats::new();
+    for (i, q) in queries.iter().enumerate() {
+        if i == PHASE1 {
+            at_flip = engine.stats();
+        }
+        let out = engine.select(*q);
+        assert_eq!(
+            (out.len(), out.key_checksum(engine.data())),
+            (oracle.count(*q), oracle.checksum(*q)),
+            "query {i} wrong"
+        );
+    }
+    engine.check_integrity().unwrap();
+
+    // Phase 1 is sticky: the first switch — and therefore the first pull
+    // of MDD1R — happens after the flip, and within a few epochs of it.
+    let switches = engine.switch_log();
+    assert!(!switches.is_empty(), "the flip must force a switch");
+    assert!(
+        switches[0].at_query >= PHASE1 as u64,
+        "no switch may fire before the flip (got query {})",
+        switches[0].at_query
+    );
+    assert!(
+        switches[0].at_query <= (PHASE1 as u64) + 3 * EPOCH,
+        "re-exploration must start within 3 epochs of the flip (got query {})",
+        switches[0].at_query
+    );
+    assert_eq!(switches[0].to, 1, "the escape must land on MDD1R");
+    assert_eq!(engine.current_arm(), 1, "and stay there");
+    assert!(engine.arm_pulls()[1] > 0, "re-exploration shows in the pulls");
+
+    // Post-flip regret: cumulative §3 cost from the flip onward within
+    // the gauntlet factor of the best static config.
+    let chooser_post = cost(engine.stats()) - cost(at_flip);
+    let best_post = [EngineKind::Crack, EngineKind::Mdd1r]
+        .into_iter()
+        .map(static_post_flip)
+        .min()
+        .expect("two statics");
+    assert!(
+        (chooser_post as f64) <= FACTOR * best_post as f64,
+        "post-flip cost {chooser_post} exceeds {FACTOR}x best static {best_post}"
+    );
+    // And the pathology is real: the arm the engine abandoned would have
+    // paid an order of magnitude more than the gate allows.
+    let crack_post = static_post_flip(EngineKind::Crack);
+    assert!(
+        crack_post as f64 > FACTOR * best_post as f64 * 5.0,
+        "precondition: the abandoned arm must be pathological \
+         (Crack {crack_post} vs best {best_post})"
+    );
+}

@@ -605,6 +605,44 @@ impl<E: Element> BatchScheduler<E> {
         s
     }
 
+    /// Switches the scheduler's live configuration online: the serving
+    /// strategy changes immediately and every shard's column is rebuilt
+    /// from its current physical data under `config` — the per-shard
+    /// analogue of [`CrackedColumn::quarantine_rebuild`], except the new
+    /// config takes effect. Pending updates flush into the data first so
+    /// the tuple multiset (and therefore every later answer) transfers
+    /// exactly; earned cracks are discarded; shard key spans are
+    /// unchanged.
+    ///
+    /// Per-shard RNG streams and fault scoping re-derive from `seed` and
+    /// `config` exactly as at construction, shard health resets to
+    /// healthy, and the remembered rebuild bounds clear. Each shard's
+    /// [`Stats`] restart at zero; the counters accumulated so far are
+    /// returned so callers tracking cumulative cost across
+    /// reconfigurations (the self-driving layer) can retire them.
+    pub fn reconfigure(
+        &mut self,
+        strategy: ParallelStrategy,
+        config: CrackConfig,
+        seed: u64,
+    ) -> Stats {
+        self.strategy = strategy;
+        let mut retired = Stats::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.pending.merge_all(&mut shard.col);
+            retired += shard.col.stats();
+            let (data, _, _) = shard.col.parts_mut();
+            let data = std::mem::take(data);
+            let scoped = config.fault.scoped_to(i);
+            shard.col = CrackedColumn::new(data, config.with_fault(scoped));
+            shard.rng = SmallRng::seed_from_u64(seed.wrapping_add(i as u64));
+            shard.fault = FaultInjector::new(scoped);
+            shard.health = ShardHealth::Healthy;
+            shard.recent_bounds.clear();
+        }
+        retired
+    }
+
     /// Executes `batch` under the fault-hardened serving path: bounded
     /// admission queues, per-query deadlines, per-task panic isolation,
     /// and the quarantine→scan→rebuild degradation ladder.

@@ -235,6 +235,16 @@ where
     }
 }
 
+impl<Eng, E> CrackAccess<E> for Updatable<Eng, E>
+where
+    E: Element,
+    Eng: Engine<E> + CrackAccess<E>,
+{
+    fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        self.engine.cracked_mut()
+    }
+}
+
 impl<Eng, E> Engine<E> for Updatable<Eng, E>
 where
     E: Element,
