@@ -18,8 +18,9 @@
 //! (`src/bin/scrack_updates.rs`) the [`updates_report`] mixed
 //! read/write harness, and the `scrack_robustness` binary
 //! (`src/bin/scrack_robustness.rs`) the [`robustness_report`]
-//! fault-injection gauntlet; all write machine-readable `BENCH_*.json`
-//! perf baselines.
+//! fault-injection gauntlet, and the `scrack_txn` binary
+//! (`src/bin/scrack_txn.rs`) the [`txn_report`] transactional chaos
+//! gauntlet; all write machine-readable `BENCH_*.json` perf baselines.
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +30,7 @@ pub mod latency_report;
 pub mod robustness_report;
 pub mod throughput_report;
 pub mod trajectory;
+pub mod txn_report;
 pub mod updates_report;
 
 use scrack_types::QueryRange;

@@ -1,0 +1,1012 @@
+//! The transactional chaos gauntlet: interleaving fuzzer × fault matrix
+//! against a serial per-epoch oracle, hunting snapshot-isolation
+//! anomalies.
+//!
+//! Each scenario arms one fault from the PR 7 ladder (or none) and
+//! replays seeded pseudo-random multi-session schedules through a
+//! [`TxnManager`], checking every read and every outcome against a flat
+//! multiset model that serializes commits by epoch. Violations are
+//! classified into the four classic SI anomalies:
+//!
+//! * **dirty read** — a read matches the model only after overlaying
+//!   another live session's *uncommitted* writes;
+//! * **non-repeatable read** — the same range read twice inside one
+//!   session returns different answers;
+//! * **lost update** — the drained final state (or the epoch counter)
+//!   diverges from the serial replay of the committed history;
+//! * **torn read** — any other divergence: the reader saw a state no
+//!   committed prefix plus its own writes can explain (e.g. half of a
+//!   multi-shard commit).
+//!
+//! Alongside the anomaly counters the gauntlet enforces the bookkeeping
+//! invariants: every session ends in exactly one
+//! [`TxnOutcome`] accounted in `ResilienceStats`, the lock
+//! table drains to zero after every round, and a fixed-seed round
+//! replays bit-identically. A second sweep drives an **open-loop
+//! session arrival process** (virtual queueing clock, as in
+//! [`crate::robustness_report`]) across offered rates and reports
+//! sojourn latency plus the committed/timed-out split.
+//!
+//! `scrack_txn --smoke --check` is the CI gate; the committed
+//! `BENCH_9.json` is the full-size document.
+
+use crate::trajectory::{obj, percentile, Json, TrajectoryDoc};
+use scrack_core::{CrackConfig, FaultPlan};
+use scrack_parallel::{AdmissionPolicy, ParallelStrategy, ServingConfig};
+use scrack_txn::{Session, TxnManager, TxnOutcome};
+use scrack_types::QueryRange;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The fault matrix: every scenario the fuzzer runs.
+pub const SCENARIOS: [&str; 6] = [
+    "none",
+    "panic-kernel",
+    "panic-commit",
+    "poison",
+    "overload",
+    "delay",
+];
+
+/// Gauntlet dimensions.
+#[derive(Clone, Debug)]
+pub struct TxnGauntletConfig {
+    /// Column size per round.
+    pub n: u64,
+    /// Fuzz rounds per scenario.
+    pub rounds: usize,
+    /// Schedule steps per round.
+    pub steps: usize,
+    /// Concurrent session slots the fuzzer interleaves.
+    pub sessions: usize,
+    /// Key-disjoint shards per manager.
+    pub shards: usize,
+    /// Injection-site trigger for the fault scenarios.
+    pub fault_trigger: u32,
+    /// Offered-load multiples of the calibrated base rate for the
+    /// open-loop arrival sweep.
+    pub load_factors: Vec<f64>,
+    /// Sessions per arrival-sweep run.
+    pub arrival_sessions: usize,
+    /// Session deadline for the arrival sweep, milliseconds.
+    pub deadline_ms: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Scenarios to run (defaults to all of [`SCENARIOS`]).
+    pub scenarios: Vec<&'static str>,
+}
+
+impl Default for TxnGauntletConfig {
+    fn default() -> Self {
+        Self {
+            n: 40_000,
+            rounds: 16,
+            steps: 160,
+            sessions: 4,
+            shards: 3,
+            fault_trigger: 4,
+            load_factors: vec![0.5, 0.9, 1.2, 2.0],
+            arrival_sessions: 600,
+            deadline_ms: 250,
+            seed: 0x90_09,
+            scenarios: SCENARIOS.to_vec(),
+        }
+    }
+}
+
+impl TxnGauntletConfig {
+    /// CI scale: seconds, not minutes.
+    pub fn smoke() -> Self {
+        Self {
+            n: 4_000,
+            rounds: 4,
+            steps: 64,
+            arrival_sessions: 150,
+            ..Self::default()
+        }
+    }
+}
+
+/// One scenario's fuzz results, summed over its rounds.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosCell {
+    /// Scenario name (one of [`SCENARIOS`]).
+    pub scenario: String,
+    /// Rounds fuzzed.
+    pub rounds: usize,
+    /// Sessions opened (admitted) across all rounds.
+    pub sessions_run: usize,
+    /// Reads compared against the oracle (each issued twice).
+    pub reads_checked: usize,
+    /// Reads explained only by uncommitted foreign writes.
+    pub dirty_reads: usize,
+    /// Same-session double reads that disagreed.
+    pub non_repeatable_reads: usize,
+    /// Final-state or epoch divergences from the serial replay.
+    pub lost_updates: usize,
+    /// Reads no committed prefix can explain.
+    pub torn_reads: usize,
+    /// Sessions whose outcome contradicted the oracle (and no fault
+    /// fired to excuse it), or accounting that failed to balance.
+    pub outcome_mismatches: usize,
+    /// Lock-table entries left behind after any round (must be 0).
+    pub lock_residue: usize,
+    /// Fixed-seed re-runs that were not bit-identical.
+    pub replay_divergences: usize,
+    /// Outcome counters summed over rounds.
+    pub committed: u64,
+    /// Aborts (wounds, validation, faults, explicit).
+    pub aborted: u64,
+    /// Sessions refused at admission.
+    pub shed: u64,
+    /// Deadline misses.
+    pub timed_out: u64,
+    /// Injected panics caught and isolated.
+    pub panics_isolated: u64,
+    /// Shard quarantines entered.
+    pub quarantines: u64,
+    /// Quarantine ladders completed.
+    pub rebuilds: u64,
+}
+
+/// One open-loop arrival-rate measurement.
+#[derive(Clone, Debug)]
+pub struct ArrivalCell {
+    /// Offered load as a multiple of the calibrated base rate.
+    pub load_factor: f64,
+    /// Absolute offered arrival rate, sessions/sec.
+    pub offered_sps: f64,
+    /// Sessions offered.
+    pub attempted: usize,
+    /// Sessions committed.
+    pub committed: usize,
+    /// Sessions whose virtual sojourn exceeded the deadline.
+    pub timed_out: usize,
+    /// Median sojourn latency of committed sessions, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile sojourn latency, ms.
+    pub p99_ms: f64,
+}
+
+/// The full gauntlet output.
+#[derive(Clone, Debug)]
+pub struct TxnReport {
+    /// The configuration the cells were measured under.
+    pub config: TxnGauntletConfig,
+    /// CPUs available to the measuring process.
+    pub host_cpus: usize,
+    /// Calibrated closed-loop base rate, sessions/sec.
+    pub base_sps: f64,
+    /// One cell per scenario.
+    pub cells: Vec<ChaosCell>,
+    /// One cell per offered load factor.
+    pub arrivals: Vec<ArrivalCell>,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn permutation(n: u64, salt: u64) -> Vec<u64> {
+    let mut data: Vec<u64> = (0..n).collect();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ salt;
+    for i in (1..data.len()).rev() {
+        data.swap(i, (xorshift(&mut state) % (i as u64 + 1)) as usize);
+    }
+    data
+}
+
+/// One committed op in the oracle history; evaporated deletes stay for
+/// first-committer-wins validation, exactly like the real log.
+#[derive(Clone, Copy)]
+enum HistOp {
+    Insert(u64),
+    Delete { key: u64, hits: bool },
+}
+
+impl HistOp {
+    fn key(&self) -> u64 {
+        match self {
+            HistOp::Insert(k) => *k,
+            HistOp::Delete { key, .. } => *key,
+        }
+    }
+}
+
+/// Serial per-epoch oracle over a flat multiset (see module docs).
+struct Oracle {
+    base: Vec<u64>, // sorted
+    committed: Vec<(u64, HistOp)>,
+    epoch: u64,
+}
+
+struct OracleSession {
+    snapshot: u64,
+    writes: Vec<HistOp>,
+}
+
+impl Oracle {
+    fn new(data: &[u64]) -> Self {
+        let mut base = data.to_vec();
+        base.sort_unstable();
+        Self {
+            base,
+            committed: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    fn begin(&self) -> OracleSession {
+        OracleSession {
+            snapshot: self.epoch,
+            writes: Vec::new(),
+        }
+    }
+
+    /// The committed view at `snapshot` plus `own`, over `q`.
+    fn view(&self, snapshot: u64, own: &[HistOp], q: QueryRange) -> (usize, u64) {
+        let lo = self.base.partition_point(|x| *x < q.low);
+        let hi = self.base.partition_point(|x| *x < q.high);
+        let mut count = (hi - lo) as i64;
+        let mut sum = self.base[lo..hi]
+            .iter()
+            .fold(0u64, |a, k| a.wrapping_add(*k));
+        let overlay = self
+            .committed
+            .iter()
+            .filter(|(ep, _)| *ep <= snapshot)
+            .map(|(_, op)| op)
+            .chain(own.iter());
+        for op in overlay {
+            match op {
+                HistOp::Insert(k) if q.contains(*k) => {
+                    count += 1;
+                    sum = sum.wrapping_add(*k);
+                }
+                HistOp::Delete { key, hits: true } if q.contains(*key) => {
+                    count -= 1;
+                    sum = sum.wrapping_sub(*key);
+                }
+                _ => {}
+            }
+        }
+        (count.max(0) as usize, sum)
+    }
+
+    fn delete_hits(&self, s: &OracleSession, k: u64) -> bool {
+        self.view(s.snapshot, &s.writes, QueryRange::new(k, k + 1)).0 > 0
+    }
+
+    /// Would this session's commit pass first-committer-wins validation?
+    fn would_commit(&self, s: &OracleSession) -> bool {
+        !self
+            .committed
+            .iter()
+            .filter(|(ep, _)| *ep > s.snapshot)
+            .any(|(_, op)| s.writes.iter().any(|w| w.key() == op.key()))
+    }
+
+    /// Applies a session the real manager actually committed.
+    fn apply(&mut self, s: OracleSession) -> u64 {
+        self.epoch += 1;
+        let ep = self.epoch;
+        self.committed.extend(s.writes.into_iter().map(|w| (ep, w)));
+        ep
+    }
+}
+
+/// The fault plan for a named scenario; kernel/commit/poison faults
+/// target shard 0 so quarantine stays observable and bounded.
+fn fault_plan(scenario: &str, trigger: u32) -> FaultPlan {
+    match scenario {
+        "none" => FaultPlan::disabled(),
+        "panic-kernel" => FaultPlan::panic_in_kernel(trigger).on_target(0),
+        // The commit site is polled once per shard-0-writing commit —
+        // orders of magnitude rarer than kernel cracks — so it arms at
+        // the first hit regardless of the configured trigger.
+        "panic-commit" => FaultPlan::panic_in_commit(1).on_target(0),
+        "poison" => FaultPlan::poison_shard(trigger).on_target(0),
+        "overload" => FaultPlan::queue_overload(2).with_repeat(8),
+        "delay" => FaultPlan::delay_in_crack(trigger, 1 << 14).on_target(0),
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+fn serving_for(scenario: &str) -> ServingConfig {
+    match scenario {
+        // The overload fault clamps effective capacity; shedding (not
+        // unconditional admission) is the behavior under test.
+        "overload" => ServingConfig::bounded(usize::MAX, AdmissionPolicy::Shed),
+        _ => ServingConfig::default(),
+    }
+}
+
+/// The deterministic trace a round leaves behind, for replay comparison.
+#[derive(PartialEq, Debug, Default)]
+struct RoundTrace {
+    answers: Vec<(usize, u64)>,
+    outcomes: Vec<TxnOutcome>,
+}
+
+/// Everything one fuzz round contributes to its scenario cell.
+#[derive(Default)]
+struct RoundResult {
+    trace: RoundTrace,
+    sessions_run: usize,
+    reads_checked: usize,
+    dirty_reads: usize,
+    non_repeatable_reads: usize,
+    lost_updates: usize,
+    torn_reads: usize,
+    outcome_mismatches: usize,
+    lock_residue: usize,
+    committed: u64,
+    aborted: u64,
+    shed: u64,
+    timed_out: u64,
+    panics_isolated: u64,
+    quarantines: u64,
+    rebuilds: u64,
+}
+
+/// One live fuzzer slot: the real session, its oracle twin, and whether
+/// a fault doomed it (comparisons stop, the outcome ladder still runs).
+struct Slot {
+    session: Session<u64>,
+    model: OracleSession,
+    doomed: bool,
+}
+
+/// Runs one seeded interleaved schedule against one manager + oracle.
+fn fuzz_round(cfg: &TxnGauntletConfig, scenario: &str, round_seed: u64) -> RoundResult {
+    let data = permutation(cfg.n, round_seed);
+    let key_span = 3 * cfg.n / 2;
+    let mut oracle = Oracle::new(&data);
+    let crack = CrackConfig::default().with_fault(fault_plan(scenario, cfg.fault_trigger));
+    let mgr: Arc<TxnManager<u64>> = TxnManager::new(
+        data,
+        cfg.shards,
+        ParallelStrategy::Stochastic,
+        crack,
+        serving_for(scenario),
+        round_seed,
+    );
+
+    let mut out = RoundResult::default();
+    let mut slots: HashMap<usize, Slot> = HashMap::new();
+    let mut locked: HashMap<u64, usize> = HashMap::new();
+    let mut state = round_seed | 1;
+    // Panic/quarantine counters excuse oracle-contradicting outcomes
+    // only when they actually moved.
+    let mut last_faults = 0u64;
+
+    let check_read = |slot: &mut Slot,
+                          others_uncommitted: &[HistOp],
+                          q: QueryRange,
+                          oracle: &Oracle,
+                          out: &mut RoundResult| {
+        let first = match slot.session.read(q) {
+            Ok(ans) => ans,
+            Err(_) => {
+                slot.doomed = true;
+                return;
+            }
+        };
+        out.trace.answers.push(first);
+        out.reads_checked += 1;
+        let second = match slot.session.read(q) {
+            Ok(ans) => ans,
+            Err(_) => {
+                // The repeat read tripped a fault; the session is doomed
+                // from here, so there is nothing left to compare.
+                slot.doomed = true;
+                return;
+            }
+        };
+        if second != first {
+            out.non_repeatable_reads += 1;
+        }
+        let clean = oracle.view(slot.model.snapshot, &slot.model.writes, q);
+        if first != clean {
+            // Would overlaying uncommitted foreign writes explain it?
+            let mut own_plus: Vec<HistOp> = slot.model.writes.clone();
+            own_plus.extend_from_slice(others_uncommitted);
+            let dirty = oracle.view(slot.model.snapshot, &own_plus, q);
+            if first == dirty {
+                out.dirty_reads += 1;
+            } else {
+                out.torn_reads += 1;
+            }
+        }
+    };
+
+    for _ in 0..cfg.steps {
+        let r = xorshift(&mut state);
+        let sid = (r >> 4) as usize % cfg.sessions;
+        let mut slot = match slots.remove(&sid) {
+            Some(s) => s,
+            None => {
+                out.sessions_run += 1;
+                match mgr.begin() {
+                    Ok(session) => Slot {
+                        session,
+                        model: oracle.begin(),
+                        doomed: false,
+                    },
+                    Err(refused) => {
+                        out.trace.outcomes.push(refused);
+                        match refused {
+                            TxnOutcome::Shed => {}
+                            TxnOutcome::TimedOut => {}
+                            _ => out.outcome_mismatches += 1,
+                        }
+                        continue;
+                    }
+                }
+            }
+        };
+        match r % 10 {
+            0..=4 => {
+                let a = xorshift(&mut state) % cfg.n;
+                let w = 1 + xorshift(&mut state) % (cfg.n / 8).max(2);
+                if !slot.doomed {
+                    let others: Vec<HistOp> = slots
+                        .values()
+                        .flat_map(|s| s.model.writes.iter().copied())
+                        .collect();
+                    check_read(
+                        &mut slot,
+                        &others,
+                        QueryRange::new(a, a + w),
+                        &oracle,
+                        &mut out,
+                    );
+                }
+                slots.insert(sid, slot);
+            }
+            5 | 6 => {
+                let k = xorshift(&mut state) % key_span;
+                if !slot.doomed && locked.get(&k).is_none_or(|&o| o == sid) {
+                    match slot.session.insert(k) {
+                        Ok(()) => {
+                            slot.model.writes.push(HistOp::Insert(k));
+                            locked.insert(k, sid);
+                        }
+                        Err(_) => slot.doomed = true,
+                    }
+                }
+                slots.insert(sid, slot);
+            }
+            7 => {
+                let k = xorshift(&mut state) % key_span;
+                if !slot.doomed && locked.get(&k).is_none_or(|&o| o == sid) {
+                    match slot.session.delete(k) {
+                        Ok(hit) => {
+                            if hit != oracle.delete_hits(&slot.model, k) {
+                                out.torn_reads += 1;
+                            }
+                            slot.model.writes.push(HistOp::Delete { key: k, hits: hit });
+                            locked.insert(k, sid);
+                        }
+                        Err(_) => slot.doomed = true,
+                    }
+                }
+                slots.insert(sid, slot);
+            }
+            8 => {
+                finish_slot(slot, true, &mut oracle, &mgr, &mut out, &mut last_faults);
+                locked.retain(|_, o| *o != sid);
+            }
+            _ => {
+                finish_slot(slot, false, &mut oracle, &mgr, &mut out, &mut last_faults);
+                locked.retain(|_, o| *o != sid);
+            }
+        }
+    }
+    // Drain stragglers in slot order for determinism.
+    let mut rest: Vec<usize> = slots.keys().copied().collect();
+    rest.sort_unstable();
+    for sid in rest {
+        let slot = slots.remove(&sid).unwrap();
+        finish_slot(slot, true, &mut oracle, &mgr, &mut out, &mut last_faults);
+        locked.retain(|_, o| *o != sid);
+    }
+
+    // Bookkeeping gates: the lock table must drain; the outcome ledger
+    // must balance against the manager's own counters.
+    out.lock_residue += mgr.lock_residue();
+    let stats = mgr.resilience_stats();
+    out.committed = stats.committed;
+    out.aborted = stats.aborted;
+    out.shed = stats.shed;
+    out.timed_out = stats.timed_out;
+    out.panics_isolated = stats.panics_isolated;
+    out.quarantines = stats.quarantines;
+    out.rebuilds = stats.rebuilds;
+    if (stats.committed + stats.aborted + stats.shed + stats.timed_out) as usize
+        != out.sessions_run
+    {
+        out.outcome_mismatches += 1;
+    }
+
+    // Lost-update sweep: the drained final state must equal the serial
+    // replay of exactly the committed history, and the epoch counters
+    // must agree.
+    if mgr.current_epoch() != oracle.epoch {
+        out.lost_updates += 1;
+    }
+    let mut last = mgr.begin().expect("post-round session");
+    let full = QueryRange::new(0, key_span + 1);
+    match last.read(full) {
+        Ok(got) => {
+            let want = oracle.view(oracle.epoch, &[], full);
+            if got != want {
+                out.lost_updates += 1;
+            }
+        }
+        Err(_) => out.lost_updates += 1,
+    }
+    last.commit();
+    if mgr.check_integrity().is_err() {
+        out.lost_updates += 1;
+    }
+    out
+}
+
+/// Ends one slot (commit or abort) and reconciles with the oracle.
+fn finish_slot(
+    slot: Slot,
+    commit: bool,
+    oracle: &mut Oracle,
+    mgr: &Arc<TxnManager<u64>>,
+    out: &mut RoundResult,
+    last_faults: &mut u64,
+) {
+    let Slot {
+        session,
+        model,
+        doomed,
+    } = slot;
+    if !commit {
+        let outcome = session.abort();
+        out.trace.outcomes.push(outcome);
+        if outcome != (TxnOutcome::Aborted { retryable: false }) {
+            out.outcome_mismatches += 1;
+        }
+        return;
+    }
+    let would = oracle.would_commit(&model);
+    let outcome = session.commit();
+    out.trace.outcomes.push(outcome);
+    let stats = mgr.resilience_stats();
+    let faults_now = stats.panics_isolated + stats.quarantines;
+    let fault_moved = faults_now > *last_faults;
+    *last_faults = faults_now;
+    match outcome {
+        TxnOutcome::Committed { epoch } => {
+            if doomed || !would {
+                out.outcome_mismatches += 1;
+            } else if !model.writes.is_empty() {
+                let expect = oracle.apply(model);
+                if epoch != expect {
+                    out.lost_updates += 1;
+                }
+            } else if epoch != model.snapshot {
+                out.outcome_mismatches += 1;
+            }
+        }
+        TxnOutcome::Aborted { retryable } => {
+            // Legal when doomed, on a genuine validation conflict, or
+            // when a fault fired during this very commit.
+            let excused = doomed || !would || fault_moved;
+            if !excused || !retryable {
+                out.outcome_mismatches += 1;
+            }
+        }
+        TxnOutcome::TimedOut => {
+            if !doomed {
+                out.outcome_mismatches += 1;
+            }
+        }
+        TxnOutcome::Shed => out.outcome_mismatches += 1,
+    }
+}
+
+/// One closed-loop session (begin → read → write → commit), the unit
+/// the arrival sweep and its calibration time.
+fn one_arrival_session(mgr: &Arc<TxnManager<u64>>, i: u64, n: u64) -> TxnOutcome {
+    match mgr.begin() {
+        Ok(mut s) => {
+            let a = (i * 977) % n;
+            let _ = s.read(QueryRange::new(a, a + n / 64 + 1));
+            let _ = s.insert(n + i);
+            let _ = s.delete((i * 613) % n);
+            s.commit()
+        }
+        Err(refused) => refused,
+    }
+}
+
+/// The open-loop arrival sweep: sessions arrive at `offered_sps` on a
+/// virtual clock; a session whose queueing wait already exceeds the
+/// deadline is counted as timed out without service (the server is
+/// sequential, as on the 1-core measurement hosts).
+fn arrival_run(
+    cfg: &TxnGauntletConfig,
+    load_factor: f64,
+    offered_sps: f64,
+) -> ArrivalCell {
+    let data = permutation(cfg.n, cfg.seed ^ 0xA11);
+    let mgr: Arc<TxnManager<u64>> = TxnManager::new(
+        data,
+        cfg.shards,
+        ParallelStrategy::Stochastic,
+        CrackConfig::default(),
+        ServingConfig::default(),
+        cfg.seed,
+    );
+    let deadline = Duration::from_millis(cfg.deadline_ms).as_secs_f64();
+    let mut server_free = 0.0f64;
+    let mut committed = 0usize;
+    let mut timed_out = 0usize;
+    let mut sojourns_ms: Vec<f64> = Vec::new();
+    for i in 0..cfg.arrival_sessions {
+        let arrival = i as f64 / offered_sps;
+        let start = server_free.max(arrival);
+        if start - arrival > deadline {
+            timed_out += 1;
+            continue;
+        }
+        let t0 = Instant::now();
+        let outcome = one_arrival_session(&mgr, i as u64, cfg.n);
+        let service = t0.elapsed().as_secs_f64();
+        server_free = start + service;
+        match outcome {
+            TxnOutcome::Committed { .. } => {
+                committed += 1;
+                sojourns_ms.push((server_free - arrival).max(0.0) * 1_000.0);
+            }
+            _ => timed_out += 1,
+        }
+    }
+    let (p50, p99) = if sojourns_ms.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        (
+            percentile(&mut sojourns_ms, 50.0),
+            percentile(&mut sojourns_ms, 99.0),
+        )
+    };
+    ArrivalCell {
+        load_factor,
+        offered_sps,
+        attempted: cfg.arrival_sessions,
+        committed,
+        timed_out,
+        p50_ms: p50,
+        p99_ms: p99,
+    }
+}
+
+impl TxnReport {
+    /// Runs the chaos matrix and the arrival sweep.
+    pub fn measure(config: &TxnGauntletConfig) -> TxnReport {
+        assert!(config.rounds >= 1 && config.steps >= 1, "need a schedule");
+        assert!(config.sessions >= 2, "interleaving needs >= 2 sessions");
+        assert!(config.shards >= 1 && config.n >= 64, "need a column");
+        let mut cells = Vec::new();
+        for scenario in &config.scenarios {
+            let mut cell = ChaosCell {
+                scenario: scenario.to_string(),
+                ..ChaosCell::default()
+            };
+            for round in 0..config.rounds {
+                let round_seed = config
+                    .seed
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add((round as u64) << 8)
+                    ^ (scenario.len() as u64).wrapping_mul(0xABCD);
+                let result = fuzz_round(config, scenario, round_seed);
+                if round == 0 {
+                    // Fixed-seed replay: the whole round, bit-for-bit.
+                    let replay = fuzz_round(config, scenario, round_seed);
+                    if replay.trace != result.trace {
+                        cell.replay_divergences += 1;
+                    }
+                }
+                cell.rounds += 1;
+                cell.sessions_run += result.sessions_run;
+                cell.reads_checked += result.reads_checked;
+                cell.dirty_reads += result.dirty_reads;
+                cell.non_repeatable_reads += result.non_repeatable_reads;
+                cell.lost_updates += result.lost_updates;
+                cell.torn_reads += result.torn_reads;
+                cell.outcome_mismatches += result.outcome_mismatches;
+                cell.lock_residue += result.lock_residue;
+                cell.committed += result.committed;
+                cell.aborted += result.aborted;
+                cell.shed += result.shed;
+                cell.timed_out += result.timed_out;
+                cell.panics_isolated += result.panics_isolated;
+                cell.quarantines += result.quarantines;
+                cell.rebuilds += result.rebuilds;
+            }
+            cells.push(cell);
+        }
+
+        // Calibrate the closed-loop base rate, then sweep offered load.
+        let calib = {
+            let data = permutation(config.n, config.seed ^ 0xCA11B);
+            let mgr: Arc<TxnManager<u64>> = TxnManager::new(
+                data,
+                config.shards,
+                ParallelStrategy::Stochastic,
+                CrackConfig::default(),
+                ServingConfig::default(),
+                config.seed,
+            );
+            let warm = (config.arrival_sessions / 4).max(20);
+            let t0 = Instant::now();
+            for i in 0..warm {
+                let _ = one_arrival_session(&mgr, i as u64, config.n);
+            }
+            warm as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+        };
+        let arrivals = config
+            .load_factors
+            .iter()
+            .map(|&f| arrival_run(config, f, (calib * f).max(1.0)))
+            .collect();
+
+        TxnReport {
+            config: config.clone(),
+            host_cpus: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            base_sps: calib,
+            cells,
+            arrivals,
+        }
+    }
+
+    /// The cell for `scenario`, if it ran.
+    pub fn cell(&self, scenario: &str) -> Option<&ChaosCell> {
+        self.cells.iter().find(|c| c.scenario == scenario)
+    }
+
+    /// Renders the human-readable summary tables.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<14} {:>6} {:>8} {:>6} {:>7} {:>5} {:>5} {:>7} {:>7} {:>6} {:>6} {:>6}",
+            "scenario",
+            "rounds",
+            "reads",
+            "dirty",
+            "nonrep",
+            "lost",
+            "torn",
+            "commit",
+            "abort",
+            "shed",
+            "t/out",
+            "panic"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "{:<14} {:>6} {:>8} {:>6} {:>7} {:>5} {:>5} {:>7} {:>7} {:>6} {:>6} {:>6}",
+                c.scenario,
+                c.rounds,
+                c.reads_checked,
+                c.dirty_reads,
+                c.non_repeatable_reads,
+                c.lost_updates,
+                c.torn_reads,
+                c.committed,
+                c.aborted,
+                c.shed,
+                c.timed_out,
+                c.panics_isolated,
+            );
+        }
+        let _ = writeln!(
+            s,
+            "\n{:<8} {:>12} {:>9} {:>9} {:>8} {:>10} {:>10}",
+            "load", "offered/s", "attempted", "committed", "t/out", "p50 ms", "p99 ms"
+        );
+        for a in &self.arrivals {
+            let _ = writeln!(
+                s,
+                "{:<8.2} {:>12.1} {:>9} {:>9} {:>8} {:>10.3} {:>10.3}",
+                a.load_factor,
+                a.offered_sps,
+                a.attempted,
+                a.committed,
+                a.timed_out,
+                a.p50_ms,
+                a.p99_ms,
+            );
+        }
+        s
+    }
+
+    /// Renders the `scrack-trajectory/v1` document (`BENCH_9.json`).
+    pub fn to_json(&self) -> String {
+        let mut doc = TrajectoryDoc::new("txn")
+            .param("n", Json::UInt(self.config.n))
+            .param("rounds", Json::UInt(self.config.rounds as u64))
+            .param("steps", Json::UInt(self.config.steps as u64))
+            .param("sessions", Json::UInt(self.config.sessions as u64))
+            .param("shards", Json::UInt(self.config.shards as u64))
+            .param("fault_trigger", Json::UInt(self.config.fault_trigger as u64))
+            .param(
+                "arrival_sessions",
+                Json::UInt(self.config.arrival_sessions as u64),
+            )
+            .param("deadline_ms", Json::UInt(self.config.deadline_ms))
+            .param("seed", Json::UInt(self.config.seed))
+            .param("host_cpus", Json::UInt(self.host_cpus as u64))
+            .param("base_sps", Json::fixed(self.base_sps, 1))
+            .axis(
+                "scenarios",
+                self.config.scenarios.iter().map(|s| Json::str(*s)).collect(),
+            )
+            .axis(
+                "load_factors",
+                self.config
+                    .load_factors
+                    .iter()
+                    .map(|f| Json::fixed(*f, 2))
+                    .collect(),
+            );
+        for c in &self.cells {
+            doc.cell(obj(vec![
+                ("kind", Json::str("chaos")),
+                ("scenario", Json::str(c.scenario.clone())),
+                ("rounds", Json::UInt(c.rounds as u64)),
+                ("sessions", Json::UInt(c.sessions_run as u64)),
+                ("reads_checked", Json::UInt(c.reads_checked as u64)),
+                ("dirty_reads", Json::UInt(c.dirty_reads as u64)),
+                (
+                    "non_repeatable_reads",
+                    Json::UInt(c.non_repeatable_reads as u64),
+                ),
+                ("lost_updates", Json::UInt(c.lost_updates as u64)),
+                ("torn_reads", Json::UInt(c.torn_reads as u64)),
+                (
+                    "outcome_mismatches",
+                    Json::UInt(c.outcome_mismatches as u64),
+                ),
+                ("lock_residue", Json::UInt(c.lock_residue as u64)),
+                (
+                    "replay_divergences",
+                    Json::UInt(c.replay_divergences as u64),
+                ),
+                ("committed", Json::UInt(c.committed)),
+                ("aborted", Json::UInt(c.aborted)),
+                ("shed", Json::UInt(c.shed)),
+                ("timed_out", Json::UInt(c.timed_out)),
+                ("panics_isolated", Json::UInt(c.panics_isolated)),
+                ("quarantines", Json::UInt(c.quarantines)),
+                ("rebuilds", Json::UInt(c.rebuilds)),
+            ]));
+        }
+        for a in &self.arrivals {
+            doc.cell(obj(vec![
+                ("kind", Json::str("arrival")),
+                ("load_factor", Json::fixed(a.load_factor, 2)),
+                ("offered_sps", Json::fixed(a.offered_sps, 1)),
+                ("attempted", Json::UInt(a.attempted as u64)),
+                ("committed", Json::UInt(a.committed as u64)),
+                ("timed_out", Json::UInt(a.timed_out as u64)),
+                ("p50_ms", Json::fixed(a.p50_ms, 3)),
+                ("p99_ms", Json::fixed(a.p99_ms, 3)),
+            ]));
+        }
+        doc.to_json()
+    }
+}
+
+/// The `--check` gate: no anomaly, no leak, no unexplained outcome, and
+/// each fault scenario must actually bite (otherwise the matrix proves
+/// nothing). Timing numbers are reported but never gated — only
+/// deterministic counters, so the gate cannot flake on wall time.
+pub fn verify_txn(report: &TxnReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for scenario in &report.config.scenarios {
+        let Some(c) = report.cell(scenario) else {
+            failures.push(format!("scenario {scenario}: cell missing"));
+            continue;
+        };
+        for (what, count) in [
+            ("dirty reads", c.dirty_reads),
+            ("non-repeatable reads", c.non_repeatable_reads),
+            ("lost updates", c.lost_updates),
+            ("torn reads", c.torn_reads),
+            ("outcome mismatches", c.outcome_mismatches),
+            ("leaked lock entries", c.lock_residue),
+            ("replay divergences", c.replay_divergences),
+        ] {
+            if count > 0 {
+                failures.push(format!("scenario {scenario}: {count} {what}"));
+            }
+        }
+        if c.reads_checked == 0 {
+            failures.push(format!("scenario {scenario}: no reads checked"));
+        }
+        if c.committed == 0 {
+            failures.push(format!("scenario {scenario}: nothing ever committed"));
+        }
+        let bites = match *scenario {
+            "panic-kernel" | "panic-commit" => c.panics_isolated > 0,
+            "poison" => c.quarantines > 0,
+            "overload" => c.shed > 0,
+            _ => true,
+        };
+        if !bites {
+            failures.push(format!(
+                "scenario {scenario}: fault never fired — the cell proves nothing"
+            ));
+        }
+    }
+    for a in &report.arrivals {
+        let finished = a.committed + a.timed_out;
+        if finished != a.attempted {
+            failures.push(format!(
+                "arrival x{:.2}: {} sessions attempted but only {} accounted",
+                a.load_factor, a.attempted, finished
+            ));
+        }
+        if a.committed == 0 {
+            failures.push(format!(
+                "arrival x{:.2}: nothing committed",
+                a.load_factor
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TxnGauntletConfig {
+        TxnGauntletConfig {
+            n: 1_500,
+            rounds: 2,
+            steps: 40,
+            arrival_sessions: 40,
+            load_factors: vec![0.8, 1.5],
+            ..TxnGauntletConfig::default()
+        }
+    }
+
+    #[test]
+    fn tiny_gauntlet_is_clean_and_every_fault_bites() {
+        let report = TxnReport::measure(&tiny());
+        let failures = verify_txn(&report);
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn json_document_is_balanced_and_covers_both_sweeps() {
+        let mut cfg = tiny();
+        cfg.scenarios = vec!["none", "panic-kernel"];
+        let report = TxnReport::measure(&cfg);
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"schema\": \"scrack-trajectory/v1\""));
+        assert!(json.contains("\"report\": \"txn\""));
+        assert!(json.contains("\"kind\": \"chaos\""));
+        assert!(json.contains("\"kind\": \"arrival\""));
+        assert!(json.contains("\"dirty_reads\": 0"));
+        assert!(report.render_table().contains("scenario"));
+    }
+}

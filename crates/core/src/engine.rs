@@ -41,4 +41,15 @@ pub trait Engine<E: Element> {
     /// physical column would. Engines with no discardable index state
     /// (the scan and sort baselines) treat this as a no-op.
     fn quarantine_rebuild(&mut self) {}
+
+    /// Answers `[q.low, q.high)` as a `(count, key_sum)` aggregate —
+    /// the serving layers' answer shape. Defaults to running
+    /// [`Engine::select`] and folding the result views; engines with a
+    /// cheaper direct path may override.
+    fn select_aggregate(&mut self, q: QueryRange) -> (usize, u64) {
+        let out = self.select(q);
+        let count = out.len();
+        let sum = out.key_checksum(self.data());
+        (count, sum)
+    }
 }

@@ -41,6 +41,11 @@ pub enum FaultKind {
     /// Clamps the target's admission-queue capacity to the plan's
     /// overload capacity, forcing shed/block decisions.
     QueueOverload,
+    /// Panic inside a transaction's commit path — after its write locks
+    /// are granted, before its ops land in the committed log. The
+    /// session layer must abort that txn only, release every lock, and
+    /// publish none of its writes.
+    PanicInCommit,
 }
 
 impl FaultKind {
@@ -51,6 +56,7 @@ impl FaultKind {
             FaultKind::DelayInCrack => "delay",
             FaultKind::PoisonShard => "poison",
             FaultKind::QueueOverload => "overload",
+            FaultKind::PanicInCommit => "panic-commit",
         }
     }
 
@@ -61,16 +67,18 @@ impl FaultKind {
             "delay" | "delay-in-crack" => Some(FaultKind::DelayInCrack),
             "poison" | "poison-shard" | "poisoned-shard" => Some(FaultKind::PoisonShard),
             "overload" | "queue-overload" => Some(FaultKind::QueueOverload),
+            "panic-commit" | "panic-in-commit" => Some(FaultKind::PanicInCommit),
             _ => None,
         }
     }
 
     /// Every kind, for gauntlet sweeps.
-    pub const ALL: [FaultKind; 4] = [
+    pub const ALL: [FaultKind; 5] = [
         FaultKind::PanicInKernel,
         FaultKind::DelayInCrack,
         FaultKind::PoisonShard,
         FaultKind::QueueOverload,
+        FaultKind::PanicInCommit,
     ];
 }
 
@@ -154,6 +162,16 @@ impl FaultPlan {
         Self {
             kind: Some(FaultKind::QueueOverload),
             overload_capacity: capacity,
+            ..Self::disabled()
+        }
+    }
+
+    /// Panic inside the `trigger`-th transaction commit, after lock
+    /// grant and before the log append — the lock-leak window.
+    pub const fn panic_in_commit(trigger: u32) -> Self {
+        Self {
+            kind: Some(FaultKind::PanicInCommit),
+            trigger,
             ..Self::disabled()
         }
     }

@@ -64,7 +64,6 @@ use crate::ParallelStrategy;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use scrack_core::{CrackConfig, CrackedColumn, FaultInjector, FaultKind};
-use scrack_partition::{crack_in_two_policy, select_nth_key};
 use scrack_types::{Element, QueryRange, Stats};
 use scrack_updates::PendingUpdates;
 use std::time::{Duration, Instant};
@@ -318,57 +317,23 @@ impl<E: Element> BatchScheduler<E> {
     /// # Panics
     /// If `shard_count` is zero.
     pub fn new(
-        mut data: Vec<E>,
+        data: Vec<E>,
         shard_count: usize,
         strategy: ParallelStrategy,
         config: CrackConfig,
         seed: u64,
     ) -> Self {
-        assert!(shard_count > 0, "need at least one shard");
-        let n = data.len();
-        // Quantile bounds from introselect over a scratch copy: the k-th
-        // smallest key at every 1/shard_count position. Construction-time
-        // cost, deliberately not charged to the query Stats.
-        let mut bounds: Vec<u64> = Vec::new();
-        if shard_count > 1 && n > 1 {
-            let mut scratch = data.clone();
-            let mut scratch_stats = Stats::default();
-            for i in 1..shard_count {
-                let k = i * n / shard_count;
-                if k > 0 && k < n {
-                    bounds.push(select_nth_key(&mut scratch, k, &mut scratch_stats));
-                }
-            }
-            bounds.dedup();
-            bounds.retain(|b| *b > 0);
-        }
-        // Physically split at each bound, left to right, with the
-        // configured kernel; each split peels one shard off the front.
-        let mut shards = Vec::with_capacity(bounds.len() + 1);
-        let mut split_stats = Stats::default();
-        let mut lo = 0u64;
-        let mut i = 0u64;
-        for &b in &bounds {
-            let pos = crack_in_two_policy(&mut data, b, config.kernel, &mut split_stats);
-            let tail = data.split_off(pos);
-            shards.push(BatchShard::build(
-                QueryRange::new(lo, b),
-                data,
-                config,
-                seed.wrapping_add(i),
-                i as usize,
-            ));
-            data = tail;
-            lo = b;
-            i += 1;
-        }
-        shards.push(BatchShard::build(
-            QueryRange::new(lo, u64::MAX),
-            data,
-            config,
-            seed.wrapping_add(i),
-            i as usize,
-        ));
+        // Quantile-bound partitioning (construction-time cost,
+        // deliberately not charged to the query Stats) is shared with
+        // the other key-routed layers via `key_disjoint_partitions`.
+        let shards: Vec<BatchShard<E>> =
+            crate::sharded::key_disjoint_partitions(data, shard_count, config.kernel)
+                .into_iter()
+                .enumerate()
+                .map(|(i, (span, part))| {
+                    BatchShard::build(span, part, config, seed.wrapping_add(i as u64), i)
+                })
+                .collect();
         let queues = vec![Vec::new(); shards.len()];
         let op_queues = vec![Vec::new(); shards.len()];
         Self {

@@ -35,6 +35,13 @@
 //!   [`ShardedCracker`]/[`BatchScheduler`] layout while carrying the
 //!   crack structure already earned.
 //!
+//! Cross-session concurrency control lives in [`lock`]: a
+//! shared/exclusive range-[`LockManager`] with FIFO anti-starvation
+//! grants, deadline-budgeted waits (timeout-wound deadlock resolution),
+//! and RAII guards. [`PieceLockedCracker`] runs its piece latches
+//! through it, and the `scrack_txn` session layer uses it for
+//! per-key write locks — one locking story.
+//!
 //! Threaded paths run on [`executor`], a small work-stealing pool that
 //! caps live workers at available parallelism and lets idle workers
 //! steal queued tasks, so skewed shards or chunks don't idle cores.
@@ -57,6 +64,7 @@
 mod batch;
 mod chunked;
 pub mod executor;
+pub mod lock;
 mod piecelock;
 pub mod resilience;
 mod sharded;
@@ -64,11 +72,12 @@ mod shared;
 
 pub use batch::{BatchOp, BatchScheduler};
 pub use chunked::ChunkedCracker;
+pub use lock::{LockError, LockGuard, LockManager, LockMode, LockStats};
 pub use piecelock::PieceLockedCracker;
 pub use resilience::{
     AdmissionPolicy, BatchReport, QueryOutcome, ResilienceStats, ServingConfig, ShardHealth,
 };
-pub use sharded::ShardedCracker;
+pub use sharded::{key_disjoint_partitions, ShardedCracker};
 pub use shared::SharedCracker;
 
 /// Reorganization strategy run inside the concurrent wrappers.

@@ -10,33 +10,49 @@
 //! # Design
 //!
 //! The column is stored as a **piece table**: a list of pieces ordered by
-//! key range, each owning its elements in a private buffer behind a
-//! `Mutex`. A `RwLock` protects only the list (lookups read, splits
-//! write). This trades the paper's single dense array for per-piece
-//! buffers — the price of fine-grained locking without `unsafe` — while
-//! keeping the cost profile: a crack partitions one piece's buffer in
-//! place and splits it with a single tail copy (a constant factor on work
-//! cracking already does). The in-place partition runs through
-//! [`crack_in_two_policy`], so the [`CrackConfig`]'s
-//! [`KernelPolicy`](scrack_core::KernelPolicy) selects the branchy or
-//! branchless reorganization kernel exactly as in the single-threaded
-//! engines.
+//! key range, each owning its elements in a private buffer. A `RwLock`
+//! protects only the list (lookups read, splits write). This trades the
+//! paper's single dense array for per-piece buffers — the price of
+//! fine-grained locking without `unsafe` — while keeping the cost
+//! profile: a crack partitions one piece's buffer in place and splits it
+//! with a single tail copy (a constant factor on work cracking already
+//! does). The in-place partition runs through [`crack_in_two_policy`],
+//! so the [`CrackConfig`]'s [`KernelPolicy`](scrack_core::KernelPolicy)
+//! selects the branchy or branchless reorganization kernel exactly as in
+//! the single-threaded engines.
 //!
 //! # Locking protocol (deadlock-free)
 //!
-//! 1. A thread never holds more than one piece lock.
-//! 2. Piece locks are never acquired while holding the list lock; lookups
-//!    clone the piece handle under the read lock, release it, then lock
-//!    the piece.
-//! 3. The list write lock *may* be taken while holding a piece lock
-//!    (registering a split). Since no thread ever waits for a piece lock
+//! Piece coordination runs through the workspace's [`LockManager`]
+//! (see [`crate::lock`]) — one locking story from piece latches to
+//! session write locks. Each piece is a lock resource keyed by its
+//! immutable lower bound; a **fully covered** piece (read-only: no
+//! crack will run) is visited in [`LockMode::Shared`], so concurrent
+//! readers of a hot converged region proceed in parallel, while a
+//! partially covered piece (about to crack) is taken in
+//! [`LockMode::Exclusive`]. The manager's FIFO grants mean a stream of
+//! readers cannot starve a queued cracker. The element buffer itself
+//! sits in an `RwLock` acquired *after* the manager grant (and released
+//! before it), in grant-matching mode — the grant guarantees the data
+//! lock is uncontended, the data lock keeps the buffer access safe
+//! without `unsafe`.
+//!
+//! 1. A thread never holds more than one piece grant.
+//! 2. Piece grants are never acquired while holding the list lock;
+//!    lookups clone the piece handle under the read lock, release it,
+//!    then acquire the grant.
+//! 3. The list write lock *may* be taken while holding a piece grant
+//!    (registering a split). Since no thread ever waits for a grant
 //!    while holding a list lock, the wait-for graph stays acyclic.
 //!
-//! A handle can go stale between lookup and lock (another thread split
+//! A handle can go stale between lookup and grant (another thread split
 //! the piece first); stale handles are detected by re-checking the
 //! piece's key bounds under its lock and retried. A piece's lower bound
 //! is immutable and splits only narrow its upper bound, so staleness is
-//! always observable.
+//! always observable. A read visit that discovers it must crack after
+//! all (its piece is only partially covered) releases its shared grant
+//! and re-acquires exclusively — re-validating bounds afterwards, since
+//! the piece may have split in the window.
 //!
 //! # Consistency
 //!
@@ -45,6 +61,7 @@
 //! positions — so each key's membership in a range is stable under any
 //! interleaving of reorganizations.
 
+use crate::lock::{LockManager, LockMode, LockStats};
 use crate::ParallelStrategy;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
@@ -52,6 +69,7 @@ use rand::{Rng, SeedableRng};
 use scrack_core::CrackConfig;
 use scrack_partition::crack_in_two_policy;
 use scrack_types::{Element, QueryRange, Stats};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One piece of the cracked column: its key bounds and its elements.
@@ -65,7 +83,7 @@ struct PieceInner<E> {
     data: Vec<E>,
 }
 
-type PieceCell<E> = Arc<Mutex<PieceInner<E>>>;
+type PieceCell<E> = Arc<RwLock<PieceInner<E>>>;
 
 /// A cracked column with per-piece locks (see module docs).
 ///
@@ -102,6 +120,10 @@ type PieceCell<E> = Arc<Mutex<PieceInner<E>>>;
 pub struct PieceLockedCracker<E: Element> {
     /// Pieces sorted by `lo`. Entry key = the piece's immutable `lo`.
     list: RwLock<Vec<(u64, PieceCell<E>)>>,
+    /// The piece-latch protocol: resource = the piece's immutable `lo`.
+    locks: Arc<LockManager>,
+    /// Owner ids for the lock manager, one per select call.
+    next_owner: AtomicU64,
     strategy: ParallelStrategy,
     config: CrackConfig,
     rng: Mutex<SmallRng>,
@@ -119,13 +141,15 @@ impl<E: Element> PieceLockedCracker<E> {
             data.iter().all(|e| e.key() < u64::MAX),
             "u64::MAX keys are reserved"
         );
-        let root = Arc::new(Mutex::new(PieceInner {
+        let root = Arc::new(RwLock::new(PieceInner {
             lo: 0,
             hi: u64::MAX,
             data,
         }));
         Self {
             list: RwLock::new(vec![(0, root)]),
+            locks: Arc::new(LockManager::new()),
+            next_owner: AtomicU64::new(0),
             strategy,
             config,
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
@@ -139,11 +163,12 @@ impl<E: Element> PieceLockedCracker<E> {
         Self::new(data, strategy, CrackConfig::default(), seed)
     }
 
-    /// Handle of the piece whose key range contains `key`.
-    fn lookup(&self, key: u64) -> PieceCell<E> {
+    /// Handle (and immutable lower bound — the lock resource key) of the
+    /// piece whose key range contains `key`.
+    fn lookup(&self, key: u64) -> (u64, PieceCell<E>) {
         let list = self.list.read();
         let idx = list.partition_point(|(lo, _)| *lo <= key) - 1;
-        Arc::clone(&list[idx].1)
+        (list[idx].0, Arc::clone(&list[idx].1))
     }
 
     /// Registers `cell` (with lower bound `lo`) in the list. Called while
@@ -166,7 +191,7 @@ impl<E: Element> PieceLockedCracker<E> {
         let pos = crack_in_two_policy(&mut g.data, bound, self.config.kernel, &mut local);
         let right = g.data.split_off(pos);
         let moved = right.len();
-        let cell = Arc::new(Mutex::new(PieceInner {
+        let cell = Arc::new(RwLock::new(PieceInner {
             lo: bound,
             hi: g.hi,
             data: right,
@@ -189,38 +214,81 @@ impl<E: Element> PieceLockedCracker<E> {
         (count, sum)
     }
 
+    /// Emits a fully covered piece's elements (the shared, read-only
+    /// visit) and accounts the touch cost.
+    fn emit_all(&self, data: &[E], f: &mut impl FnMut(E)) {
+        let mut stats = Stats::default();
+        stats.touched += data.len() as u64;
+        for e in data {
+            f(*e);
+        }
+        *self.stats.lock() += stats;
+    }
+
     /// Runs `f` over every qualifying element, cracking en route.
     ///
-    /// Walks the key space left to right, locking one piece at a time;
-    /// partial end pieces are cracked (query-driven or stochastically,
-    /// per the configured strategy) under their own lock only.
+    /// Walks the key space left to right, holding one piece grant at a
+    /// time: fully covered pieces are visited in [`LockMode::Shared`]
+    /// (concurrent readers proceed in parallel), partially covered end
+    /// pieces upgrade to [`LockMode::Exclusive`] — releasing the shared
+    /// grant first and re-validating bounds after, since the piece may
+    /// split in the window — and are cracked (query-driven or
+    /// stochastically, per the configured strategy) under that grant
+    /// only.
     pub fn select_for_each(&self, q: QueryRange, mut f: impl FnMut(E)) {
         if q.is_empty() {
             return;
         }
         self.stats.lock().queries += 1;
+        let owner = self.next_owner.fetch_add(1, Ordering::Relaxed);
         let mut cursor = q.low;
         loop {
-            let cell = self.lookup(cursor);
-            let mut g = cell.lock();
+            let (res_lo, cell) = self.lookup(cursor);
+            let res = QueryRange::new(res_lo, res_lo + 1);
+            // Optimistic shared visit first; piece latches wait
+            // unbounded (the protocol is deadlock-free, so waits always
+            // resolve).
+            let grant = self
+                .locks
+                .acquire(owner, 0, res, LockMode::Shared, None)
+                .expect("unbounded piece latch cannot time out");
+            let g = cell.read();
             if !(g.lo <= cursor && cursor < g.hi) {
                 // Stale handle: the piece was split after our lookup.
                 continue;
             }
             let piece_hi = g.hi;
-            let fully_covered = g.lo >= q.low && piece_hi <= q.high;
-            if fully_covered {
-                let mut stats = Stats::default();
-                stats.touched += g.data.len() as u64;
-                for e in &g.data {
-                    f(*e);
-                }
-                *self.stats.lock() += stats;
+            if g.lo >= q.low && piece_hi <= q.high {
+                self.emit_all(&g.data, &mut f);
             } else {
-                match self.strategy {
-                    ParallelStrategy::Crack => self.crack_partial(&mut g, q, &mut f),
-                    ParallelStrategy::Stochastic => self.stochastic_partial(&mut g, q, &mut f),
+                // Partial coverage: this visit will crack. Upgrade by
+                // release-and-reacquire, then re-validate.
+                drop(g);
+                drop(grant);
+                let _grant = self
+                    .locks
+                    .acquire(owner, 0, res, LockMode::Exclusive, None)
+                    .expect("unbounded piece latch cannot time out");
+                let mut g = cell.write();
+                if !(g.lo <= cursor && cursor < g.hi) {
+                    continue;
                 }
+                let piece_hi = g.hi;
+                if g.lo >= q.low && piece_hi <= q.high {
+                    // Narrowed into full coverage during the upgrade
+                    // window — nothing to crack after all.
+                    self.emit_all(&g.data, &mut f);
+                } else {
+                    match self.strategy {
+                        ParallelStrategy::Crack => self.crack_partial(&mut g, q, &mut f),
+                        ParallelStrategy::Stochastic => self.stochastic_partial(&mut g, q, &mut f),
+                    }
+                }
+                if piece_hi >= q.high {
+                    return;
+                }
+                cursor = piece_hi;
+                continue;
             }
             if piece_hi >= q.high {
                 return;
@@ -294,6 +362,17 @@ impl<E: Element> PieceLockedCracker<E> {
         *self.stats.lock()
     }
 
+    /// Snapshot of the piece-latch grant/wait/timeout counters.
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
+    }
+
+    /// Entries left in the piece-latch table; zero once quiescent (the
+    /// no-leaked-locks invariant the gauntlets assert).
+    pub fn lock_residue(&self) -> usize {
+        self.locks.residue()
+    }
+
     /// Full integrity check (tests; not safe against concurrent writers).
     ///
     /// Verifies: list sorted by `lo`; bounds chain contiguously from 0 to
@@ -304,7 +383,7 @@ impl<E: Element> PieceLockedCracker<E> {
         let mut expected_lo = 0u64;
         let mut total = 0usize;
         for (i, (lo, cell)) in list.iter().enumerate() {
-            let g = cell.lock();
+            let g = cell.read();
             if g.lo != *lo {
                 return Err(format!("piece {i}: list key {lo} != piece lo {}", g.lo));
             }
@@ -503,6 +582,8 @@ mod tests {
         let total = plc.check_integrity().unwrap();
         assert_eq!(total, n as usize);
         assert!(plc.piece_count() > 8, "concurrent cracking happened");
+        assert_eq!(plc.lock_residue(), 0, "piece-latch table must drain");
+        assert!(plc.lock_stats().granted > 0);
     }
 
     #[test]
@@ -539,5 +620,6 @@ mod tests {
         }
         let total = plc.check_integrity().unwrap();
         assert_eq!(total, n as usize);
+        assert_eq!(plc.lock_residue(), 0, "piece-latch table must drain");
     }
 }

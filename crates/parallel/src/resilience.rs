@@ -238,6 +238,11 @@ pub struct ResilienceStats {
     pub timed_out: u64,
     /// Queries answered.
     pub answered: u64,
+    /// Transactions committed (session layer).
+    pub committed: u64,
+    /// Transactions aborted — wounds, validation failures, panics,
+    /// explicit aborts (session layer).
+    pub aborted: u64,
 }
 
 #[cfg(test)]

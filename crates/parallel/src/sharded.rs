@@ -1,10 +1,61 @@
-//! Shard-parallel cracking.
+//! Shard-parallel cracking, plus the workspace's shared key-disjoint
+//! partitioning helper ([`key_disjoint_partitions`]).
 
 use crate::ParallelStrategy;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use scrack_core::{CrackConfig, CrackedColumn};
+use scrack_core::{CrackConfig, CrackedColumn, KernelPolicy};
+use scrack_partition::{crack_in_two_policy, select_nth_key};
 use scrack_types::{Element, QueryRange, Stats};
+
+/// Range-partitions `data` into (up to) `shard_count` key-disjoint
+/// spans on quantile bounds: introselect over a scratch copy picks the
+/// k-th smallest key at every `1/shard_count` position, then the
+/// physical split runs the configured [`KernelPolicy`] kernel, peeling
+/// one partition off the front per bound. Spans chain contiguously from
+/// `0` to `u64::MAX`.
+///
+/// Heavily duplicated keys can collapse adjacent quantiles; equal
+/// bounds merge, so fewer partitions than asked may come back —
+/// key-disjointness is never violated. This is the construction-time
+/// partitioning shared by [`crate::BatchScheduler`] and the `scrack_txn`
+/// session layer, so both route keys over the identical shard map.
+///
+/// # Panics
+/// If `shard_count` is zero.
+pub fn key_disjoint_partitions<E: Element>(
+    mut data: Vec<E>,
+    shard_count: usize,
+    kernel: KernelPolicy,
+) -> Vec<(QueryRange, Vec<E>)> {
+    assert!(shard_count > 0, "need at least one shard");
+    let n = data.len();
+    let mut bounds: Vec<u64> = Vec::new();
+    if shard_count > 1 && n > 1 {
+        let mut scratch = data.clone();
+        let mut scratch_stats = Stats::default();
+        for i in 1..shard_count {
+            let k = i * n / shard_count;
+            if k > 0 && k < n {
+                bounds.push(select_nth_key(&mut scratch, k, &mut scratch_stats));
+            }
+        }
+        bounds.dedup();
+        bounds.retain(|b| *b > 0);
+    }
+    let mut parts = Vec::with_capacity(bounds.len() + 1);
+    let mut split_stats = Stats::default();
+    let mut lo = 0u64;
+    for &b in &bounds {
+        let pos = crack_in_two_policy(&mut data, b, kernel, &mut split_stats);
+        let tail = data.split_off(pos);
+        parts.push((QueryRange::new(lo, b), data));
+        data = tail;
+        lo = b;
+    }
+    parts.push((QueryRange::new(lo, u64::MAX), data));
+    parts
+}
 
 /// One shard: an independent cracker column plus its RNG stream.
 #[derive(Debug)]

@@ -1,0 +1,472 @@
+//! The transaction manager: key-disjoint shards, the epoch clock, the
+//! admission gate, and the shared lock table.
+
+use crate::session::{Session, TxnOutcome};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scrack_core::fault::fire_panic;
+use scrack_core::{CrackConfig, CrackedColumn, FaultInjector, FaultKind};
+use scrack_parallel::lock::{LockManager, LockStats};
+use scrack_parallel::{
+    key_disjoint_partitions, AdmissionPolicy, ParallelStrategy, ResilienceStats, ServingConfig,
+    ShardHealth,
+};
+use scrack_types::{Element, QueryRange};
+use scrack_updates::{EpochLog, LoggedOp};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Instant;
+
+/// One key-range shard: cracked column + committed-update log + the
+/// shard-scoped fault sites and health ladder.
+pub(crate) struct TxnShard<E: Element> {
+    pub(crate) span: QueryRange,
+    pub(crate) col: CrackedColumn<E>,
+    pub(crate) log: EpochLog<E>,
+    pub(crate) rng: SmallRng,
+    pub(crate) health: ShardHealth,
+    pub(crate) fault: FaultInjector,
+}
+
+impl<E: Element> TxnShard<E> {
+    /// `(count, key_sum)` of the **physical column** (merged prefix)
+    /// over `q`: adaptive select while healthy, exact scan while
+    /// quarantined. Cracking preserves the multiset, so the aggregate is
+    /// layout-independent.
+    fn physical_aggregate(&mut self, q: QueryRange, strategy: ParallelStrategy) -> (usize, u64) {
+        match self.health {
+            ShardHealth::Healthy => {
+                let out = match strategy {
+                    ParallelStrategy::Crack => self.col.select_original(q),
+                    ParallelStrategy::Stochastic => self.col.mdd1r_select(q, &mut self.rng),
+                };
+                (out.len(), out.key_checksum(self.col.data()))
+            }
+            ShardHealth::Quarantined { .. } => self
+                .col
+                .data()
+                .iter()
+                .filter(|e| q.contains(e.key()))
+                .fold((0usize, 0u64), |(c, s), e| (c + 1, s.wrapping_add(e.key()))),
+        }
+    }
+
+    /// Enters quarantine: discard index state (data multiset survives,
+    /// so every published snapshot is preserved), serve scans for
+    /// `batches_left` reads.
+    fn quarantine(&mut self, batches_left: u32) {
+        self.col.quarantine_rebuild();
+        self.health = ShardHealth::Quarantined { batches_left };
+    }
+
+    /// One quarantined read served; at zero the shard resumes adaptive
+    /// serving (it re-learns its index query by query). Returns whether
+    /// this call completed a rebuild.
+    fn tick_quarantine(&mut self) -> bool {
+        if let ShardHealth::Quarantined { batches_left } = self.health {
+            if batches_left == 0 {
+                self.health = ShardHealth::Healthy;
+                return true;
+            }
+            self.health = ShardHealth::Quarantined {
+                batches_left: batches_left - 1,
+            };
+        }
+        false
+    }
+}
+
+/// The epoch clock plus session admission state, under one mutex.
+///
+/// Lock order: the clock mutex is always taken **before** any shard
+/// latch, and no path takes the clock while holding a latch, so the
+/// wait-for graph between them stays acyclic.
+struct Clock {
+    /// Highest committed epoch; new snapshots pin this value.
+    current: u64,
+    /// Live snapshot pins: epoch → refcount. The minimum key gates the
+    /// merge watermark.
+    active: BTreeMap<u64, usize>,
+    /// Sessions admitted and not yet finished.
+    sessions_active: usize,
+}
+
+/// A session-facing transactional front end over key-disjoint cracked
+/// shards (see the crate docs for the visibility rules).
+///
+/// Construction partitions the data exactly as
+/// [`scrack_parallel::BatchScheduler`] does — quantile bounds via the
+/// shared [`key_disjoint_partitions`] helper — so both layers route keys
+/// over the identical shard map. The [`ServingConfig`] carries the
+/// admission surface: `queue_capacity` bounds concurrently active
+/// sessions, `admission` picks what happens at the bound
+/// ([`AdmissionPolicy::Shed`] refuses, [`AdmissionPolicy::Block`] waits
+/// within the deadline budget, [`AdmissionPolicy::Admit`] ignores the
+/// bound), `deadline` is each session's total budget from
+/// [`TxnManager::begin`], and `rebuild_after` is the quarantine ladder
+/// length, all exactly as in `execute_resilient`.
+pub struct TxnManager<E: Element> {
+    pub(crate) shards: Vec<Mutex<TxnShard<E>>>,
+    pub(crate) spans: Vec<QueryRange>,
+    pub(crate) locks: Arc<LockManager>,
+    clock: StdMutex<Clock>,
+    admit_cv: Condvar,
+    pub(crate) strategy: ParallelStrategy,
+    pub(crate) serving: ServingConfig,
+    /// Manager-level fault sites (queue overload).
+    fault: FaultInjector,
+    pub(crate) stats: Mutex<ResilienceStats>,
+    seq: AtomicU64,
+}
+
+impl<E: Element> TxnManager<E> {
+    /// Partitions `data` into (up to) `shard_count` key-disjoint shards
+    /// and prepares the transactional serving state over them.
+    ///
+    /// # Panics
+    /// If `shard_count` is zero, or any key equals `u64::MAX` (reserved:
+    /// no half-open range can cover it, so it cannot be locked or
+    /// routed).
+    pub fn new(
+        data: Vec<E>,
+        shard_count: usize,
+        strategy: ParallelStrategy,
+        config: CrackConfig,
+        serving: ServingConfig,
+        seed: u64,
+    ) -> Arc<Self> {
+        assert!(
+            data.iter().all(|e| e.key() < u64::MAX),
+            "u64::MAX keys are reserved"
+        );
+        let mut shards = Vec::new();
+        let mut spans = Vec::new();
+        for (i, (span, part)) in key_disjoint_partitions(data, shard_count, config.kernel)
+            .into_iter()
+            .enumerate()
+        {
+            let scoped = config.fault.scoped_to(i);
+            spans.push(span);
+            shards.push(Mutex::new(TxnShard {
+                span,
+                col: CrackedColumn::new(part, config.with_fault(scoped)),
+                log: EpochLog::new(),
+                rng: SmallRng::seed_from_u64(seed.wrapping_add(i as u64)),
+                health: ShardHealth::Healthy,
+                fault: FaultInjector::new(scoped),
+            }));
+        }
+        Arc::new(Self {
+            shards,
+            spans,
+            locks: Arc::new(LockManager::new()),
+            clock: StdMutex::new(Clock {
+                current: 0,
+                active: BTreeMap::new(),
+                sessions_active: 0,
+            }),
+            admit_cv: Condvar::new(),
+            strategy,
+            serving,
+            fault: FaultInjector::new(config.fault),
+            stats: Mutex::new(ResilienceStats::default()),
+            seq: AtomicU64::new(1),
+        })
+    }
+
+    fn clock(&self) -> std::sync::MutexGuard<'_, Clock> {
+        self.clock.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The session cap for this begin: the configured queue capacity,
+    /// clamped by an armed queue-overload fault.
+    fn effective_capacity(&self) -> usize {
+        match self.fault.plan().overload_capacity() {
+            Some(cap) if self.fault.poll(FaultKind::QueueOverload) => {
+                cap.min(self.serving.queue_capacity)
+            }
+            _ => self.serving.queue_capacity,
+        }
+    }
+
+    /// Opens a session pinned at the current committed epoch.
+    ///
+    /// At capacity, [`AdmissionPolicy::Shed`] refuses with
+    /// [`TxnOutcome::Shed`]; [`AdmissionPolicy::Block`] waits for a slot
+    /// within the serving deadline (no deadline = waits indefinitely) and
+    /// refuses with [`TxnOutcome::TimedOut`] when the budget expires;
+    /// [`AdmissionPolicy::Admit`] always admits. Refusals are accounted
+    /// in [`TxnManager::resilience_stats`].
+    pub fn begin(self: &Arc<Self>) -> Result<Session<E>, TxnOutcome> {
+        let started = Instant::now();
+        let mut clock = self.clock();
+        let cap = self.effective_capacity();
+        if clock.sessions_active >= cap {
+            match self.serving.admission {
+                AdmissionPolicy::Admit => {}
+                AdmissionPolicy::Shed => {
+                    self.stats.lock().shed += 1;
+                    return Err(TxnOutcome::Shed);
+                }
+                AdmissionPolicy::Block => loop {
+                    if clock.sessions_active < self.effective_capacity() {
+                        break;
+                    }
+                    let remaining = match self.serving.deadline {
+                        Some(d) => match d.checked_sub(started.elapsed()) {
+                            Some(rem) if !rem.is_zero() => Some(rem),
+                            _ => {
+                                self.stats.lock().timed_out += 1;
+                                return Err(TxnOutcome::TimedOut);
+                            }
+                        },
+                        None => None,
+                    };
+                    clock = match remaining {
+                        Some(rem) => {
+                            self.admit_cv
+                                .wait_timeout(clock, rem)
+                                .unwrap_or_else(|e| e.into_inner())
+                                .0
+                        }
+                        None => self
+                            .admit_cv
+                            .wait(clock)
+                            .unwrap_or_else(|e| e.into_inner()),
+                    };
+                },
+            }
+        }
+        clock.sessions_active += 1;
+        let snapshot = clock.current;
+        *clock.active.entry(snapshot).or_insert(0) += 1;
+        drop(clock);
+        let id = self.seq.fetch_add(1, Ordering::Relaxed);
+        Ok(Session::open(Arc::clone(self), id, snapshot, started))
+    }
+
+    /// The shard index owning `key`.
+    pub(crate) fn shard_of(&self, key: u64) -> usize {
+        self.spans.partition_point(|s| s.low <= key) - 1
+    }
+
+    /// Snapshot read of one shard: physical aggregate + the log's delta
+    /// up to `snapshot`, under the shard latch with panic isolation. A
+    /// caught panic (or a poison fault) quarantines the shard and
+    /// reports `Err` — the caller's session aborts; other sessions are
+    /// untouched.
+    pub(crate) fn shard_read(
+        &self,
+        si: usize,
+        clip: QueryRange,
+        snapshot: u64,
+    ) -> Result<(i64, u64), ()> {
+        let mut shard = self.shards[si].lock();
+        if shard.health == ShardHealth::Healthy && shard.fault.poll(FaultKind::PoisonShard) {
+            shard.quarantine(self.serving.rebuild_after);
+            let mut stats = self.stats.lock();
+            stats.quarantines += 1;
+            return Err(());
+        }
+        let strategy = self.strategy;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let (c, s) = shard.physical_aggregate(clip, strategy);
+            let (dc, ds) = shard.log.delta(clip, snapshot);
+            (c as i64 + dc, s.wrapping_add(ds))
+        }));
+        match result {
+            Ok(ans) => {
+                if shard.tick_quarantine() {
+                    self.stats.lock().rebuilds += 1;
+                }
+                Ok(ans)
+            }
+            Err(_) => {
+                // The panic unwound mid-select: index state is suspect,
+                // the data multiset is not (kernels only swap). Discard
+                // the index, degrade to scans, abort this session only.
+                shard.quarantine(self.serving.rebuild_after);
+                let mut stats = self.stats.lock();
+                stats.panics_isolated += 1;
+                stats.quarantines += 1;
+                Err(())
+            }
+        }
+    }
+
+    /// Live instances of `key` visible at `snapshot` (physical count
+    /// plus the log's net, not counting the session's own writes), with
+    /// the same panic isolation as [`TxnManager::shard_read`].
+    pub(crate) fn key_live_count(&self, si: usize, key: u64, snapshot: u64) -> Result<i64, ()> {
+        self.shard_read(si, QueryRange::new(key, key + 1), snapshot)
+            .map(|(c, _)| c)
+    }
+
+    /// Commits `writes` (in session order, spanning any shards) for a
+    /// session pinned at `snapshot`: first-committer-wins validation,
+    /// then the commit fault site, then the epoch-stamped append —
+    /// validation and fault phases run before any append, so a commit
+    /// is never torn across shards. Returns the new epoch, or
+    /// `Err(retryable)` on a validation conflict or an isolated commit
+    /// panic — both retryable: a re-run against a fresh snapshot can
+    /// succeed.
+    pub(crate) fn commit_writes(
+        &self,
+        snapshot: u64,
+        writes: &[(usize, LoggedOp<E>)],
+    ) -> Result<u64, bool> {
+        let mut clock = self.clock();
+        let mut written: Vec<usize> = writes.iter().map(|(si, _)| *si).collect();
+        written.sort_unstable();
+        written.dedup();
+        // Phase 1a: validation (no mutation).
+        for &si in &written {
+            let shard = self.shards[si].lock();
+            let conflict = shard.log.conflicts_after(snapshot, |k| {
+                writes
+                    .iter()
+                    .any(|(wsi, op)| *wsi == si && op_key(op) == k)
+            });
+            if conflict {
+                self.stats.lock().aborted += 1;
+                return Err(true);
+            }
+        }
+        // Phase 1b: the commit fault site, still before any append.
+        for &si in &written {
+            let mut shard = self.shards[si].lock();
+            let fired = shard.fault.poll(FaultKind::PanicInCommit);
+            let panicked = catch_unwind(AssertUnwindSafe(|| {
+                if fired {
+                    fire_panic("commit: locks granted, log append pending");
+                }
+            }))
+            .is_err();
+            if panicked {
+                shard.quarantine(self.serving.rebuild_after);
+                let mut stats = self.stats.lock();
+                stats.panics_isolated += 1;
+                stats.quarantines += 1;
+                stats.aborted += 1;
+                return Err(true);
+            }
+        }
+        // Phase 2: infallible appends, one epoch across all shards.
+        let epoch = clock.current + 1;
+        for &si in &written {
+            let mut shard = self.shards[si].lock();
+            let ops = writes
+                .iter()
+                .filter(|(wsi, _)| *wsi == si)
+                .map(|(_, op)| *op);
+            shard.log.append(epoch, ops);
+        }
+        clock.current = epoch;
+        self.stats.lock().committed += 1;
+        Ok(epoch)
+    }
+
+    /// Session teardown: unpin its snapshot, free its admission slot,
+    /// wake blocked begins, and advance the merge watermark to the new
+    /// oldest live snapshot.
+    pub(crate) fn finish_session(&self, snapshot: u64) {
+        let mut clock = self.clock();
+        if let Some(n) = clock.active.get_mut(&snapshot) {
+            *n -= 1;
+            if *n == 0 {
+                clock.active.remove(&snapshot);
+            }
+        }
+        clock.sessions_active -= 1;
+        let watermark = clock
+            .active
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(clock.current);
+        drop(clock);
+        self.admit_cv.notify_all();
+        // Merge aged epochs into the physical columns. Safe without the
+        // clock: future pins are at `current >= watermark`, so no reader
+        // can ever need an epoch below it.
+        for cell in &self.shards {
+            let mut shard = cell.lock();
+            let TxnShard { col, log, .. } = &mut *shard;
+            log.merge_through(col, watermark);
+        }
+    }
+
+    /// The highest committed epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.clock().current
+    }
+
+    /// Number of key-disjoint shards (may be fewer than asked when
+    /// duplicated keys collapse quantile bounds).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cumulative resilience counters (commits, aborts, sheds,
+    /// timeouts, isolated panics, quarantines, rebuilds).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        *self.stats.lock()
+    }
+
+    /// Indices of currently quarantined shards.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.lock().health, ShardHealth::Quarantined { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Entries left in the lock table; zero once no session is in
+    /// flight — the no-leaked-locks invariant the gauntlet asserts.
+    pub fn lock_residue(&self) -> usize {
+        self.locks.residue()
+    }
+
+    /// Grant/wait/timeout counters of the shared lock table.
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
+    }
+
+    /// Full integrity check (tests; assumes no concurrent sessions).
+    /// Verifies every shard's column invariants and span containment;
+    /// returns the total physical element count.
+    pub fn check_integrity(&self) -> Result<usize, String> {
+        let mut total = 0usize;
+        for (i, cell) in self.shards.iter().enumerate() {
+            let shard = cell.lock();
+            shard
+                .col
+                .check_integrity()
+                .map_err(|e| format!("shard {i}: {e}"))?;
+            for e in shard.col.data() {
+                if !shard.span.contains(e.key()) {
+                    return Err(format!(
+                        "shard {i}: key {} outside span {}",
+                        e.key(),
+                        shard.span
+                    ));
+                }
+            }
+            total += shard.col.data().len();
+        }
+        Ok(total)
+    }
+}
+
+/// The key a logged op addresses.
+fn op_key<E: Element>(op: &LoggedOp<E>) -> u64 {
+    match op {
+        LoggedOp::Insert(e) => e.key(),
+        LoggedOp::Delete { key, .. } => *key,
+    }
+}

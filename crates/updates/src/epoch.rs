@@ -1,0 +1,297 @@
+//! Epoch-stamped committed-update logs — the storage half of snapshot
+//! visibility.
+//!
+//! The serving layers above this crate hand out **snapshot epochs**: a
+//! session pinned at epoch `s` must see exactly the updates committed at
+//! or before `s`, no matter how far the physical column has advanced
+//! underneath it. [`EpochLog`] makes that cheap by splitting committed
+//! state in two:
+//!
+//! * the **merged prefix** — ops with epoch `<=` [`EpochLog::merged_through`]
+//!   have been physically merge-rippled into the cracked column and are
+//!   visible in any scan of it;
+//! * the **logged suffix** — ops newer than the watermark stay in the
+//!   log, and a reader at snapshot `s` adds the *delta* of the slice
+//!   `(merged_through, s]` on top of the physical answer
+//!   ([`EpochLog::delta`]).
+//!
+//! The owner advances the watermark ([`EpochLog::merge_through`]) only
+//! up to the **minimum active snapshot epoch**, so the physical column
+//! never runs ahead of any live reader — quarantine rebuilds can then
+//! scan the column freely without tearing a published snapshot.
+//!
+//! # Delete semantics
+//!
+//! The column is a multiset and deletes of absent keys evaporate (the
+//! `PendingUpdates` contract). To keep replay deterministic, a delete's
+//! fate is resolved **once, at commit time**, and recorded in the log as
+//! [`LoggedOp::Delete`]`{hits}`: `hits == true` removes one instance when
+//! merged and contributes `-1` to snapshot deltas; `hits == false` is a
+//! no-op in both. Since the log replays in commit order, the merge-time
+//! outcome always matches the commit-time resolution.
+
+use crate::pending::PendingUpdates;
+use scrack_core::CrackedColumn;
+use scrack_types::{Element, QueryRange};
+
+/// One committed operation, with delete fate resolved at commit time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoggedOp<E> {
+    /// Insert one element.
+    Insert(E),
+    /// Delete one element with this key; `hits` records whether a live
+    /// instance existed at commit time (false = evaporated).
+    Delete {
+        /// The targeted key.
+        key: u64,
+        /// Whether the delete found a victim when it committed.
+        hits: bool,
+    },
+}
+
+impl<E: Element> LoggedOp<E> {
+    fn key(&self) -> u64 {
+        match self {
+            LoggedOp::Insert(e) => e.key(),
+            LoggedOp::Delete { key, .. } => *key,
+        }
+    }
+}
+
+/// An epoch-stamped log of committed updates over one cracked column
+/// (see module docs).
+///
+/// Entries are appended in commit order with non-decreasing epochs; the
+/// merged watermark trails the oldest live snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct EpochLog<E> {
+    /// `(epoch, op)` in commit order; epochs non-decreasing.
+    entries: Vec<(u64, LoggedOp<E>)>,
+    /// Ops with epoch `<= merged_through` are in the physical column.
+    merged_through: u64,
+}
+
+impl<E: Element> EpochLog<E> {
+    /// An empty log with watermark 0 (epoch 0 = the base column).
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            merged_through: 0,
+        }
+    }
+
+    /// Appends one commit's ops at `epoch`, in the commit's own order.
+    ///
+    /// # Panics
+    /// If `epoch` is at or below the merged watermark, or below the last
+    /// appended epoch (commit order must be epoch order).
+    pub fn append(&mut self, epoch: u64, ops: impl IntoIterator<Item = LoggedOp<E>>) {
+        assert!(
+            epoch > self.merged_through,
+            "epoch {epoch} already merged (watermark {})",
+            self.merged_through
+        );
+        if let Some((last, _)) = self.entries.last() {
+            assert!(*last <= epoch, "epochs must be non-decreasing");
+        }
+        self.entries.extend(ops.into_iter().map(|op| (epoch, op)));
+    }
+
+    /// The highest epoch whose ops are physically merged into the column.
+    pub fn merged_through(&self) -> u64 {
+        self.merged_through
+    }
+
+    /// Entries still in the log (not yet merged).
+    pub fn unmerged_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Net live instances of `key` contributed by logged (unmerged) ops
+    /// up to and including `through_epoch` — the commit-time input for
+    /// resolving a new delete's fate on top of the physical count.
+    pub fn net_count(&self, key: u64, through_epoch: u64) -> i64 {
+        self.entries
+            .iter()
+            .take_while(|(ep, _)| *ep <= through_epoch)
+            .map(|(_, op)| match op {
+                LoggedOp::Insert(e) if e.key() == key => 1,
+                LoggedOp::Delete { key: k, hits: true } if *k == key => -1,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Whether any logged op with epoch strictly after `snapshot`
+    /// touches a key accepted by `in_write_set` — the first-committer-
+    /// wins validation a committing transaction runs against each shard
+    /// it wrote. (Ops merged into the column are always at or below the
+    /// oldest live snapshot, so every possible conflict is still in the
+    /// log.)
+    pub fn conflicts_after(&self, snapshot: u64, mut in_write_set: impl FnMut(u64) -> bool) -> bool {
+        self.entries
+            .iter()
+            .skip_while(|(ep, _)| *ep <= snapshot)
+            .any(|(_, op)| in_write_set(op.key()))
+    }
+
+    /// `(count_delta, key_sum_delta)` that the logged slice
+    /// `(merged_through, through_epoch]` contributes to a range query —
+    /// what a snapshot reader at `through_epoch` adds on top of the
+    /// physical column's aggregate.
+    pub fn delta(&self, q: QueryRange, through_epoch: u64) -> (i64, u64) {
+        let mut count = 0i64;
+        let mut sum = 0u64;
+        for (_, op) in self
+            .entries
+            .iter()
+            .take_while(|(ep, _)| *ep <= through_epoch)
+        {
+            match op {
+                LoggedOp::Insert(e) if q.contains(e.key()) => {
+                    count += 1;
+                    sum = sum.wrapping_add(e.key());
+                }
+                LoggedOp::Delete { key, hits: true } if q.contains(*key) => {
+                    count -= 1;
+                    sum = sum.wrapping_sub(*key);
+                }
+                _ => {}
+            }
+        }
+        (count, sum)
+    }
+
+    /// Physically merges every logged op with epoch `<= watermark` into
+    /// `col` (in commit order, via the [`PendingUpdates`] ripple paths,
+    /// honoring the column's `UpdatePolicy`) and advances the watermark.
+    /// Returns how many ops merged. A watermark at or below the current
+    /// one is a no-op.
+    ///
+    /// The caller must ensure no live snapshot is pinned at an epoch
+    /// below `watermark`; that is the serving layer's min-active gate.
+    pub fn merge_through(&mut self, col: &mut CrackedColumn<E>, watermark: u64) -> usize {
+        if watermark <= self.merged_through {
+            return 0;
+        }
+        let cut = self
+            .entries
+            .partition_point(|(ep, _)| *ep <= watermark);
+        let mut pending = PendingUpdates::new();
+        for (_, op) in self.entries.drain(..cut) {
+            match op {
+                LoggedOp::Insert(e) => pending.queue_insert(e),
+                LoggedOp::Delete { key, hits: true } => pending.queue_delete(key),
+                // Commit-time resolution said this delete evaporated;
+                // replaying it would be a no-op, skip the ripple.
+                LoggedOp::Delete { hits: false, .. } => {}
+            }
+        }
+        self.merged_through = watermark;
+        pending.merge_all(col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrack_core::CrackConfig;
+
+    fn column(n: u64) -> CrackedColumn<u64> {
+        let keys: Vec<u64> = (0..n).map(|i| (i * 311) % n).collect();
+        let mut col = CrackedColumn::new(keys, CrackConfig::default());
+        col.crack_on(n / 2);
+        col
+    }
+
+    fn physical(col: &CrackedColumn<u64>, q: QueryRange) -> (i64, u64) {
+        col.data()
+            .iter()
+            .filter(|k| q.contains(**k))
+            .fold((0i64, 0u64), |(c, s), k| (c + 1, s.wrapping_add(*k)))
+    }
+
+    fn snapshot(col: &CrackedColumn<u64>, log: &EpochLog<u64>, q: QueryRange, ep: u64) -> (i64, u64) {
+        let (pc, ps) = physical(col, q);
+        let (dc, ds) = log.delta(q, ep);
+        (pc + dc, ps.wrapping_add(ds))
+    }
+
+    #[test]
+    fn snapshots_see_exactly_their_prefix() {
+        let col = column(100);
+        let mut log = EpochLog::new();
+        log.append(1, [LoggedOp::Insert(50u64)]);
+        log.append(2, [LoggedOp::Delete { key: 50, hits: true }]);
+        log.append(3, [LoggedOp::Insert(51u64), LoggedOp::Insert(52u64)]);
+        let q = QueryRange::new(50, 53);
+        let (base, _) = snapshot(&col, &log, q, 0);
+        assert_eq!(snapshot(&col, &log, q, 1).0, base + 1, "epoch 1 sees the insert");
+        assert_eq!(snapshot(&col, &log, q, 2).0, base, "epoch 2 sees the delete too");
+        assert_eq!(snapshot(&col, &log, q, 3).0, base + 2);
+    }
+
+    #[test]
+    fn merge_preserves_every_snapshot_from_the_watermark_up() {
+        let mut col = column(200);
+        let mut log = EpochLog::new();
+        log.append(1, [LoggedOp::Insert(10u64), LoggedOp::Insert(190u64)]);
+        log.append(2, [LoggedOp::Delete { key: 10, hits: true }]);
+        log.append(3, [LoggedOp::Insert(11u64)]);
+        let q = QueryRange::new(0, 200);
+        let at2 = snapshot(&col, &log, q, 2);
+        let at3 = snapshot(&col, &log, q, 3);
+        // Merge through epoch 2 (min active snapshot = 2).
+        let merged = log.merge_through(&mut col, 2);
+        assert_eq!(merged, 3, "two inserts + one hitting delete");
+        assert_eq!(log.merged_through(), 2);
+        assert_eq!(log.unmerged_len(), 1);
+        col.check_integrity().unwrap();
+        assert_eq!(snapshot(&col, &log, q, 2), at2, "snapshot 2 unchanged by merge");
+        assert_eq!(snapshot(&col, &log, q, 3), at3, "snapshot 3 unchanged by merge");
+    }
+
+    #[test]
+    fn evaporated_deletes_are_noops_everywhere() {
+        let mut col = column(100);
+        let mut log = EpochLog::new();
+        log.append(1, [LoggedOp::Delete { key: 9_999, hits: false }]);
+        let q = QueryRange::new(0, u64::MAX);
+        let before = snapshot(&col, &log, q, 0);
+        assert_eq!(snapshot(&col, &log, q, 1), before);
+        assert_eq!(log.merge_through(&mut col, 1), 0, "nothing to ripple");
+        assert_eq!(col.data().len(), 100);
+    }
+
+    #[test]
+    fn net_count_tracks_per_key_liveness() {
+        let mut log = EpochLog::<u64>::new();
+        log.append(1, [LoggedOp::Insert(7u64), LoggedOp::Insert(7u64)]);
+        log.append(2, [LoggedOp::Delete { key: 7, hits: true }]);
+        log.append(3, [LoggedOp::Delete { key: 7, hits: false }]);
+        assert_eq!(log.net_count(7, 1), 2);
+        assert_eq!(log.net_count(7, 2), 1);
+        assert_eq!(log.net_count(7, 3), 1, "evaporated delete contributes 0");
+        assert_eq!(log.net_count(8, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already merged")]
+    fn appending_below_the_watermark_is_rejected() {
+        let mut col = column(10);
+        let mut log = EpochLog::new();
+        log.append(1, [LoggedOp::Insert(5u64)]);
+        log.merge_through(&mut col, 1);
+        log.append(1, [LoggedOp::Insert(6u64)]);
+    }
+
+    #[test]
+    fn merge_is_idempotent_at_the_watermark() {
+        let mut col = column(50);
+        let mut log = EpochLog::new();
+        log.append(1, [LoggedOp::Insert(25u64)]);
+        assert_eq!(log.merge_through(&mut col, 1), 1);
+        assert_eq!(log.merge_through(&mut col, 1), 0);
+        assert_eq!(log.merge_through(&mut col, 0), 0);
+    }
+}

@@ -26,16 +26,22 @@
 //! [`PendingUpdates`] holds the queued inserts/deletes; [`Updatable`]
 //! wraps any cracking `Engine` exposing [`CrackAccess`] (every
 //! cracker-backed engine in the factory — build one with
-//! [`build_update_engine`]) with on-demand merging.
+//! [`build_update_engine`]) with on-demand merging. [`EpochLog`] adds
+//! the committed, epoch-stamped form of the same queues: snapshot
+//! readers combine the physical column with the log's per-epoch delta,
+//! and a watermark merge (gated on the oldest live snapshot) folds aged
+//! epochs into the column through the same ripple paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod epoch;
 mod merge;
 mod pending;
 mod ripple;
 mod wrapper;
 
+pub use epoch::{EpochLog, LoggedOp};
 pub use merge::{merge_ripple_deletes, merge_ripple_inserts};
 pub use pending::PendingUpdates;
 pub use ripple::{ripple_delete, ripple_insert};

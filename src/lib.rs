@@ -33,6 +33,7 @@
 //! | [`sideways`] | `scrack_sideways` | sideways cracking under storage budgets |
 //! | [`updates`] | `scrack_updates` | Ripple merge of pending updates |
 //! | [`parallel`] | `scrack_parallel` | sharded / shared / piece-locked / chunked cracking |
+//! | [`txn`] | `scrack_txn` | transactional sessions: snapshot isolation, lock manager |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -240,6 +241,54 @@ pub mod parallel {
     pub use scrack_parallel::*;
 }
 
+/// Transactional sessions ([`scrack_txn`]).
+///
+/// Snapshot-isolated multi-statement transactions over the same
+/// key-disjoint shards the schedulers use. [`TxnManager::begin`] pins a
+/// snapshot epoch; reads see exactly the updates committed at or before
+/// it plus the session's own writes; per-key exclusive locks come from
+/// the shared [`LockManager`] with FIFO queues, wait budgets, and
+/// timeout-wound deadlock resolution; commit validates
+/// first-committer-wins and publishes at a fresh epoch. Every session
+/// ends in exactly one [`TxnOutcome`], faults included — a panic or
+/// poison in a shard aborts only the sessions touching it, quarantines
+/// and rebuilds the shard, and preserves every pinned snapshot:
+///
+/// ```
+/// use stochastic_cracking::prelude::*;
+///
+/// let data: Vec<u64> = unique_permutation(4_000, 9);
+/// let mgr = TxnManager::new(
+///     data, 3, ParallelStrategy::Stochastic, CrackConfig::default(),
+///     ServingConfig::default(), 9,
+/// );
+/// // Writer inserts; a reader that began first must not see it.
+/// let mut writer = mgr.begin().unwrap();
+/// writer.insert(1_000u64).unwrap();
+/// let mut reader = mgr.begin().unwrap();
+/// assert!(matches!(writer.commit(), TxnOutcome::Committed { .. }));
+/// assert_eq!(reader.read(QueryRange::new(1_000, 1_001)).unwrap().0, 1);
+/// reader.commit();
+/// // First committer wins: two sessions deleting the same key.
+/// let mut a = mgr.begin().unwrap();
+/// let mut b = mgr.begin().unwrap();
+/// assert!(a.delete(1_000).unwrap());
+/// assert!(matches!(a.commit(), TxnOutcome::Committed { .. }));
+/// assert!(b.delete(1_000).unwrap()); // b's snapshot still sees the key...
+/// assert!(matches!(
+///     b.commit(), // ...but a committed first: validation aborts b, retryably
+///     TxnOutcome::Aborted { retryable: true }
+/// ));
+/// assert_eq!(mgr.lock_residue(), 0); // no path leaks a lock
+/// ```
+///
+/// [`TxnManager::begin`]: scrack_txn::TxnManager::begin
+/// [`LockManager`]: scrack_txn::LockManager
+/// [`TxnOutcome`]: scrack_txn::TxnOutcome
+pub mod txn {
+    pub use scrack_txn::*;
+}
+
 /// The working vocabulary: everything the examples and most users need.
 pub mod prelude {
     pub use scrack_chooser::{
@@ -258,6 +307,9 @@ pub mod prelude {
         AdmissionPolicy, BatchOp, BatchReport, BatchScheduler, ChunkedCracker, ParallelStrategy,
         PieceLockedCracker, QueryOutcome, ResilienceStats, ServingConfig, ShardedCracker,
         SharedCracker, ShardHealth,
+    };
+    pub use scrack_txn::{
+        LockError, LockManager, LockMode, LockStats, Session, TxnError, TxnManager, TxnOutcome,
     };
     pub use scrack_sideways::{BudgetedSideways, CrackerMap, MapStrategy, SidewaysCracker};
     pub use scrack_types::{CacheProfile, Element, QueryRange, Stats, Tuple};
