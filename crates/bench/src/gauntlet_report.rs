@@ -34,7 +34,7 @@
 
 use crate::trajectory::{obj, Json, TrajectoryDoc};
 use scrack_chooser::{switch_seed, ConfigSpace, SelfDrivingEngine};
-use scrack_core::{CrackConfig, Engine};
+use scrack_core::{CrackConfig, Engine, EngineKind};
 use scrack_types::{QueryRange, Stats};
 use scrack_updates::{build_update_engine, Updatable, UpdateEngine};
 use scrack_workloads::data::unique_permutation;
@@ -136,6 +136,12 @@ pub struct GauntletCell {
     /// Whether the two same-seed chooser runs were bit-identical
     /// (answers, action log, switch log, `Stats`).
     pub replay_identical: bool,
+    /// Whether every deterministic data-driven midpoint arm
+    /// (DDM/DD1M/MDD1M) in the static race replayed bit-identically —
+    /// answers and `Stats` — when run twice on the same stream. These
+    /// engines carry no RNG, so anything but `true` is a determinism
+    /// bug; vacuously `true` if the space holds no midpoint arm.
+    pub midpoint_replay_identical: bool,
     /// Config switches the chooser performed.
     pub switches: usize,
     /// Distinct arms the chooser pulled at least once.
@@ -332,14 +338,32 @@ impl GauntletReport {
             // chooser's segment-0 seed so the comparison is apples to
             // apples.
             let mut static_traces = Vec::with_capacity(space.len());
+            let mut midpoint_replay_identical = true;
             for arm in space.arms() {
-                let mut engine = build_update_engine(
+                let build = || {
+                    build_update_engine(
+                        arm.engine,
+                        data.clone(),
+                        arm.crack_config(base),
+                        switch_seed(config.seed, 0),
+                    )
+                };
+                let mut engine = build();
+                let trace = run_stream(&mut engine, &ops, &data);
+                // The deterministic midpoint arms carry no RNG, so a
+                // second run over the same stream must be bit-identical
+                // — the family's replay gate, checked right here in the
+                // race.
+                if matches!(
                     arm.engine,
-                    data.clone(),
-                    arm.crack_config(base),
-                    switch_seed(config.seed, 0),
-                );
-                static_traces.push(run_stream(&mut engine, &ops, &data));
+                    EngineKind::Ddm | EngineKind::Dd1m | EngineKind::Mdd1m
+                ) {
+                    let mut twin = build();
+                    let twin_trace = run_stream(&mut twin, &ops, &data);
+                    midpoint_replay_identical &= trace.answers == twin_trace.answers
+                        && Serves::stats(&engine) == Serves::stats(&twin);
+                }
+                static_traces.push(trace);
             }
             let best_i = (0..static_traces.len())
                 .min_by_key(|i| static_traces[*i].total_cost())
@@ -397,6 +421,7 @@ impl GauntletReport {
                 within_factor: cost_ratio <= config.factor,
                 oracle_failures,
                 replay_identical,
+                midpoint_replay_identical,
                 switches: e1.switch_log().len(),
                 arms_explored: e1.arm_pulls().iter().filter(|p| **p > 0).count(),
             });
@@ -452,6 +477,10 @@ impl GauntletReport {
                 ("within_factor", Json::Bool(c.within_factor)),
                 ("oracle_failures", Json::UInt(c.oracle_failures as u64)),
                 ("replay_identical", Json::Bool(c.replay_identical)),
+                (
+                    "midpoint_replay_identical",
+                    Json::Bool(c.midpoint_replay_identical),
+                ),
                 ("switches", Json::UInt(c.switches as u64)),
                 ("arms_explored", Json::UInt(c.arms_explored as u64)),
             ]));
@@ -510,6 +539,12 @@ pub fn verify_gauntlet(report: &GauntletReport) -> Vec<String> {
         if !c.replay_identical {
             failures.push(format!("{}: fixed-seed replay diverged", c.scenario));
         }
+        if !c.midpoint_replay_identical {
+            failures.push(format!(
+                "{}: a deterministic midpoint arm diverged between two runs",
+                c.scenario
+            ));
+        }
     }
     failures
 }
@@ -540,6 +575,11 @@ mod tests {
         for c in &r.cells {
             assert_eq!(c.oracle_failures, 0, "{}: every answer exact", c.scenario);
             assert!(c.replay_identical, "{}: replay must be identical", c.scenario);
+            assert!(
+                c.midpoint_replay_identical,
+                "{}: midpoint arms must replay bit-identically",
+                c.scenario
+            );
             assert!(c.best_static_cost > 0 && c.chooser_cost > 0, "{c:?}");
             assert!(
                 c.best_static_cost <= c.worst_static_cost,
@@ -606,6 +646,7 @@ mod tests {
             "cost_ratio",
             "within_factor",
             "replay_identical",
+            "midpoint_replay_identical",
             "curves",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}");

@@ -1,5 +1,5 @@
 //! The end-to-end query-latency harness: the paper's central figure, as
-//! data, under both cracker-index representations.
+//! data, under all three cracker-index representations.
 //!
 //! The kernel harness ([`crate::kernels_report`]) tracks ns/element of
 //! the reorganization primitives and the throughput harness
@@ -18,27 +18,34 @@
 //! Emits `BENCH_4.json` in the repo root (regenerated via `cargo run
 //! --release -p scrack_bench --bin scrack_latency -- --json
 //! BENCH_4.json`). Every cell's result stream is checksummed; the
-//! harness asserts bit-identical answers across the two index policies —
+//! harness asserts bit-identical answers across every index policy —
 //! the cross-policy contract checked at bench time on real scales.
+//!
+//! PR 10 widened both axes: the radix trie joins the policy sweep (its
+//! crossover vs the flat index is what the `65536`-crack lookup point
+//! exists to expose), and the deterministic MDD1M midpoint engine joins
+//! the engine sweep.
 
-use scrack_core::{CrackConfig, CrackEngine, Engine, IndexPolicy, Mdd1rEngine};
+use scrack_core::{CrackConfig, CrackEngine, Engine, IndexPolicy, Mdd1mEngine, Mdd1rEngine};
 use scrack_index::CrackerIndex;
 use scrack_types::QueryRange;
 use scrack_workloads::data::unique_permutation;
 use scrack_workloads::{WorkloadKind, WorkloadSpec};
 use std::time::Instant;
 
-/// The engines the sweep covers: original cracking and the paper's
-/// robust default (MDD1R, a.k.a. Scrack).
-pub const ENGINES: [&str; 2] = ["crack", "mdd1r"];
+/// The engines the sweep covers: original cracking, the paper's robust
+/// default (MDD1R, a.k.a. Scrack), and the deterministic data-driven
+/// midpoint variant (MDD1M).
+pub const ENGINES: [&str; 3] = ["crack", "mdd1r", "mdd1m"];
 
 /// The workload patterns the sweep covers (Fig. 7 names).
 pub const WORKLOADS: [&str; 3] = ["random", "sequential", "skew"];
 
 /// The crack counts the piece-lookup microbench measures at. The
 /// acceptance target for the flat index is defined at `>= 1k` cracks —
-/// the post-convergence regime.
-pub const LOOKUP_CRACKS: [usize; 3] = [1_024, 4_096, 16_384];
+/// the post-convergence regime; the `65536` point exists to expose the
+/// radix trie's crossover against binary-search depth.
+pub const LOOKUP_CRACKS: [usize; 4] = [1_024, 4_096, 16_384, 65_536];
 
 /// Scale and sweep settings for one harness run.
 #[derive(Clone, Debug)]
@@ -75,7 +82,7 @@ pub struct LatencyCell {
     pub engine: &'static str,
     /// Workload pattern (one of [`WORKLOADS`]).
     pub workload: &'static str,
-    /// Index policy label (`avl` or `flat`).
+    /// Index policy label (`avl`, `flat` or `radix`).
     pub policy: &'static str,
     /// Cumulative wall-clock seconds for the whole query sequence
     /// (median across samples).
@@ -177,6 +184,11 @@ fn run_once(
         }
         "mdd1r" => {
             let mut eng = Mdd1rEngine::new(data.to_vec(), config, seed);
+            select(&mut eng);
+            eng.cracked_mut().index().crack_count()
+        }
+        "mdd1m" => {
+            let mut eng = Mdd1mEngine::new(data.to_vec(), config);
             select(&mut eng);
             eng.cracked_mut().index().crack_count()
         }
@@ -320,12 +332,31 @@ impl LatencyReport {
             .find(|c| c.policy == policy && c.cracks == cracks)
     }
 
+    /// Piece-lookup speedup of `contender` over `baseline` at `cracks`,
+    /// when both were measured (`baseline_ns / contender_ns`; > 1 means
+    /// the contender is faster).
+    pub fn lookup_speedup_over(
+        &self,
+        baseline: &str,
+        contender: &str,
+        cracks: usize,
+    ) -> Option<f64> {
+        let base = self.lookup_cell(baseline, cracks)?.ns_per_lookup;
+        let cont = self.lookup_cell(contender, cracks)?.ns_per_lookup;
+        (cont > 0.0).then(|| base / cont)
+    }
+
     /// Flat-over-AVL piece-lookup speedup at `cracks`, when both were
     /// measured (`avl_ns / flat_ns`; > 1 means flat is faster).
     pub fn lookup_speedup(&self, cracks: usize) -> Option<f64> {
-        let avl = self.lookup_cell("avl", cracks)?.ns_per_lookup;
-        let flat = self.lookup_cell("flat", cracks)?.ns_per_lookup;
-        (flat > 0.0).then(|| avl / flat)
+        self.lookup_speedup_over("avl", "flat", cracks)
+    }
+
+    /// Radix-over-flat piece-lookup speedup at `cracks` (> 1 means the
+    /// radix trie is faster) — the crossover measurement the radix
+    /// representation is judged by.
+    pub fn radix_lookup_speedup(&self, cracks: usize) -> Option<f64> {
+        self.lookup_speedup_over("flat", "radix", cracks)
     }
 
     /// Every engine/workload/policy combination (and lookup cell) missing
@@ -429,15 +460,18 @@ impl LatencyReport {
                 c.cracks
             ));
         }
-        s.push_str("\n| index | cracks | ns/lookup | flat speedup |\n");
-        s.push_str("|---|---|---|---|\n");
+        s.push_str("\n| index | cracks | ns/lookup | flat speedup | radix speedup |\n");
+        s.push_str("|---|---|---|---|---|\n");
         for c in &self.lookup {
             let speedup = self
                 .lookup_speedup(c.cracks)
                 .map_or("—".to_string(), |x| format!("{x:.2}x"));
+            let radix = self
+                .radix_lookup_speedup(c.cracks)
+                .map_or("—".to_string(), |x| format!("{x:.2}x"));
             s.push_str(&format!(
-                "| {} | {} | {:.1} | {} |\n",
-                c.policy, c.cracks, c.ns_per_lookup, speedup
+                "| {} | {} | {:.1} | {} | {} |\n",
+                c.policy, c.cracks, c.ns_per_lookup, speedup, radix
             ));
         }
         s
@@ -461,8 +495,9 @@ mod tests {
     #[test]
     fn covers_every_cell_with_finite_numbers() {
         let r = LatencyReport::measure(&tiny_config());
-        assert_eq!(r.cells.len(), ENGINES.len() * WORKLOADS.len() * 2);
-        assert_eq!(r.lookup.len(), LOOKUP_CRACKS.len() * 2);
+        let n_policies = IndexPolicy::ALL.len();
+        assert_eq!(r.cells.len(), ENGINES.len() * WORKLOADS.len() * n_policies);
+        assert_eq!(r.lookup.len(), LOOKUP_CRACKS.len() * n_policies);
         assert!(r.missing_cells().is_empty(), "{:?}", r.missing_cells());
         for c in &r.cells {
             assert!(c.cumulative_s.is_finite() && c.cumulative_s > 0.0, "{c:?}");
@@ -476,6 +511,7 @@ mod tests {
         }
         for cracks in LOOKUP_CRACKS {
             assert!(r.lookup_speedup(cracks).unwrap() > 0.0);
+            assert!(r.radix_lookup_speedup(cracks).unwrap() > 0.0);
         }
     }
 
@@ -502,7 +538,11 @@ mod tests {
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
         }
-        for name in ENGINES.iter().chain(WORKLOADS.iter()).chain(["avl", "flat"].iter()) {
+        for name in ENGINES
+            .iter()
+            .chain(WORKLOADS.iter())
+            .chain(["avl", "flat", "radix"].iter())
+        {
             assert!(json.contains(name), "missing {name}");
         }
         assert!(!json.contains(",\n  ]"), "trailing comma before ]");

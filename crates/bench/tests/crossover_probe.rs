@@ -1,0 +1,55 @@
+//! Manual probe: radix-vs-flat piece-lookup scaling at crack counts
+//! beyond the committed `LOOKUP_CRACKS` sweep, for locating the
+//! crossover on a given host. Ignored by default (minutes of wall
+//! time); run with
+//! `cargo test -p scrack_bench --release --test crossover_probe -- --ignored --nocapture`
+//!
+//! On the 1-core reference host the ratio narrows monotonically
+//! (radix/flat ≈ 0.40 at 1k cracks → 0.81 at 4M cracks) without
+//! crossing within any realistic crack count — see BENCH_10.json and
+//! docs/ARCHITECTURE.md (PR 10).
+
+use scrack_core::IndexPolicy;
+use scrack_index::CrackerIndex;
+use std::time::Instant;
+
+fn lookup_ns(policy: IndexPolicy, cracks: usize, n: u64) -> f64 {
+    let mut idx: CrackerIndex<()> = CrackerIndex::with_policy(n as usize, policy);
+    for c in 1..=cracks {
+        let key = (c as u64 * n) / (cracks as u64 + 1);
+        idx.add_crack(key, key as usize);
+    }
+    assert_eq!(idx.crack_count(), cracks);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let probes: Vec<u64> = (0..262_144)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % n
+        })
+        .collect();
+    let mut runs = Vec::new();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut acc = 0usize;
+        for p in &probes {
+            acc ^= idx.piece_containing(*p).start;
+        }
+        std::hint::black_box(acc);
+        runs.push(t0.elapsed().as_nanos() as f64 / probes.len() as f64);
+    }
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    runs[1]
+}
+
+#[test]
+#[ignore]
+fn probe() {
+    let n = 16_000_000u64;
+    for cracks in [65_536usize, 262_144, 1_048_576, 4_194_304] {
+        let f = lookup_ns(IndexPolicy::Flat, cracks, n);
+        let r = lookup_ns(IndexPolicy::Radix, cracks, n);
+        println!("cracks={cracks:>8}  flat={f:7.1}ns  radix={r:7.1}ns  radix/flat={:.2}", f / r);
+    }
+}

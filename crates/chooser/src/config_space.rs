@@ -2,7 +2,7 @@
 //!
 //! PRs 2–5 grew three orthogonal config axes next to the engine choice —
 //! [`KernelPolicy`] (branchy/branchless reorganization kernels),
-//! [`IndexPolicy`] (AVL vs flat cracker index) and [`UpdatePolicy`]
+//! [`IndexPolicy`] (AVL vs flat vs radix cracker index) and [`UpdatePolicy`]
 //! (per-element vs batched merge-ripple) — and the chooser, written
 //! before any of them, could only pick among four per-query crack paths.
 //! A [`ConfigArm`] names one point of the full cross-product and a
@@ -16,9 +16,10 @@
 //!   the selective and RNcrack families), default policies. This is the
 //!   audit surface for the chooser-vs-factory drift test.
 //! * [`ConfigSpace::default_space`] — the paper's Fig. 20 frontier
-//!   (Crack, DD1R, MDD1R, P10%) crossed with both [`UpdatePolicy`]s:
-//!   the arms whose §3 cost measure actually differs, kept small enough
-//!   for online exploration to amortize.
+//!   (Crack, DD1R, MDD1R, P10%) plus the deterministic MDD1M, crossed
+//!   with both [`UpdatePolicy`]s: the arms whose §3 cost measure
+//!   actually differs, kept small enough for online exploration to
+//!   amortize.
 //! * [`ConfigSpace::full`] — the entire cross-product. Kernel and index
 //!   policies are *wall-clock* knobs (bit-identical `Stats` by
 //!   construction, pinned by the PR-2/PR-4 differential suites), so a
@@ -106,9 +107,10 @@ impl ConfigSpace {
     }
 
     /// The default online space: the Fig. 20 engine frontier (MDD1R,
-    /// DD1R, P10%, Crack) × both update policies — every axis whose §3
-    /// cost measure differs between arms, and few enough arms that
-    /// epoch-granular exploration amortizes (8 arms).
+    /// DD1R, P10%, Crack) plus the data-driven midpoint MDD1M, × both
+    /// update policies — every axis whose §3 cost measure differs
+    /// between arms, and few enough arms that epoch-granular exploration
+    /// amortizes (10 arms).
     ///
     /// Menu order encodes the paper's robustness ranking: cost-estimate
     /// ties break toward earlier arms, so a
@@ -122,6 +124,7 @@ impl ConfigSpace {
             EngineKind::Dd1r,
             EngineKind::Progressive { swap_pct: 10 },
             EngineKind::Crack,
+            EngineKind::Mdd1m,
         ];
         let mut arms = Vec::new();
         for engine in engines {
@@ -138,7 +141,7 @@ impl ConfigSpace {
     }
 
     /// The entire cross-product: every update-capable engine × every
-    /// kernel × every index × every update policy (15 × 3 × 2 × 2 = 180
+    /// kernel × every index × every update policy (18 × 3 × 3 × 2 = 324
     /// arms).
     pub fn full() -> Self {
         let kernels = [
@@ -146,7 +149,7 @@ impl ConfigSpace {
             KernelPolicy::Branchless,
             KernelPolicy::Auto,
         ];
-        let indexes = [IndexPolicy::Avl, IndexPolicy::Flat];
+        let indexes = IndexPolicy::ALL;
         let mut arms = Vec::new();
         for engine in update_capable_kinds() {
             for kernel in kernels {
@@ -235,8 +238,20 @@ mod tests {
 
     #[test]
     fn full_space_is_the_cross_product() {
+        // The index axis is pinned to the *live* variant count
+        // (`IndexPolicy::ALL`): adding a representation without
+        // registering it here — or in the dispatch sites this arithmetic
+        // transitively sweeps — fails this test instead of silently
+        // shrinking the space.
         let full = ConfigSpace::full();
-        assert_eq!(full.len(), update_capable_kinds().len() * 3 * 2 * 2);
+        assert_eq!(
+            full.len(),
+            update_capable_kinds().len() * 3 * IndexPolicy::ALL.len() * UpdatePolicy::ALL.len()
+        );
+        assert!(
+            full.arms().iter().any(|a| a.index == IndexPolicy::Radix),
+            "the radix representation must be in the full space"
+        );
         // No duplicate arms.
         for (i, a) in full.arms().iter().enumerate() {
             assert!(
@@ -250,7 +265,7 @@ mod tests {
     #[test]
     fn default_space_differs_only_on_cost_visible_axes() {
         let space = ConfigSpace::default_space();
-        assert_eq!(space.len(), 8);
+        assert_eq!(space.len(), 10);
         for arm in space.arms() {
             assert_eq!(arm.kernel, KernelPolicy::default());
             assert_eq!(arm.index, IndexPolicy::default());

@@ -10,7 +10,14 @@
 //! * [`CrackedColumn::dd1c_crack`] / [`CrackedColumn::dd1r_crack`] — the
 //!   single-auxiliary-crack variants;
 //! * [`CrackedColumn::mdd1r_select`] — materializing DD1R (Fig. 5/6);
-//! * [`CrackedColumn::pmdd1r_select`] — progressive stochastic cracking.
+//! * [`CrackedColumn::pmdd1r_select`] — progressive stochastic cracking;
+//! * [`CrackedColumn::ddm_crack`] / [`CrackedColumn::dd1m_crack`] /
+//!   [`CrackedColumn::mdd1m_select`] — the *data-driven midpoint* family
+//!   (PR 10, after the ART-cracking study of Wu et al.): auxiliary splits
+//!   land on key-space midpoints instead of query predicates or random
+//!   pivots, so the split schedule is workload-independent — sequential
+//!   and skewed query streams cannot degenerate it — and fully
+//!   deterministic (no RNG anywhere in the family).
 
 use crate::config::CrackConfig;
 use crate::fault::{self, FaultInjector, FaultKind};
@@ -39,6 +46,12 @@ pub struct CrackedColumn<E: Element> {
     /// Evaluates `config.fault` at the reorganization site; one branch
     /// per new crack when disabled (the default).
     fault: FaultInjector,
+    /// Cached `(min_key, max_key)` span, computed lazily on the first
+    /// midpoint-family operation (the only consumer). May go stale when
+    /// updates append keys outside it; staleness only skews the *balance*
+    /// of midpoint splits, never their validity, and
+    /// [`CrackedColumn::quarantine_rebuild`] recomputes it.
+    domain: Option<(u64, u64)>,
 }
 
 impl<E: Element> CrackedColumn<E> {
@@ -52,6 +65,7 @@ impl<E: Element> CrackedColumn<E> {
             stats: Stats::new(),
             config,
             fault: FaultInjector::new(config.fault),
+            domain: None,
         }
     }
 
@@ -510,6 +524,180 @@ impl<E: Element> CrackedColumn<E> {
         if rel > 0 && rel < piece.len() {
             self.register_crack(pivot, piece.start + rel);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Data-driven midpoint family (DDM / DD1M / MDD1M)
+    // ------------------------------------------------------------------
+
+    /// The cached key-domain span, computed on first use (see the
+    /// `domain` field for the staleness contract).
+    fn domain_span(&mut self) -> Option<(u64, u64)> {
+        if self.domain.is_none() {
+            self.domain = self.key_span();
+        }
+        self.domain
+    }
+
+    /// Key-space bounds `[klo, khi)` of `piece`: its crack bounds where
+    /// they exist, the cached column domain where they don't (head/tail
+    /// pieces). `khi` is exclusive, so an unbounded tail uses
+    /// `max_key + 1`. `None` when the range is empty — possible for a
+    /// head/tail piece whose domain-derived bound has gone stale after
+    /// updates, in which case callers skip the midpoint split and fall
+    /// back to predicate cracking (still correct, just unsplit).
+    fn piece_key_bounds(&mut self, piece: &Piece) -> Option<(u64, u64)> {
+        let (dlo, dhi) = self.domain_span()?;
+        let klo = piece.lo_key.unwrap_or(dlo);
+        let khi = piece.hi_key.unwrap_or_else(|| dhi.saturating_add(1));
+        (khi > klo).then_some((klo, khi))
+    }
+
+    /// The key-space midpoint of `[klo, khi)`, or `None` when the range
+    /// holds fewer than two keys (nothing strictly inside to split on).
+    fn midpoint(klo: u64, khi: u64) -> Option<u64> {
+        (khi - klo >= 2).then(|| klo + (khi - klo) / 2)
+    }
+
+    /// DDM crack: recursive key-space midpoint splits down to
+    /// `CRACK_SIZE`, then crack on `key`.
+    ///
+    /// The data-driven analogue of the DDC/DDR drivers with the pivot
+    /// *rule* swapped: instead of a random element or positional median
+    /// (both functions of the data), the piece's **key range** is halved.
+    /// Two consequences: the split schedule converges toward the same
+    /// balanced partition tree regardless of query order — sequential and
+    /// skewed workloads cannot degenerate it — and the family needs no
+    /// RNG, so replay is bit-identical by construction. A midpoint split
+    /// that lands on a piece edge (empty half) still halves the key
+    /// range, so the loop keeps narrowing — at most 64 halvings — where
+    /// the value-pivot variants must break.
+    pub fn ddm_crack(&mut self, key: u64) -> usize {
+        self.midpoint_crack(key, true)
+    }
+
+    /// DD1M crack: at most one midpoint split, then crack on `key`.
+    pub fn dd1m_crack(&mut self, key: u64) -> usize {
+        self.midpoint_crack(key, false)
+    }
+
+    /// Shared driver for DDM/DD1M, mirroring [`Self::data_driven_crack`].
+    fn midpoint_crack(&mut self, key: u64, recursive: bool) -> usize {
+        self.settle_job_at(key);
+        let piece = self.index.piece_containing(key);
+        if piece.lo_key == Some(key) {
+            return piece.start;
+        }
+        let crack_size = self.crack_size();
+        let kernel = self.config.kernel;
+        let (mut lo, mut hi) = (piece.start, piece.end);
+        let mut bounds = self.piece_key_bounds(&piece);
+        while hi - lo > crack_size {
+            let Some((klo, khi)) = bounds else { break };
+            let Some(pivot) = Self::midpoint(klo, khi) else {
+                break; // key range exhausted (duplicate-heavy piece)
+            };
+            let rel = crack_in_two_policy(&mut self.data[lo..hi], pivot, kernel, &mut self.stats);
+            let pos = lo + rel;
+            // Registered even when degenerate (pos == lo or pos == hi):
+            // an empty-sided crack is still globally valid — the partition
+            // just ran, and everything outside [lo, hi) is bounded by the
+            // enclosing cracks — and recording it is what lets the next
+            // query skip straight to the narrowed half.
+            self.register_crack(pivot, pos);
+            if key < pivot {
+                hi = pos;
+                bounds = Some((klo, pivot));
+            } else {
+                lo = pos;
+                bounds = Some((pivot, khi));
+            }
+            if !recursive {
+                break;
+            }
+        }
+        let rel = crack_in_two_policy(&mut self.data[lo..hi], key, kernel, &mut self.stats);
+        let pos = lo + rel;
+        self.register_crack(key, pos);
+        pos
+    }
+
+    /// MDD1M select: the MDD1R query shape — never cracks on the query
+    /// bounds; one auxiliary crack per end piece with integrated fringe
+    /// materialization; exact-match pieces answered as pure views — with
+    /// the random pivot replaced by the piece's key-space midpoint.
+    ///
+    /// Fully deterministic: physical state depends on *which* pieces
+    /// queries touch, never on the query values themselves, and there is
+    /// no RNG anywhere. Midpoints halve a touched piece's key range no
+    /// matter where the query landed inside it, which is the property the
+    /// paper buys with randomness.
+    pub fn mdd1m_select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        self.stats.queries += 1;
+        let mut out = QueryOutput::empty();
+        if q.is_empty() {
+            return out;
+        }
+        self.settle_job_at(q.low);
+        self.settle_job_at(q.high);
+        let p1 = self.index.piece_containing(q.low);
+        let p2 = self.index.piece_containing(q.high);
+        if p1 == p2 {
+            if let Some(fringe) = Self::single_piece_fringe(&p1, q) {
+                self.midpoint_fringe(&p1, fringe, &mut out);
+            } else {
+                out.push_view(p1.start, p1.end);
+            }
+            return out;
+        }
+        let view_start = if p1.lo_key == Some(q.low) {
+            p1.start
+        } else {
+            self.midpoint_fringe(&p1, Fringe::Low(q.low), &mut out);
+            p1.end
+        };
+        let view_end = if p2.lo_key == Some(q.high) {
+            p2.start
+        } else {
+            self.midpoint_fringe(&p2, Fringe::High(q.high), &mut out);
+            p2.start
+        };
+        out.push_view(view_start, view_end);
+        out
+    }
+
+    /// One midpoint crack + integrated materialization over `piece` —
+    /// [`Self::stochastic_fringe`] with the pivot rule swapped.
+    fn midpoint_fringe(&mut self, piece: &Piece, fringe: Fringe, out: &mut QueryOutput<E>) {
+        let pivot = self
+            .piece_key_bounds(piece)
+            .and_then(|(klo, khi)| Self::midpoint(klo, khi));
+        let pivot = match pivot {
+            Some(p) if piece.len() >= 2 => p,
+            // Nothing to split (singleton piece, or a key range with no
+            // interior): just filter the piece.
+            _ => {
+                scan_filter_policy(
+                    &self.data[piece.start..piece.end],
+                    fringe,
+                    self.config.kernel,
+                    out.mat_mut(),
+                    &mut self.stats,
+                );
+                return;
+            }
+        };
+        let rel = split_and_materialize(
+            &mut self.data[piece.start..piece.end],
+            pivot,
+            fringe,
+            out.mat_mut(),
+            &mut self.stats,
+        );
+        // Unlike the random-pivot fringe, degenerate splits ARE
+        // registered: an empty-sided crack halves the piece's key range,
+        // which is exactly what guarantees convergence here.
+        self.register_crack(pivot, piece.start + rel);
     }
 
     // ------------------------------------------------------------------

@@ -236,6 +236,105 @@ impl<E: Element> Engine<E> for Mdd1rEngine<E> {
     impl_engine_common!(Mdd1rEngine);
 }
 
+/// DDM: recursive key-space midpoint cracks down to `CRACK_SIZE` — the
+/// deterministic, data-driven counterpart of DDC/DDR.
+#[derive(Debug, Clone)]
+pub struct DdmEngine<E: Element> {
+    col: CrackedColumn<E>,
+}
+
+impl<E: Element> DdmEngine<E> {
+    /// Builds the engine over `data` (no RNG: the family is
+    /// deterministic by construction).
+    pub fn new(data: Vec<E>, config: CrackConfig) -> Self {
+        Self {
+            col: CrackedColumn::new(data, config),
+        }
+    }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
+    }
+}
+
+impl<E: Element> Engine<E> for DdmEngine<E> {
+    fn name(&self) -> String {
+        "DDM".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        self.col.select_with(q, |c, k| c.ddm_crack(k))
+    }
+
+    impl_engine_common!(DdmEngine);
+}
+
+/// DD1M: at most one midpoint crack per bound, then plain cracking.
+#[derive(Debug, Clone)]
+pub struct Dd1mEngine<E: Element> {
+    col: CrackedColumn<E>,
+}
+
+impl<E: Element> Dd1mEngine<E> {
+    /// Builds the engine over `data`.
+    pub fn new(data: Vec<E>, config: CrackConfig) -> Self {
+        Self {
+            col: CrackedColumn::new(data, config),
+        }
+    }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
+    }
+}
+
+impl<E: Element> Engine<E> for Dd1mEngine<E> {
+    fn name(&self) -> String {
+        "DD1M".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        self.col.select_with(q, |c, k| c.dd1m_crack(k))
+    }
+
+    impl_engine_common!(Dd1mEngine);
+}
+
+/// MDD1M: the MDD1R query shape with midpoint pivots — never cracks on
+/// the query bounds, fully deterministic, no RNG.
+#[derive(Debug, Clone)]
+pub struct Mdd1mEngine<E: Element> {
+    col: CrackedColumn<E>,
+}
+
+impl<E: Element> Mdd1mEngine<E> {
+    /// Builds the engine over `data`.
+    pub fn new(data: Vec<E>, config: CrackConfig) -> Self {
+        Self {
+            col: CrackedColumn::new(data, config),
+        }
+    }
+
+    /// Mutable access to the cracker column (for the update wrapper).
+    pub fn cracked_mut(&mut self) -> &mut CrackedColumn<E> {
+        &mut self.col
+    }
+}
+
+impl<E: Element> Engine<E> for Mdd1mEngine<E> {
+    fn name(&self) -> String {
+        "MDD1M".into()
+    }
+
+    fn select(&mut self, q: QueryRange) -> QueryOutput<E> {
+        self.col.mdd1m_select(q)
+    }
+
+    impl_engine_common!(Mdd1mEngine);
+}
+
 /// Progressive stochastic cracking: MDD1R whose cracks are completed
 /// collaboratively by successive queries under a swap budget of
 /// `swap_pct`% of the piece size. `P100%` ≡ MDD1R.

@@ -4,7 +4,8 @@ use crate::baseline::{ScanEngine, SortEngine};
 use crate::config::CrackConfig;
 use crate::engine::Engine;
 use crate::engines::{
-    CrackEngine, Dd1cEngine, Dd1rEngine, DdcEngine, DdrEngine, Mdd1rEngine, ProgressiveEngine,
+    CrackEngine, Dd1cEngine, Dd1mEngine, Dd1rEngine, DdcEngine, DdmEngine, DdrEngine, Mdd1mEngine,
+    Mdd1rEngine, ProgressiveEngine,
 };
 use crate::naive::RandomInjectEngine;
 use crate::selective::{SelectiveEngine, SelectivePolicy};
@@ -29,6 +30,14 @@ pub enum EngineKind {
     Dd1r,
     /// Materializing DD1R (Fig. 5); the default "Scrack".
     Mdd1r,
+    /// Data Driven Midpoint, recursive: key-space midpoint splits down to
+    /// `CRACK_SIZE` (deterministic counterpart of DDC/DDR).
+    Ddm,
+    /// One midpoint crack then plain cracking.
+    Dd1m,
+    /// MDD1R's query shape with midpoint pivots: deterministic, never
+    /// cracks on query bounds.
+    Mdd1m,
     /// Progressive stochastic cracking with a swap budget in percent.
     Progressive {
         /// Percentage of the piece size allowed as swaps per query.
@@ -67,6 +76,9 @@ impl EngineKind {
             EngineKind::Dd1c => "DD1C".into(),
             EngineKind::Dd1r => "DD1R".into(),
             EngineKind::Mdd1r => "MDD1R".into(),
+            EngineKind::Ddm => "DDM".into(),
+            EngineKind::Dd1m => "DD1M".into(),
+            EngineKind::Mdd1m => "MDD1M".into(),
             EngineKind::Progressive { swap_pct } => format!("P{swap_pct}%"),
             EngineKind::EveryX { x } => SelectivePolicy::EveryX(*x).label(),
             EngineKind::FlipCoin => "FlipCoin".into(),
@@ -98,6 +110,17 @@ impl EngineKind {
             EngineKind::RandomInject { every: 2 },
         ]
     }
+
+    /// [`EngineKind::paper_selection`] plus the post-paper data-driven
+    /// midpoint family (DDM/DD1M/MDD1M): everything the repo can build.
+    /// Sweep tests, the update factory and the chooser's full config
+    /// space enumerate this, so new kinds added here are picked up
+    /// everywhere at once.
+    pub fn extended_selection() -> Vec<EngineKind> {
+        let mut kinds = Self::paper_selection();
+        kinds.extend([EngineKind::Ddm, EngineKind::Dd1m, EngineKind::Mdd1m]);
+        kinds
+    }
 }
 
 /// Builds a boxed engine of the given kind over `data`.
@@ -118,6 +141,9 @@ pub fn build_engine<E: Element>(
         EngineKind::Dd1c => Box::new(Dd1cEngine::new(data, config)),
         EngineKind::Dd1r => Box::new(Dd1rEngine::new(data, config, seed)),
         EngineKind::Mdd1r => Box::new(Mdd1rEngine::new(data, config, seed)),
+        EngineKind::Ddm => Box::new(DdmEngine::new(data, config)),
+        EngineKind::Dd1m => Box::new(Dd1mEngine::new(data, config)),
+        EngineKind::Mdd1m => Box::new(Mdd1mEngine::new(data, config)),
         EngineKind::Progressive { swap_pct } => Box::new(ProgressiveEngine::new(
             data,
             config,
@@ -167,9 +193,20 @@ mod tests {
     }
 
     #[test]
+    fn extended_selection_is_paper_selection_plus_midpoint_family() {
+        let paper = EngineKind::paper_selection();
+        let extended = EngineKind::extended_selection();
+        assert_eq!(&extended[..paper.len()], &paper[..]);
+        assert_eq!(
+            &extended[paper.len()..],
+            &[EngineKind::Ddm, EngineKind::Dd1m, EngineKind::Mdd1m]
+        );
+    }
+
+    #[test]
     fn build_all_kinds() {
         let data: Vec<u64> = (0..100).collect();
-        for kind in EngineKind::paper_selection() {
+        for kind in EngineKind::extended_selection() {
             let mut eng = build_engine(kind, data.clone(), CrackConfig::default(), 42);
             let out = eng.select(scrack_types::QueryRange::new(10, 20));
             assert_eq!(out.len(), 10, "{} wrong result size", eng.name());

@@ -59,7 +59,8 @@ pub use scrack_partition::KernelPolicy;
 pub use cracked::CrackedColumn;
 pub use engine::Engine;
 pub use engines::{
-    CrackEngine, Dd1cEngine, Dd1rEngine, DdcEngine, DdrEngine, Mdd1rEngine, ProgressiveEngine,
+    CrackEngine, Dd1cEngine, Dd1mEngine, Dd1rEngine, DdcEngine, DdmEngine, DdrEngine, Mdd1mEngine,
+    Mdd1rEngine, ProgressiveEngine,
 };
 pub use factory::{build_engine, EngineKind};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};

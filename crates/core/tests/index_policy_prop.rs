@@ -1,8 +1,8 @@
-//! Cross-policy equivalence: the flat and AVL cracker indexes must be
-//! observationally identical through every engine.
+//! Cross-policy equivalence: the flat, AVL and radix cracker indexes
+//! must be observationally identical through every engine.
 //!
 //! `IndexPolicy` promises more than "same answers": for any operation
-//! sequence, the two representations must produce the *same crack
+//! sequence, all three representations must produce the *same crack
 //! boundaries* (key and position, entry for entry), the *same piece
 //! metadata* (ScrackMon counters, progressive-job presence), the *same
 //! physical column order*, and *bit-identical [`Stats`]*. That contract
@@ -68,6 +68,9 @@ enum Op {
     Mdd1r(u64, u64),
     Pmdd1r(u64, u64),
     Selective(u64, u64),
+    Ddm(u64),
+    Dd1m(u64),
+    Mdd1m(u64, u64),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -82,7 +85,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (k.clone(), w.clone()).prop_map(|(a, w)| Op::SelectOriginal(a, w)),
         (k.clone(), w.clone()).prop_map(|(a, w)| Op::Mdd1r(a, w)),
         (k.clone(), w.clone()).prop_map(|(a, w)| Op::Pmdd1r(a, w)),
-        (k, w).prop_map(|(a, w)| Op::Selective(a, w)),
+        (k.clone(), w.clone()).prop_map(|(a, w)| Op::Selective(a, w)),
+        k.clone().prop_map(Op::Ddm),
+        k.clone().prop_map(Op::Dd1m),
+        (k, w).prop_map(|(a, w)| Op::Mdd1m(a, w)),
     ]
 }
 
@@ -120,6 +126,15 @@ fn replay(ops: &[Op], policy: IndexPolicy, seed: u64) -> Observation {
             Op::Pmdd1r(a, w) => {
                 col.pmdd1r_select(QueryRange::new(a, a + w), 10.0, &mut rng);
             }
+            Op::Ddm(k) => {
+                col.ddm_crack(k);
+            }
+            Op::Dd1m(k) => {
+                col.dd1m_crack(k);
+            }
+            Op::Mdd1m(a, w) => {
+                col.mdd1m_select(QueryRange::new(a, a + w));
+            }
             Op::Selective(a, w) => {
                 col.selective_select(QueryRange::new(a, a + w), &mut rng, |_, meta| {
                     // The ScrackMon shape: stochastic every third crack,
@@ -140,25 +155,35 @@ fn replay(ops: &[Op], policy: IndexPolicy, seed: u64) -> Observation {
 }
 
 proptest! {
-    /// Flat and Avl are bit-identical through arbitrary mixed operation
-    /// sequences over the full `CrackedColumn` surface.
+    /// Every index policy is bit-identical through arbitrary mixed
+    /// operation sequences over the full `CrackedColumn` surface —
+    /// including the deterministic midpoint ops (DDM/DD1M/MDD1M).
     #[test]
-    fn flat_and_avl_observations_are_bit_identical(
+    fn index_policy_observations_are_bit_identical(
         ops in proptest::collection::vec(op_strategy(), 1..60),
         seed in 0u64..1_000,
     ) {
-        let avl = replay(&ops, IndexPolicy::Avl, seed);
-        let flat = replay(&ops, IndexPolicy::Flat, seed);
-        prop_assert_eq!(&avl.cracks, &flat.cracks, "crack boundaries differ");
-        prop_assert_eq!(&avl.piece_metas, &flat.piece_metas, "piece metas differ");
-        prop_assert_eq!(&avl.data, &flat.data, "physical orders differ");
-        prop_assert_eq!(avl.stats, flat.stats, "Stats differ");
+        let reference = replay(&ops, IndexPolicy::ALL[0], seed);
+        for &policy in &IndexPolicy::ALL[1..] {
+            let other = replay(&ops, policy, seed);
+            prop_assert_eq!(
+                &reference.cracks, &other.cracks,
+                "{}: crack boundaries differ", policy
+            );
+            prop_assert_eq!(
+                &reference.piece_metas, &other.piece_metas,
+                "{}: piece metas differ", policy
+            );
+            prop_assert_eq!(&reference.data, &other.data, "{}: physical orders differ", policy);
+            prop_assert_eq!(reference.stats, other.stats, "{}: Stats differ", policy);
+        }
     }
 }
 
-/// Every factory engine, run under both index policies against the same
-/// query stream: per-query answers (count + checksum) and final `Stats`
-/// must be bit-identical, and both must agree with the scan oracle.
+/// Every factory engine (paper zoo plus the midpoint family), run under
+/// every index policy against the same query stream: per-query answers
+/// (count + checksum) and final `Stats` must be bit-identical, and all
+/// must agree with the scan oracle.
 #[test]
 fn every_engine_is_policy_invariant_and_oracle_correct() {
     let n = 6_000u64;
@@ -170,7 +195,7 @@ fn every_engine_is_policy_invariant_and_oracle_correct() {
             QueryRange::new(a, a + 1 + (i * 53) % 400)
         })
         .collect();
-    for kind in EngineKind::paper_selection() {
+    for kind in EngineKind::extended_selection() {
         let mut runs = Vec::new();
         for policy in IndexPolicy::ALL {
             let config = CrackConfig::default()
@@ -187,15 +212,25 @@ fn every_engine_is_policy_invariant_and_oracle_correct() {
                 .collect();
             runs.push((answers, engine.stats(), engine.name()));
         }
-        let (avl, flat) = (&runs[0], &runs[1]);
-        assert_eq!(avl.0, flat.0, "{}: answers diverged across policies", avl.2);
-        assert_eq!(avl.1, flat.1, "{}: Stats diverged across policies", avl.2);
+        let (reference, others) = runs.split_first().unwrap();
+        for other in others {
+            assert_eq!(
+                reference.0, other.0,
+                "{}: answers diverged across policies",
+                reference.2
+            );
+            assert_eq!(
+                reference.1, other.1,
+                "{}: Stats diverged across policies",
+                reference.2
+            );
+        }
         for (qi, q) in queries.iter().enumerate() {
             assert_eq!(
-                flat.0[qi],
+                reference.0[qi],
                 (oracle.count(*q), oracle.checksum(*q)),
                 "{}: query {qi} ({q}) wrong vs oracle",
-                flat.2
+                reference.2
             );
         }
     }

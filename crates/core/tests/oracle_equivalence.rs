@@ -113,7 +113,7 @@ fn check_kind_on_data(kind: EngineKind, data: Vec<u64>, label: &str) {
 #[test]
 fn all_engines_match_oracle_on_unique_permutation() {
     let data = permutation(2000, 0xDEADBEEF);
-    for kind in EngineKind::paper_selection() {
+    for kind in EngineKind::extended_selection() {
         check_kind_on_data(kind, data.clone(), "unique");
     }
 }
@@ -122,7 +122,7 @@ fn all_engines_match_oracle_on_unique_permutation() {
 fn all_engines_match_oracle_with_duplicates() {
     // Heavy duplication: only 50 distinct keys across 2000 tuples.
     let data: Vec<u64> = permutation(2000, 1).into_iter().map(|k| k % 50).collect();
-    for kind in EngineKind::paper_selection() {
+    for kind in EngineKind::extended_selection() {
         check_kind_on_data(kind, data.clone(), "dups");
     }
 }
@@ -131,7 +131,7 @@ fn all_engines_match_oracle_with_duplicates() {
 fn all_engines_match_oracle_on_tiny_columns() {
     for n in [1u64, 2, 3, 5] {
         let data: Vec<u64> = (0..n).rev().collect();
-        for kind in EngineKind::paper_selection() {
+        for kind in EngineKind::extended_selection() {
             check_kind_on_data(kind, data.clone(), "tiny");
         }
     }
@@ -145,7 +145,7 @@ fn tuples_preserve_rowid_pairing_under_cracking() {
         .enumerate()
         .map(|(i, k)| Tuple::new(*k, i as u32))
         .collect();
-    for kind in EngineKind::paper_selection() {
+    for kind in EngineKind::extended_selection() {
         let mut engine = build_engine(kind, data.clone(), CrackConfig::default(), 3);
         for i in 0..32u64 {
             let a = (i * 31) % 990;
@@ -183,6 +183,11 @@ fn deterministic_given_same_seed() {
         EngineKind::Mdd1r,
         EngineKind::Progressive { swap_pct: 10 },
         EngineKind::FlipCoin,
+        // The midpoint family ignores the seed entirely — same-seed (and
+        // indeed any-seed) replay is bit-identical by construction.
+        EngineKind::Ddm,
+        EngineKind::Dd1m,
+        EngineKind::Mdd1m,
     ] {
         let run = |seed: u64| -> Vec<u64> {
             let mut engine = build_engine(kind, data.clone(), CrackConfig::default(), seed);

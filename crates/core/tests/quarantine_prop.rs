@@ -4,7 +4,8 @@
 //! discard the cracker index (`quarantine_rebuild`), degrade to scans
 //! over the preserved base data, then re-crack adaptively. Two things
 //! make that safe, and both are pinned here across every factory engine
-//! and both index policies:
+//! (including the data-driven midpoint family) and every index policy —
+//! AVL, flat and radix:
 //!
 //! 1. **Answers never change.** A run that quarantines mid-stream
 //!    returns bit-identical per-query answers (count + key checksum) to
@@ -76,12 +77,12 @@ proptest! {
     fn quarantine_mid_stream_never_changes_answers(
         queries in proptest::collection::vec(query_strategy(), 8..40),
         cut in 0usize..40,
-        policy_avl in any::<bool>(),
+        policy_idx in 0usize..IndexPolicy::ALL.len(),
     ) {
-        let policy = if policy_avl { IndexPolicy::Avl } else { IndexPolicy::Flat };
+        let policy = IndexPolicy::ALL[policy_idx];
         let oracle = Oracle::new(&column(N, 17));
         let cut = cut % queries.len();
-        for kind in EngineKind::paper_selection() {
+        for kind in EngineKind::extended_selection() {
             let clean = run_engine(kind, policy, &queries, None);
             let faulted = run_engine(kind, policy, &queries, Some(cut));
             prop_assert_eq!(
@@ -103,14 +104,14 @@ proptest! {
     /// Property 2 at the column layer: after a warm-up prefix and a
     /// quarantine, the column replays the suffix with bit-identical
     /// answers and bit-identical `Stats` to a twin built fresh over the
-    /// same physical data — for both index policies.
+    /// same physical data — for every index policy.
     #[test]
     fn rebuilt_column_is_bit_identical_to_a_fresh_twin(
         prefix in proptest::collection::vec(query_strategy(), 1..30),
         suffix in proptest::collection::vec(query_strategy(), 1..30),
-        policy_avl in any::<bool>(),
+        policy_idx in 0usize..IndexPolicy::ALL.len(),
     ) {
-        let policy = if policy_avl { IndexPolicy::Avl } else { IndexPolicy::Flat };
+        let policy = IndexPolicy::ALL[policy_idx];
         let config = CrackConfig::default()
             .with_crack_size(64)
             .with_index(policy);

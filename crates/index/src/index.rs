@@ -2,10 +2,11 @@
 
 use crate::avl::{AscIter, AvlTree, IdIter, NodeId};
 use crate::flat::{FlatAscIter, FlatIndex, FlatTripleIter};
+use crate::radix::{RadixAscIter, RadixIndex, RadixTripleIter};
 
 /// Which physical representation a [`CrackerIndex`] runs on.
 ///
-/// Both representations expose the identical piece semantics and produce
+/// All representations expose the identical piece semantics and produce
 /// bit-identical crack boundaries, piece metadata and engine `Stats` (a
 /// contract pinned by the cross-policy property tests); the policy is a
 /// pure wall-clock knob:
@@ -19,6 +20,10 @@ use crate::flat::{FlatAscIter, FlatIndex, FlatTripleIter};
 /// * [`IndexPolicy::Avl`] — the paper's AVL tree ("original cracking
 ///   uses AVL-trees", §3). `O(log n)` pointer-chasing everywhere; kept
 ///   as the reference representation for differential testing.
+/// * [`IndexPolicy::Radix`] — a path-compressed 16-ary radix trie (after
+///   the ART-cracking study of Wu et al.): `O(min(16, log16 n))` descent
+///   bounded by the key length, so lookup cost stops growing with the
+///   crack count, and handle dereferences are single arena loads.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum IndexPolicy {
     /// The arena-based AVL tree (the paper's structure).
@@ -26,6 +31,8 @@ pub enum IndexPolicy {
     /// The cache-conscious flat sorted-array directory.
     #[default]
     Flat,
+    /// The path-compressed radix trie (key-length-bounded descent).
+    Radix,
 }
 
 impl IndexPolicy {
@@ -34,6 +41,7 @@ impl IndexPolicy {
         match self {
             IndexPolicy::Avl => "avl",
             IndexPolicy::Flat => "flat",
+            IndexPolicy::Radix => "radix",
         }
     }
 
@@ -42,12 +50,13 @@ impl IndexPolicy {
         match s.to_ascii_lowercase().as_str() {
             "avl" => Some(IndexPolicy::Avl),
             "flat" => Some(IndexPolicy::Flat),
+            "radix" => Some(IndexPolicy::Radix),
             _ => None,
         }
     }
 
-    /// Both policies, for sweeps and differential tests.
-    pub const ALL: [IndexPolicy; 2] = [IndexPolicy::Avl, IndexPolicy::Flat];
+    /// Every policy, for sweeps and differential tests.
+    pub const ALL: [IndexPolicy; 3] = [IndexPolicy::Avl, IndexPolicy::Flat, IndexPolicy::Radix];
 }
 
 impl std::fmt::Display for IndexPolicy {
@@ -116,6 +125,7 @@ impl Piece {
 enum Repr<M> {
     Avl(AvlTree<M>),
     Flat(FlatIndex<M>),
+    Radix(RadixIndex<M>),
 }
 
 /// The cracker index: crack values mapped to positions, seen as pieces.
@@ -167,6 +177,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         let repr = match policy {
             IndexPolicy::Avl => Repr::Avl(AvlTree::new()),
             IndexPolicy::Flat => Repr::Flat(FlatIndex::new()),
+            IndexPolicy::Radix => Repr::Radix(RadixIndex::new()),
         };
         Self {
             repr,
@@ -180,6 +191,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(_) => IndexPolicy::Avl,
             Repr::Flat(_) => IndexPolicy::Flat,
+            Repr::Radix(_) => IndexPolicy::Radix,
         }
     }
 
@@ -189,6 +201,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(t) => t.len(),
             Repr::Flat(f) => f.len(),
+            Repr::Radix(r) => r.len(),
         }
     }
 
@@ -216,6 +229,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &mut self.repr {
             Repr::Avl(t) => t.clear(),
             Repr::Flat(f) => f.clear(),
+            Repr::Radix(r) => r.clear(),
         }
         self.head_meta = M::default();
     }
@@ -252,6 +266,17 @@ impl<M: PieceMeta> CrackerIndex<M> {
                     right_crack: succ.map(|(_, _, id)| id),
                 }
             }
+            Repr::Radix(r) => {
+                let (pred, succ) = r.neighbors(key);
+                Piece {
+                    start: pred.map_or(0, |(_, p, _)| p),
+                    end: succ.map_or(self.column_len, |(_, p, _)| p),
+                    lo_key: pred.map(|(k, _, _)| k),
+                    hi_key: succ.map(|(k, _, _)| k),
+                    left_crack: pred.map(|(_, _, id)| id),
+                    right_crack: succ.map(|(_, _, id)| id),
+                }
+            }
         };
         // O(1) sanity only — the O(n) monotonicity walk must never run
         // here, even in debug builds (this is the hottest index path).
@@ -277,6 +302,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         let (id, fresh) = match &mut self.repr {
             Repr::Avl(t) => t.insert(key, pos, parent_meta),
             Repr::Flat(f) => f.insert(key, pos, parent_meta),
+            Repr::Radix(r) => r.insert(key, pos, parent_meta),
         };
         if fresh {
             // O(1) neighbor check (not the O(n) full walk): the fresh
@@ -325,6 +351,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(t) => t.key(id),
             Repr::Flat(f) => f.key(id),
+            Repr::Radix(r) => r.key(id),
         }
     }
 
@@ -334,6 +361,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(t) => t.pos(id),
             Repr::Flat(f) => f.pos(id),
+            Repr::Radix(r) => r.pos(id),
         }
     }
 
@@ -348,6 +376,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &mut self.repr {
             Repr::Avl(t) => t.set_pos(id, pos),
             Repr::Flat(f) => f.set_pos(id, pos),
+            Repr::Radix(r) => r.set_pos(id, pos),
         }
     }
 
@@ -357,6 +386,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(t) => t.meta(id),
             Repr::Flat(f) => f.meta(id),
+            Repr::Radix(r) => r.meta(id),
         }
     }
 
@@ -366,6 +396,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &mut self.repr {
             Repr::Avl(t) => t.meta_mut(id),
             Repr::Flat(f) => f.meta_mut(id),
+            Repr::Radix(r) => r.meta_mut(id),
         }
     }
 
@@ -375,6 +406,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(t) => t.find(key),
             Repr::Flat(f) => f.find(key),
+            Repr::Radix(r) => r.find(key),
         }
     }
 
@@ -384,6 +416,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(t) => t.predecessor_or_equal(key),
             Repr::Flat(f) => f.predecessor_or_equal(key),
+            Repr::Radix(r) => r.predecessor_or_equal(key),
         }
     }
 
@@ -393,6 +426,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(t) => t.predecessor_strict(key),
             Repr::Flat(f) => f.predecessor_strict(key),
+            Repr::Radix(r) => r.predecessor_strict(key),
         }
     }
 
@@ -402,6 +436,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(t) => t.successor_strict(key),
             Repr::Flat(f) => f.successor_strict(key),
+            Repr::Radix(r) => r.successor_strict(key),
         }
     }
 
@@ -411,6 +446,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(t) => t.min(),
             Repr::Flat(f) => f.min(),
+            Repr::Radix(r) => r.min(),
         }
     }
 
@@ -420,6 +456,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
         match &self.repr {
             Repr::Avl(t) => t.max(),
             Repr::Flat(f) => f.max(),
+            Repr::Radix(r) => r.max(),
         }
     }
 
@@ -433,6 +470,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
             inner: match &self.repr {
                 Repr::Avl(t) => CrackIterRepr::Avl(t.iter_asc()),
                 Repr::Flat(f) => CrackIterRepr::Flat(f.iter_asc()),
+                Repr::Radix(r) => CrackIterRepr::Radix(r.iter_asc()),
             },
         }
     }
@@ -449,6 +487,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
             cracks: match &self.repr {
                 Repr::Avl(t) => TripleIter::Avl(t, t.iter_ids()),
                 Repr::Flat(f) => TripleIter::Flat(f.iter_triples()),
+                Repr::Radix(r) => TripleIter::Radix(r.iter_triples()),
             },
             column_len: self.column_len,
             prev: None,
@@ -498,6 +537,7 @@ impl<M: PieceMeta> CrackerIndex<M> {
 enum CrackIterRepr<'a, M> {
     Avl(AscIter<'a, M>),
     Flat(FlatAscIter<'a, M>),
+    Radix(RadixAscIter<'a, M>),
 }
 
 /// Ascending crack iterator, see [`CrackerIndex::iter_cracks`].
@@ -512,6 +552,7 @@ impl<'a, M> Iterator for CrackIter<'a, M> {
         match &mut self.inner {
             CrackIterRepr::Avl(it) => it.next(),
             CrackIterRepr::Flat(it) => it.next(),
+            CrackIterRepr::Radix(it) => it.next(),
         }
     }
 }
@@ -520,6 +561,7 @@ impl<'a, M> Iterator for CrackIter<'a, M> {
 enum TripleIter<'a, M> {
     Avl(&'a AvlTree<M>, IdIter<'a, M>),
     Flat(FlatTripleIter<'a, M>),
+    Radix(RadixTripleIter<'a, M>),
 }
 
 impl<M> TripleIter<'_, M> {
@@ -530,6 +572,7 @@ impl<M> TripleIter<'_, M> {
                 Some((tree.key(id), tree.pos(id), id))
             }
             TripleIter::Flat(triples) => triples.next(),
+            TripleIter::Radix(triples) => triples.next(),
         }
     }
 }
@@ -813,10 +856,13 @@ mod tests {
 
     #[test]
     fn cross_policy_piece_equivalence_on_random_cracks() {
-        // The structural core of the Flat/Avl contract: identical cracks
-        // in, identical pieces out — for every probe key.
-        let mut avl: CrackerIndex<()> = CrackerIndex::with_policy(10_000, IndexPolicy::Avl);
-        let mut flat: CrackerIndex<()> = CrackerIndex::with_policy(10_000, IndexPolicy::Flat);
+        // The structural core of the cross-policy contract, three-way:
+        // identical cracks in, identical pieces out — for every probe
+        // key, under every representation.
+        let mut indexes: Vec<CrackerIndex<()>> = IndexPolicy::ALL
+            .iter()
+            .map(|p| CrackerIndex::with_policy(10_000, *p))
+            .collect();
         // A valid crack set: positions monotone in *key* order, then
         // inserted in shuffled order (as real cracking interleaves).
         let mut state = 0x9E37_79B9u64;
@@ -841,24 +887,38 @@ mod tests {
             cracks.swap(i, (state % (i as u64 + 1)) as usize);
         }
         for (k, p) in &cracks {
-            avl.add_crack(*k, *p);
-            flat.add_crack(*k, *p);
+            for idx in &mut indexes {
+                idx.add_crack(*k, *p);
+            }
         }
-        assert_eq!(avl.crack_count(), flat.crack_count());
-        let a: Vec<(u64, usize)> = avl.iter_cracks().map(|(k, p, _)| (k, p)).collect();
-        let f: Vec<(u64, usize)> = flat.iter_cracks().map(|(k, p, _)| (k, p)).collect();
-        assert_eq!(a, f, "crack lists must be identical");
-        for probe in (0..11_000).step_by(7) {
-            let pa = avl.piece_containing(probe);
-            let pf = flat.piece_containing(probe);
+        let reference = &indexes[0];
+        let ref_cracks: Vec<(u64, usize)> =
+            reference.iter_cracks().map(|(k, p, _)| (k, p)).collect();
+        for other in &indexes[1..] {
+            assert_eq!(reference.crack_count(), other.crack_count());
+            let cracks: Vec<(u64, usize)> =
+                other.iter_cracks().map(|(k, p, _)| (k, p)).collect();
             assert_eq!(
-                (pa.start, pa.end, pa.lo_key, pa.hi_key),
-                (pf.start, pf.end, pf.lo_key, pf.hi_key),
-                "probe {probe}"
+                ref_cracks,
+                cracks,
+                "{}: crack lists must be identical",
+                other.policy()
             );
+            for probe in (0..11_000).step_by(7) {
+                let pr = reference.piece_containing(probe);
+                let po = other.piece_containing(probe);
+                assert_eq!(
+                    (pr.start, pr.end, pr.lo_key, pr.hi_key),
+                    (po.start, po.end, po.lo_key, po.hi_key),
+                    "{}: probe {probe}",
+                    other.policy()
+                );
+            }
+            let pieces_r: Vec<(usize, usize)> =
+                reference.iter_pieces().map(|p| (p.start, p.end)).collect();
+            let pieces_o: Vec<(usize, usize)> =
+                other.iter_pieces().map(|p| (p.start, p.end)).collect();
+            assert_eq!(pieces_r, pieces_o, "{}", other.policy());
         }
-        let pieces_a: Vec<(usize, usize)> = avl.iter_pieces().map(|p| (p.start, p.end)).collect();
-        let pieces_f: Vec<(usize, usize)> = flat.iter_pieces().map(|p| (p.start, p.end)).collect();
-        assert_eq!(pieces_a, pieces_f);
     }
 }

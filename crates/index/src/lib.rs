@@ -13,10 +13,16 @@
 //! * [`FlatIndex`] — the cache-conscious default: crack keys and
 //!   positions in sorted parallel arrays (with a small insert-absorbing
 //!   delta buffer), lower-bound searched over contiguous memory,
-//!   metadata in a stable arena. Both representations produce
-//!   bit-identical piece semantics; the flat one wins on lookup locality
-//!   exactly when cracking has converged and index navigation dominates
-//!   query latency.
+//!   metadata in a stable arena;
+//! * [`RadixIndex`] — a path-compressed 16-ary radix trie (after the
+//!   ART-cracking study of Wu et al.): `O(min(16, log16 n))` lookups
+//!   independent of the crack count, free key-space midpoints for the
+//!   data-driven engine family.
+//!
+//! All three representations produce bit-identical piece semantics; the
+//! flat one wins on lookup locality at low-to-mid crack counts, the
+//! radix trie once crack counts grow past the point where binary-search
+//! depth dominates.
 //!
 //! A crack `(v, p)` asserts: positions `< p` hold keys `< v`, positions
 //! `>= p` hold keys `>= v`. Pieces are the gaps between consecutive cracks.
@@ -30,7 +36,9 @@
 mod avl;
 mod flat;
 mod index;
+mod radix;
 
 pub use avl::{AscIter, AvlTree, IdIter, NodeId};
 pub use flat::{count_le, count_le_predicated, FlatAscIter, FlatIndex, FlatTripleIter, DELTA_CAP};
 pub use index::{CrackIter, CrackerIndex, IndexPolicy, Piece, PieceIter, PieceMeta};
+pub use radix::{RadixAscIter, RadixIndex, RadixTripleIter};

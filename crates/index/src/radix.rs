@@ -1,0 +1,869 @@
+//! A path-compressed radix trie keyed by crack value.
+//!
+//! The third cracker-index representation (after the paper's
+//! [`AvlTree`](crate::AvlTree) and PR 4's [`crate::FlatIndex`]), modeled
+//! on the adaptive-radix-tree cracking study of Wu et al.: crack keys are
+//! `u64`s consumed four bits (one nibble) at a time, inner nodes branch
+//! 16 ways, and single-child chains are path-compressed away — every
+//! inner node holds at least two occupied children, so the trie height is
+//! bounded by the 16-nibble key length *and* by `log16` of the crack
+//! count. Lookups, neighbor queries, inserts and removals are therefore
+//! `O(min(16, log16 n))` — independent of the crack count once pieces are
+//! fine enough, which is exactly the regime (tens of thousands of cracks)
+//! where the flat representation's `O(log n)` binary search and the AVL
+//! tree's pointer chasing keep paying per extra crack.
+//!
+//! Entry payloads (`key`, `pos`, metadata) live in a slot arena indexed
+//! by [`NodeId`], so handles are stable across later inserts — the same
+//! contract the other two representations give the Ripple update path —
+//! and handle dereferences ([`RadixIndex::key`], [`RadixIndex::pos`],
+//! [`RadixIndex::set_pos`], metadata access) are a single arena load,
+//! with no re-descent at all.
+
+use crate::avl::NodeId;
+
+/// Sentinel child pointer: "no child".
+const NONE: u32 = u32::MAX;
+/// Tag bit distinguishing leaf children (entry-arena slots) from inner
+/// children (node-arena indices).
+const LEAF_BIT: u32 = 1 << 31;
+
+#[inline]
+fn is_leaf(ptr: u32) -> bool {
+    ptr & LEAF_BIT != 0
+}
+
+#[inline]
+fn leaf(slot: u32) -> u32 {
+    debug_assert_eq!(slot & LEAF_BIT, 0, "entry arena overflow");
+    slot | LEAF_BIT
+}
+
+#[inline]
+fn untag(ptr: u32) -> u32 {
+    ptr & !LEAF_BIT
+}
+
+/// The `depth`-th nibble of `key`, most-significant first (`depth < 16`).
+#[inline]
+fn nib(key: u64, depth: u8) -> usize {
+    ((key >> (60 - 4 * depth as u32)) & 0xF) as usize
+}
+
+/// Mask selecting the first `depth` nibbles of a key (`depth <= 16`).
+#[inline]
+fn prefix_mask(depth: u8) -> u64 {
+    if depth == 0 {
+        0
+    } else {
+        u64::MAX << (64 - 4 * depth as u32)
+    }
+}
+
+/// Index of the first nibble where two distinct keys differ.
+#[inline]
+fn diverge_depth(a: u64, b: u64) -> u8 {
+    debug_assert_ne!(a, b);
+    ((a ^ b).leading_zeros() / 4) as u8
+}
+
+/// One crack entry: the payload behind a [`NodeId`].
+#[derive(Debug, Clone)]
+struct Entry<M> {
+    key: u64,
+    pos: usize,
+    meta: M,
+}
+
+/// One inner trie node: branches on nibble `depth` of keys sharing
+/// `prefix` (the first `depth` nibbles; lower bits zero).
+#[derive(Debug, Clone)]
+struct RNode {
+    prefix: u64,
+    depth: u8,
+    /// Bitmap of occupied `children` slots (bit `i` ⇔ `children[i] != NONE`).
+    occupied: u16,
+    children: [u32; 16],
+}
+
+impl RNode {
+    fn new(depth: u8, prefix: u64) -> Self {
+        debug_assert_eq!(prefix & !prefix_mask(depth), 0, "prefix beyond depth");
+        Self {
+            prefix,
+            depth,
+            occupied: 0,
+            children: [NONE; 16],
+        }
+    }
+
+    #[inline]
+    fn set_child(&mut self, i: usize, ptr: u32) {
+        debug_assert_ne!(ptr, NONE);
+        self.children[i] = ptr;
+        self.occupied |= 1 << i;
+    }
+
+    #[inline]
+    fn clear_child(&mut self, i: usize) {
+        self.children[i] = NONE;
+        self.occupied &= !(1 << i);
+    }
+}
+
+/// A path-compressed 16-ary radix trie mapping `u64` keys to array
+/// positions plus metadata `M` — API-identical to [`crate::AvlTree`] and
+/// [`crate::FlatIndex`], selected via
+/// [`IndexPolicy::Radix`](crate::IndexPolicy::Radix).
+#[derive(Debug, Clone)]
+pub struct RadixIndex<M> {
+    entries: Vec<Entry<M>>,
+    free_entries: Vec<u32>,
+    nodes: Vec<RNode>,
+    free_nodes: Vec<u32>,
+    /// Tagged pointer to the trie root ([`NONE`] when empty; may be a
+    /// single leaf).
+    root: u32,
+    len: usize,
+}
+
+impl<M> Default for RadixIndex<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> RadixIndex<M> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            free_entries: Vec::new(),
+            nodes: Vec::new(),
+            free_nodes: Vec::new(),
+            root: NONE,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.free_entries.clear();
+        self.nodes.clear();
+        self.free_nodes.clear();
+        self.root = NONE;
+        self.len = 0;
+    }
+
+    #[inline]
+    fn entry(&self, slot: u32) -> &Entry<M> {
+        &self.entries[slot as usize]
+    }
+
+    /// Key of the entry behind `id` — one arena load, no descent.
+    pub fn key(&self, id: NodeId) -> u64 {
+        self.entry(id.0).key
+    }
+
+    /// Position of the entry behind `id`.
+    pub fn pos(&self, id: NodeId) -> usize {
+        self.entry(id.0).pos
+    }
+
+    /// Overwrites the position of the entry behind `id`.
+    ///
+    /// Positions carry no ordering obligation inside the trie (only keys
+    /// do); the cracker invariant that positions are monotone in key
+    /// order is the caller's to maintain.
+    pub fn set_pos(&mut self, id: NodeId, pos: usize) {
+        self.entries[id.0 as usize].pos = pos;
+    }
+
+    /// Metadata of the entry behind `id`.
+    pub fn meta(&self, id: NodeId) -> &M {
+        &self.entry(id.0).meta
+    }
+
+    /// Mutable metadata of the entry behind `id`.
+    pub fn meta_mut(&mut self, id: NodeId) -> &mut M {
+        &mut self.entries[id.0 as usize].meta
+    }
+
+    fn alloc_entry(&mut self, key: u64, pos: usize, meta: M) -> u32 {
+        let entry = Entry { key, pos, meta };
+        if let Some(slot) = self.free_entries.pop() {
+            self.entries[slot as usize] = entry;
+            slot
+        } else {
+            self.entries.push(entry);
+            (self.entries.len() - 1) as u32
+        }
+    }
+
+    fn alloc_node(&mut self, depth: u8, prefix: u64) -> u32 {
+        let node = RNode::new(depth, prefix);
+        if let Some(i) = self.free_nodes.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Rewrites the child slot that `parent` describes (`None` = root).
+    #[inline]
+    fn relink(&mut self, parent: Option<(u32, usize)>, child: u32) {
+        match parent {
+            Some((node, i)) => self.nodes[node as usize].set_child(i, child),
+            None => self.root = child,
+        }
+    }
+
+    /// Inserts `(key, pos, meta)`.
+    ///
+    /// Returns `(id, true)` for a fresh entry, or `(existing_id, false)`
+    /// if the key was already present (the existing entry is left
+    /// untouched — a crack at an existing value is the same crack).
+    pub fn insert(&mut self, key: u64, pos: usize, meta: M) -> (NodeId, bool) {
+        if self.root == NONE {
+            let slot = self.alloc_entry(key, pos, meta);
+            self.root = leaf(slot);
+            self.len += 1;
+            return (NodeId(slot), true);
+        }
+        let mut parent: Option<(u32, usize)> = None;
+        let mut cur = self.root;
+        loop {
+            if is_leaf(cur) {
+                let slot = untag(cur);
+                let existing = self.entry(slot).key;
+                if existing == key {
+                    return (NodeId(slot), false);
+                }
+                // Split the leaf edge at the first diverging nibble.
+                let depth = diverge_depth(existing, key);
+                let fresh = self.alloc_entry(key, pos, meta);
+                let node = self.alloc_node(depth, key & prefix_mask(depth));
+                self.nodes[node as usize].set_child(nib(existing, depth), cur);
+                self.nodes[node as usize].set_child(nib(key, depth), leaf(fresh));
+                self.relink(parent, node);
+                self.len += 1;
+                return (NodeId(fresh), true);
+            }
+            let n = &self.nodes[cur as usize];
+            let depth = n.depth;
+            if key & prefix_mask(depth) != n.prefix {
+                // The compressed path above this node diverges from `key`:
+                // interpose a new node at the first diverging nibble.
+                let split = diverge_depth(n.prefix, key);
+                debug_assert!(split < depth);
+                let old_nib = nib(n.prefix, split);
+                let fresh = self.alloc_entry(key, pos, meta);
+                let node = self.alloc_node(split, key & prefix_mask(split));
+                self.nodes[node as usize].set_child(old_nib, cur);
+                self.nodes[node as usize].set_child(nib(key, split), leaf(fresh));
+                self.relink(parent, node);
+                self.len += 1;
+                return (NodeId(fresh), true);
+            }
+            let nb = nib(key, depth);
+            if n.children[nb] == NONE {
+                let fresh = self.alloc_entry(key, pos, meta);
+                self.nodes[cur as usize].set_child(nb, leaf(fresh));
+                self.len += 1;
+                return (NodeId(fresh), true);
+            }
+            parent = Some((cur, nb));
+            cur = self.nodes[cur as usize].children[nb];
+        }
+    }
+
+    /// Looks up the entry with exactly `key`.
+    pub fn find(&self, key: u64) -> Option<NodeId> {
+        let mut cur = self.root;
+        while cur != NONE {
+            if is_leaf(cur) {
+                let slot = untag(cur);
+                return (self.entry(slot).key == key).then_some(NodeId(slot));
+            }
+            let n = &self.nodes[cur as usize];
+            if key & prefix_mask(n.depth) != n.prefix {
+                return None;
+            }
+            cur = n.children[nib(key, n.depth)];
+        }
+        None
+    }
+
+    /// Entry with the greatest key in the subtree under `ptr`.
+    fn subtree_max(&self, mut ptr: u32) -> NodeId {
+        loop {
+            if is_leaf(ptr) {
+                return NodeId(untag(ptr));
+            }
+            let n = &self.nodes[ptr as usize];
+            debug_assert_ne!(n.occupied, 0, "inner node with no children");
+            let hi = 15 - n.occupied.leading_zeros() as usize;
+            ptr = n.children[hi];
+        }
+    }
+
+    /// Entry with the smallest key in the subtree under `ptr`.
+    fn subtree_min(&self, mut ptr: u32) -> NodeId {
+        loop {
+            if is_leaf(ptr) {
+                return NodeId(untag(ptr));
+            }
+            let n = &self.nodes[ptr as usize];
+            debug_assert_ne!(n.occupied, 0, "inner node with no children");
+            ptr = n.children[n.occupied.trailing_zeros() as usize];
+        }
+    }
+
+    /// Greatest entry with key `<= key`.
+    pub fn predecessor_or_equal(&self, key: u64) -> Option<NodeId> {
+        // One root-to-leaf descent; `best` remembers the nearest subtree
+        // hanging off the path whose keys are all `< key`.
+        let mut best = NONE;
+        let mut cur = self.root;
+        if cur == NONE {
+            return None;
+        }
+        loop {
+            if is_leaf(cur) {
+                let slot = untag(cur);
+                if self.entry(slot).key <= key {
+                    return Some(NodeId(slot));
+                }
+                break;
+            }
+            let n = &self.nodes[cur as usize];
+            let key_prefix = key & prefix_mask(n.depth);
+            if key_prefix != n.prefix {
+                if n.prefix < key_prefix {
+                    // Every key under this node shares `prefix < key`'s
+                    // prefix, so the whole subtree sorts below `key`.
+                    return Some(self.subtree_max(cur));
+                }
+                break;
+            }
+            let nb = nib(key, n.depth);
+            let below = u32::from(n.occupied) & ((1u32 << nb) - 1);
+            if below != 0 {
+                best = n.children[31 - below.leading_zeros() as usize];
+            }
+            let child = n.children[nb];
+            if child == NONE {
+                break;
+            }
+            cur = child;
+        }
+        (best != NONE).then(|| self.subtree_max(best))
+    }
+
+    /// Greatest entry with key `< key`.
+    pub fn predecessor_strict(&self, key: u64) -> Option<NodeId> {
+        if key == 0 {
+            return None;
+        }
+        self.predecessor_or_equal(key - 1)
+    }
+
+    /// Smallest entry with key `> key`.
+    pub fn successor_strict(&self, key: u64) -> Option<NodeId> {
+        let mut best = NONE;
+        let mut cur = self.root;
+        if cur == NONE {
+            return None;
+        }
+        loop {
+            if is_leaf(cur) {
+                let slot = untag(cur);
+                if self.entry(slot).key > key {
+                    return Some(NodeId(slot));
+                }
+                break;
+            }
+            let n = &self.nodes[cur as usize];
+            let key_prefix = key & prefix_mask(n.depth);
+            if key_prefix != n.prefix {
+                if n.prefix > key_prefix {
+                    return Some(self.subtree_min(cur));
+                }
+                break;
+            }
+            let nb = nib(key, n.depth);
+            let above = u32::from(n.occupied) >> (nb + 1);
+            if above != 0 {
+                best = n.children[nb + 1 + above.trailing_zeros() as usize];
+            }
+            let child = n.children[nb];
+            if child == NONE {
+                break;
+            }
+            cur = child;
+        }
+        (best != NONE).then(|| self.subtree_min(best))
+    }
+
+    /// Smallest entry with key `>= key`.
+    pub fn successor_or_equal(&self, key: u64) -> Option<NodeId> {
+        if key == 0 {
+            return self.min();
+        }
+        self.successor_strict(key - 1)
+    }
+
+    /// Both piece edges around `probe` in one call: the greatest entry
+    /// with key `<= probe` and the smallest with key `> probe`, each as
+    /// `(key, pos, id)` — the lookup the hot `piece_containing` path uses.
+    #[allow(clippy::type_complexity)]
+    pub fn neighbors(
+        &self,
+        probe: u64,
+    ) -> (
+        Option<(u64, usize, NodeId)>,
+        Option<(u64, usize, NodeId)>,
+    ) {
+        let pred = self
+            .predecessor_or_equal(probe)
+            .map(|id| (self.key(id), self.pos(id), id));
+        let succ = self
+            .successor_strict(probe)
+            .map(|id| (self.key(id), self.pos(id), id));
+        (pred, succ)
+    }
+
+    /// Entry with the smallest key.
+    pub fn min(&self) -> Option<NodeId> {
+        (self.root != NONE).then(|| self.subtree_min(self.root))
+    }
+
+    /// Entry with the greatest key.
+    pub fn max(&self) -> Option<NodeId> {
+        (self.root != NONE).then(|| self.subtree_max(self.root))
+    }
+
+    /// Removes the entry with `key`, returning its `(pos, meta)`.
+    pub fn remove(&mut self, key: u64) -> Option<(usize, M)>
+    where
+        M: Default,
+    {
+        let mut grandparent: Option<(u32, usize)> = None;
+        let mut parent: Option<(u32, usize)> = None;
+        let mut cur = self.root;
+        if cur == NONE {
+            return None;
+        }
+        loop {
+            if is_leaf(cur) {
+                let slot = untag(cur);
+                if self.entry(slot).key != key {
+                    return None;
+                }
+                match parent {
+                    None => self.root = NONE,
+                    Some((node, i)) => {
+                        self.nodes[node as usize].clear_child(i);
+                        if self.nodes[node as usize].occupied.count_ones() == 1 {
+                            // Restore path compression: splice out the
+                            // now-single-child node.
+                            let only_nib =
+                                self.nodes[node as usize].occupied.trailing_zeros() as usize;
+                            let only = self.nodes[node as usize].children[only_nib];
+                            self.relink(grandparent, only);
+                            self.free_nodes.push(node);
+                        }
+                    }
+                }
+                self.len -= 1;
+                let entry = &mut self.entries[slot as usize];
+                let pos = entry.pos;
+                let meta = std::mem::take(&mut entry.meta);
+                self.free_entries.push(slot);
+                return Some((pos, meta));
+            }
+            let n = &self.nodes[cur as usize];
+            if key & prefix_mask(n.depth) != n.prefix {
+                return None;
+            }
+            let nb = nib(key, n.depth);
+            let child = n.children[nb];
+            if child == NONE {
+                return None;
+            }
+            grandparent = parent;
+            parent = Some((cur, nb));
+            cur = child;
+        }
+    }
+
+    /// Ascending iterator over `(key, pos, &meta)` triples.
+    ///
+    /// Allocates its traversal stack once per iteration (bounded by the
+    /// trie height ≤ 16 levels × 15 siblings), like
+    /// [`AvlTree::iter_asc`](crate::AvlTree::iter_asc).
+    pub fn iter_asc(&self) -> RadixAscIter<'_, M> {
+        RadixAscIter {
+            idx: self,
+            stack: if self.root == NONE {
+                Vec::new()
+            } else {
+                vec![self.root]
+            },
+        }
+    }
+
+    /// Ascending iterator over `(key, pos, id)` triples — the handle form
+    /// of [`RadixIndex::iter_asc`], driving
+    /// [`CrackerIndex::iter_pieces`](crate::CrackerIndex::iter_pieces).
+    pub fn iter_triples(&self) -> RadixTripleIter<'_, M> {
+        RadixTripleIter {
+            idx: self,
+            stack: if self.root == NONE {
+                Vec::new()
+            } else {
+                vec![self.root]
+            },
+        }
+    }
+
+    /// Pops the stack down to the next leaf, pushing children of inner
+    /// nodes in descending nibble order so leaves surface ascending.
+    fn next_leaf(&self, stack: &mut Vec<u32>) -> Option<u32> {
+        loop {
+            let ptr = stack.pop()?;
+            if is_leaf(ptr) {
+                return Some(untag(ptr));
+            }
+            let n = &self.nodes[ptr as usize];
+            for &child in n.children.iter().rev() {
+                if child != NONE {
+                    stack.push(child);
+                }
+            }
+        }
+    }
+
+    /// Checks all structural invariants; used by tests and debug
+    /// assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn walk<M>(
+            t: &RadixIndex<M>,
+            ptr: u32,
+            req_prefix: u64,
+            req_depth: u8,
+            count: &mut usize,
+        ) -> Result<(), String> {
+            if is_leaf(ptr) {
+                let e = t.entry(untag(ptr));
+                if e.key & prefix_mask(req_depth) != req_prefix {
+                    return Err(format!(
+                        "leaf key {:#x} violates path prefix {:#x}/{}",
+                        e.key, req_prefix, req_depth
+                    ));
+                }
+                *count += 1;
+                return Ok(());
+            }
+            let n = &t.nodes[ptr as usize];
+            if n.depth < req_depth && req_depth > 0 {
+                return Err(format!("node depth {} above its edge {}", n.depth, req_depth));
+            }
+            if n.prefix & prefix_mask(req_depth) != req_prefix {
+                return Err(format!(
+                    "node prefix {:#x} violates path prefix {:#x}/{}",
+                    n.prefix, req_prefix, req_depth
+                ));
+            }
+            if n.prefix & !prefix_mask(n.depth) != 0 {
+                return Err(format!(
+                    "node prefix {:#x} has bits beyond depth {}",
+                    n.prefix, n.depth
+                ));
+            }
+            let mut occupied = 0u32;
+            for (i, &child) in n.children.iter().enumerate() {
+                let bit = n.occupied & (1 << i) != 0;
+                if (child != NONE) != bit {
+                    return Err(format!("occupancy bitmap out of sync at nibble {i}"));
+                }
+                if child != NONE {
+                    occupied += 1;
+                    let child_prefix = n.prefix | ((i as u64) << (60 - 4 * n.depth as u32));
+                    walk(t, child, child_prefix, n.depth + 1, count)?;
+                }
+            }
+            if occupied < 2 {
+                return Err(format!(
+                    "inner node at depth {} has {} children (path compression broken)",
+                    n.depth, occupied
+                ));
+            }
+            Ok(())
+        }
+        let mut count = 0usize;
+        if self.root != NONE {
+            walk(self, self.root, 0, 0, &mut count)?;
+        }
+        if count != self.len {
+            return Err(format!("len {} but {} reachable entries", self.len, count));
+        }
+        let mut prev: Option<u64> = None;
+        for (key, _, _) in self.iter_asc() {
+            if let Some(p) = prev {
+                if key <= p {
+                    return Err(format!("iteration not strictly ascending: {p} then {key}"));
+                }
+            }
+            prev = Some(key);
+        }
+        Ok(())
+    }
+}
+
+/// Ascending iterator, see [`RadixIndex::iter_asc`].
+pub struct RadixAscIter<'a, M> {
+    idx: &'a RadixIndex<M>,
+    stack: Vec<u32>,
+}
+
+impl<'a, M> Iterator for RadixAscIter<'a, M> {
+    type Item = (u64, usize, &'a M);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let slot = self.idx.next_leaf(&mut self.stack)?;
+        let e = &self.idx.entries[slot as usize];
+        Some((e.key, e.pos, &e.meta))
+    }
+}
+
+/// Ascending handle iterator, see [`RadixIndex::iter_triples`].
+pub struct RadixTripleIter<'a, M> {
+    idx: &'a RadixIndex<M>,
+    stack: Vec<u32>,
+}
+
+impl<M> Iterator for RadixTripleIter<'_, M> {
+    type Item = (u64, usize, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let slot = self.idx.next_leaf(&mut self.stack)?;
+        let e = &self.idx.entries[slot as usize];
+        Some((e.key, e.pos, NodeId(slot)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn build(keys: &[u64]) -> RadixIndex<u32> {
+        let mut t = RadixIndex::new();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(*k, i, i as u32);
+        }
+        t.check_invariants().unwrap();
+        t
+    }
+
+    #[test]
+    fn empty_trie_queries() {
+        let t: RadixIndex<()> = RadixIndex::new();
+        assert!(t.is_empty());
+        assert!(t.find(5).is_none());
+        assert!(t.predecessor_or_equal(5).is_none());
+        assert!(t.successor_strict(5).is_none());
+        assert!(t.min().is_none());
+        assert!(t.max().is_none());
+        assert_eq!(t.neighbors(5), (None, None));
+    }
+
+    #[test]
+    fn insert_dedupes_keys() {
+        let mut t = RadixIndex::new();
+        let (a, fresh_a) = t.insert(10, 1, ());
+        let (b, fresh_b) = t.insert(10, 99, ());
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert_eq!(a, b);
+        assert_eq!(t.pos(a), 1, "existing entry untouched");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn neighbor_queries_match_btreemap() {
+        let keys: Vec<u64> = (0..500).map(|i| (i * 977) % 1000).collect();
+        let t = build(&keys);
+        let model: BTreeMap<u64, ()> = keys.iter().map(|k| (*k, ())).collect();
+        for probe in 0..1001 {
+            let pred = t.predecessor_or_equal(probe).map(|id| t.key(id));
+            let model_pred = model.range(..=probe).next_back().map(|(k, _)| *k);
+            assert_eq!(pred, model_pred, "pred_or_eq({probe})");
+
+            let succ = t.successor_strict(probe).map(|id| t.key(id));
+            let model_succ = model
+                .range((std::ops::Bound::Excluded(probe), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(k, _)| *k);
+            assert_eq!(succ, model_succ, "succ_strict({probe})");
+
+            let spred = t.predecessor_strict(probe).map(|id| t.key(id));
+            let model_spred = model.range(..probe).next_back().map(|(k, _)| *k);
+            assert_eq!(spred, model_spred, "pred_strict({probe})");
+
+            let seq = t.successor_or_equal(probe).map(|id| t.key(id));
+            let model_seq = model.range(probe..).next().map(|(k, _)| *k);
+            assert_eq!(seq, model_seq, "succ_or_eq({probe})");
+        }
+    }
+
+    #[test]
+    fn wide_keys_exercise_deep_and_compressed_paths() {
+        // Keys chosen to share long prefixes (deep splits) and to sit at
+        // opposite ends of the u64 domain (shallow splits) — both the
+        // path-compression interpose and the leaf split run.
+        let keys = [
+            0u64,
+            1,
+            u64::MAX,
+            u64::MAX - 1,
+            0xDEAD_BEEF_0000_0000,
+            0xDEAD_BEEF_0000_0001,
+            0xDEAD_BEEF_8000_0000,
+            1 << 63,
+            (1 << 63) + 1,
+        ];
+        let t = build(&keys);
+        let model: BTreeMap<u64, ()> = keys.iter().map(|k| (*k, ())).collect();
+        assert_eq!(t.len(), model.len());
+        for probe in keys.iter().flat_map(|k| [k.saturating_sub(1), *k, k.saturating_add(1)]) {
+            let pred = t.predecessor_or_equal(probe).map(|id| t.key(id));
+            assert_eq!(
+                pred,
+                model.range(..=probe).next_back().map(|(k, _)| *k),
+                "pred_or_eq({probe:#x})"
+            );
+            let succ = t.successor_strict(probe).map(|id| t.key(id));
+            assert_eq!(
+                succ,
+                model
+                    .range((std::ops::Bound::Excluded(probe), std::ops::Bound::Unbounded))
+                    .next()
+                    .map(|(k, _)| *k),
+                "succ_strict({probe:#x})"
+            );
+        }
+        assert_eq!(t.key(t.min().unwrap()), 0);
+        assert_eq!(t.key(t.max().unwrap()), u64::MAX);
+    }
+
+    #[test]
+    fn iter_asc_is_sorted_and_complete() {
+        let keys: Vec<u64> = (0..300).map(|i| (i * 613) % 997).collect();
+        let t = build(&keys);
+        let got: Vec<u64> = t.iter_asc().map(|(k, _, _)| k).collect();
+        let mut expect: Vec<u64> = keys.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(got, expect);
+        let triples: Vec<u64> = t.iter_triples().map(|(k, _, _)| k).collect();
+        assert_eq!(triples, got);
+        for (k, _, id) in t.iter_triples() {
+            assert_eq!(t.key(id), k);
+        }
+    }
+
+    #[test]
+    fn remove_keeps_structure_and_content() {
+        let keys: Vec<u64> = (0..400).map(|i| (i * 31) % 401).collect();
+        let mut t = build(&keys);
+        let mut model: BTreeMap<u64, ()> = keys.iter().map(|k| (*k, ())).collect();
+        for probe in (0..401).step_by(3) {
+            let got = t.remove(probe).is_some();
+            let expect = model.remove(&probe).is_some();
+            assert_eq!(got, expect, "remove({probe})");
+            t.check_invariants().unwrap();
+        }
+        let got: Vec<u64> = t.iter_asc().map(|(k, _, _)| k).collect();
+        let expect: Vec<u64> = model.keys().copied().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn remove_reuses_arena_slots() {
+        let mut t = RadixIndex::new();
+        for k in 0..100u64 {
+            t.insert(k, 0, ());
+        }
+        let entry_slots = t.entries.len();
+        for k in 0..50u64 {
+            t.remove(k);
+        }
+        for k in 100..150u64 {
+            t.insert(k, 0, ());
+        }
+        assert_eq!(t.entries.len(), entry_slots, "free list must recycle slots");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn handles_are_stable_across_inserts() {
+        let mut t = RadixIndex::new();
+        let (id, _) = t.insert(7_000, 3, 100u32);
+        for k in 0..2_000u64 {
+            t.insert(k * 17, 0, 0);
+        }
+        t.set_pos(id, 9);
+        *t.meta_mut(id) += 1;
+        assert_eq!(t.pos(id), 9);
+        assert_eq!(*t.meta(id), 101);
+        assert_eq!(t.key(id), 7_000);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn neighbors_resolves_both_edges() {
+        let t = build(&[10, 30, 60]);
+        let (pred, succ) = t.neighbors(35);
+        assert_eq!(pred.map(|(k, _, _)| k), Some(30));
+        assert_eq!(succ.map(|(k, _, _)| k), Some(60));
+        let (pred, succ) = t.neighbors(5);
+        assert!(pred.is_none());
+        assert_eq!(succ.map(|(k, _, _)| k), Some(10));
+        let (pred, succ) = t.neighbors(60);
+        assert_eq!(pred.map(|(k, _, _)| k), Some(60));
+        assert!(succ.is_none());
+    }
+
+    #[test]
+    fn predecessor_strict_at_zero() {
+        let t = build(&[0, 5]);
+        assert!(t.predecessor_strict(0).is_none());
+        assert_eq!(t.key(t.successor_or_equal(0).unwrap()), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = build(&[1, 2, 3]);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.min().is_none());
+        let (id, fresh) = t.insert(9, 0, 0);
+        assert!(fresh);
+        assert_eq!(t.key(id), 9);
+    }
+}

@@ -1,9 +1,9 @@
-//! Property tests: both index representations against a BTreeMap model,
+//! Property tests: every index representation against a BTreeMap model,
 //! cracker-index piece consistency under random crack sequences, and the
-//! Flat/Avl cross-policy equivalence contract.
+//! three-way Avl/Flat/Radix cross-policy equivalence contract.
 
 use proptest::prelude::*;
-use scrack_index::{AvlTree, CrackerIndex, FlatIndex, IndexPolicy};
+use scrack_index::{AvlTree, CrackerIndex, FlatIndex, IndexPolicy, RadixIndex};
 use std::collections::BTreeMap;
 
 #[derive(Clone, Debug)]
@@ -141,9 +141,78 @@ proptest! {
         prop_assert_eq!(flat.len(), model.len());
     }
 
+    /// The radix trie against the same BTreeMap model the AVL and flat
+    /// tests use: identical neighbor-query semantics, entry for entry.
+    #[test]
+    fn radix_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut trie: RadixIndex<u64> = RadixIndex::new();
+        let mut model: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Insert(k) => {
+                    let fresh_expected = !model.contains_key(&k);
+                    model.entry(k).or_insert(i);
+                    let (_, fresh) = trie.insert(k, i, k);
+                    prop_assert_eq!(fresh, fresh_expected);
+                }
+                Op::Remove(k) => {
+                    let expect = model.remove(&k);
+                    let got = trie.remove(k);
+                    prop_assert_eq!(got.map(|(p, _)| p), expect);
+                }
+                Op::QueryPred(k) => {
+                    let got = trie.predecessor_or_equal(k).map(|id| trie.key(id));
+                    let expect = model.range(..=k).next_back().map(|(k, _)| *k);
+                    prop_assert_eq!(got, expect);
+                }
+                Op::QuerySucc(k) => {
+                    let got = trie.successor_strict(k).map(|id| trie.key(id));
+                    let expect = model
+                        .range((std::ops::Bound::Excluded(k), std::ops::Bound::Unbounded))
+                        .next()
+                        .map(|(k, _)| *k);
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            trie.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        let got: Vec<u64> = trie.iter_asc().map(|(k, _, _)| k).collect();
+        let expect: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(trie.len(), model.len());
+    }
+
+    /// The radix model test again, over the full u64 domain: deep splits,
+    /// shared prefixes and extreme keys, where nibble arithmetic could go
+    /// wrong in ways small keys never exercise.
+    #[test]
+    fn radix_matches_btreemap_model_on_wide_keys(
+        keys in proptest::collection::vec(any::<u64>(), 1..150),
+        probes in proptest::collection::vec(any::<u64>(), 1..60),
+    ) {
+        let mut trie: RadixIndex<()> = RadixIndex::new();
+        let mut model: BTreeMap<u64, ()> = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            trie.insert(*k, i, ());
+            model.insert(*k, ());
+        }
+        trie.check_invariants().map_err(TestCaseError::fail)?;
+        for probe in probes {
+            let got = trie.predecessor_or_equal(probe).map(|id| trie.key(id));
+            let expect = model.range(..=probe).next_back().map(|(k, _)| *k);
+            prop_assert_eq!(got, expect, "pred_or_eq({:#x})", probe);
+            let got = trie.successor_strict(probe).map(|id| trie.key(id));
+            let expect = model
+                .range((std::ops::Bound::Excluded(probe), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(k, _)| *k);
+            prop_assert_eq!(got, expect, "succ_strict({:#x})", probe);
+        }
+    }
+
     /// The cross-policy contract at the index layer: identical crack
-    /// sequences produce identical pieces, for every probe, under both
-    /// representations — including the piece-metadata routing.
+    /// sequences produce identical pieces, for every probe, under every
+    /// representation — including the piece-metadata routing.
     #[test]
     fn index_policies_are_observationally_identical(
         cracks in proptest::collection::vec((0u64..1000, 0usize..1000), 0..100),
@@ -153,36 +222,42 @@ proptest! {
         cracks.sort_by_key(|(k, _)| *k);
         cracks.dedup_by_key(|(k, _)| *k);
         let column_len = 1000usize;
-        let mut avl: CrackerIndex<()> = CrackerIndex::with_policy(column_len, IndexPolicy::Avl);
-        let mut flat: CrackerIndex<()> = CrackerIndex::with_policy(column_len, IndexPolicy::Flat);
+        let mut indexes: Vec<CrackerIndex<()>> = IndexPolicy::ALL
+            .iter()
+            .map(|p| CrackerIndex::with_policy(column_len, *p))
+            .collect();
         let mut pos_floor = 0usize;
         for (k, p) in cracks.iter() {
             let p = (*p).max(pos_floor).min(column_len);
             pos_floor = p;
-            avl.add_crack(*k, p);
-            flat.add_crack(*k, p);
+            for idx in &mut indexes {
+                idx.add_crack(*k, p);
+            }
         }
-        prop_assert_eq!(avl.crack_count(), flat.crack_count());
-        let ca: Vec<(u64, usize)> = avl.iter_cracks().map(|(k, p, _)| (k, p)).collect();
-        let cf: Vec<(u64, usize)> = flat.iter_cracks().map(|(k, p, _)| (k, p)).collect();
-        prop_assert_eq!(ca, cf, "crack lists differ");
-        for probe in probes {
-            let pa = avl.piece_containing(probe);
-            let pf = flat.piece_containing(probe);
-            prop_assert_eq!(
-                (pa.start, pa.end, pa.lo_key, pa.hi_key),
-                (pf.start, pf.end, pf.lo_key, pf.hi_key),
-                "piece_containing({}) differs", probe
-            );
-        }
-        let pa: Vec<(usize, usize, Option<u64>, Option<u64>)> = avl
+        let (reference, others) = indexes.split_first().unwrap();
+        let cr: Vec<(u64, usize)> = reference.iter_cracks().map(|(k, p, _)| (k, p)).collect();
+        let pr: Vec<(usize, usize, Option<u64>, Option<u64>)> = reference
             .iter_pieces()
             .map(|p| (p.start, p.end, p.lo_key, p.hi_key))
             .collect();
-        let pf: Vec<(usize, usize, Option<u64>, Option<u64>)> = flat
-            .iter_pieces()
-            .map(|p| (p.start, p.end, p.lo_key, p.hi_key))
-            .collect();
-        prop_assert_eq!(pa, pf, "piece enumerations differ");
+        for other in others {
+            prop_assert_eq!(reference.crack_count(), other.crack_count());
+            let co: Vec<(u64, usize)> = other.iter_cracks().map(|(k, p, _)| (k, p)).collect();
+            prop_assert_eq!(&cr, &co, "{}: crack lists differ", other.policy());
+            for probe in &probes {
+                let pa = reference.piece_containing(*probe);
+                let pb = other.piece_containing(*probe);
+                prop_assert_eq!(
+                    (pa.start, pa.end, pa.lo_key, pa.hi_key),
+                    (pb.start, pb.end, pb.lo_key, pb.hi_key),
+                    "{}: piece_containing({}) differs", other.policy(), probe
+                );
+            }
+            let po: Vec<(usize, usize, Option<u64>, Option<u64>)> = other
+                .iter_pieces()
+                .map(|p| (p.start, p.end, p.lo_key, p.hi_key))
+                .collect();
+            prop_assert_eq!(&pr, &po, "{}: piece enumerations differ", other.policy());
+        }
     }
 }

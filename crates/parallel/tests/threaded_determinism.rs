@@ -81,7 +81,7 @@ fn mixed_batch(lo: u64, hi: u64, count: usize, salt: u64) -> Vec<QueryRange> {
 }
 
 const POLICIES: [KernelPolicy; 2] = [KernelPolicy::Branchy, KernelPolicy::Branchless];
-const INDEXES: [IndexPolicy; 2] = [IndexPolicy::Avl, IndexPolicy::Flat];
+const INDEXES: [IndexPolicy; 3] = IndexPolicy::ALL;
 
 #[test]
 fn batch_scheduler_threads_match_serial_replay_bitwise() {
@@ -200,9 +200,9 @@ fn batch_scheduler_mixed_ops_answers_are_update_policy_invariant() {
 #[test]
 fn batch_scheduler_stats_are_index_policy_invariant() {
     // The PR-4 contract lifted to the concurrent layer: the same batched
-    // run under `Avl` and `Flat` must produce bit-identical answers AND
-    // bit-identical Stats — the index representation is a pure
-    // wall-clock knob even across threads.
+    // run under `Avl`, `Flat` and `Radix` must produce bit-identical
+    // answers AND bit-identical Stats — the index representation is a
+    // pure wall-clock knob even across threads.
     let n = 30_000u64;
     let data = column(n);
     for strategy in [ParallelStrategy::Crack, ParallelStrategy::Stochastic] {
@@ -218,8 +218,18 @@ fn batch_scheduler_stats_are_index_policy_invariant() {
             sched.check_integrity().unwrap();
             runs.push((answers, sched.stats()));
         }
-        assert_eq!(runs[0].0, runs[1].0, "{strategy:?}: answers diverged across index policies");
-        assert_eq!(runs[0].1, runs[1].1, "{strategy:?}: Stats diverged across index policies");
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                runs[0].0, run.0,
+                "{strategy:?}/{}: answers diverged across index policies",
+                INDEXES[i]
+            );
+            assert_eq!(
+                runs[0].1, run.1,
+                "{strategy:?}/{}: Stats diverged across index policies",
+                INDEXES[i]
+            );
+        }
     }
 }
 

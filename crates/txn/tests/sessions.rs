@@ -325,6 +325,49 @@ fn watermark_merge_folds_committed_epochs_into_the_column() {
 }
 
 #[test]
+fn watermark_preserves_pinned_snapshots_under_every_index_policy() {
+    // The PR-9 merge-watermark contract, re-pinned per index
+    // representation (the radix trie regression this exists for: the
+    // watermark ripples committed epochs into the physical columns, and
+    // a representation bug in crack-position bookkeeping would surface
+    // as a pinned reader seeing the merge happen).
+    for policy in scrack_core::IndexPolicy::ALL {
+        let config = CrackConfig::default().with_index(policy);
+        let mgr = manager(2_000, 2, config, ServingConfig::default());
+        let probe = QueryRange::new(500, 600);
+        let mut pinned = mgr.begin().unwrap();
+        let before = pinned.read(probe).unwrap();
+        // Commits land while the reader holds its snapshot, so the
+        // watermark trails it and merges are deferred.
+        for i in 0..4 {
+            let mut w = mgr.begin().unwrap();
+            w.insert(550 + i).unwrap();
+            assert!(
+                matches!(w.commit(), TxnOutcome::Committed { .. }),
+                "{policy}"
+            );
+            assert_eq!(
+                pinned.read(probe).unwrap(),
+                before,
+                "{policy}: pinned snapshot drifted at commit {i}"
+            );
+        }
+        pinned.commit();
+        // No live session: the watermark catches up and every committed
+        // op folds into the columns.
+        assert_eq!(mgr.check_integrity().unwrap(), 2_004, "{policy}");
+        let mut fresh = mgr.begin().unwrap();
+        assert_eq!(
+            fresh.read(probe).unwrap().0,
+            before.0 + 4,
+            "{policy}: merged state wrong"
+        );
+        fresh.commit();
+        assert_eq!(mgr.lock_residue(), 0, "{policy}");
+    }
+}
+
+#[test]
 fn replay_is_bit_identical_under_a_fixed_seed() {
     let run = || {
         let mgr = manager(6_000, 3, CrackConfig::default(), ServingConfig::default());

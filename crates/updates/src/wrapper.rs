@@ -3,8 +3,9 @@
 use crate::pending::PendingUpdates;
 use scrack_columnstore::QueryOutput;
 use scrack_core::{
-    CrackConfig, CrackEngine, CrackedColumn, Dd1cEngine, Dd1rEngine, DdcEngine, DdrEngine, Engine,
-    EngineKind, Mdd1rEngine, ProgressiveEngine, RandomInjectEngine, SelectiveEngine,
+    CrackConfig, CrackEngine, CrackedColumn, Dd1cEngine, Dd1mEngine, Dd1rEngine, DdcEngine,
+    DdmEngine, DdrEngine, Engine, EngineKind, Mdd1mEngine, Mdd1rEngine, ProgressiveEngine,
+    RandomInjectEngine, SelectiveEngine,
 };
 use scrack_types::{Element, QueryRange, Stats};
 
@@ -37,6 +38,9 @@ impl_crack_access!(
     Dd1cEngine,
     Dd1rEngine,
     Mdd1rEngine,
+    DdmEngine,
+    Dd1mEngine,
+    Mdd1mEngine,
     ProgressiveEngine,
     SelectiveEngine,
     RandomInjectEngine,
@@ -82,10 +86,10 @@ impl<E: Element> CrackAccess<E> for Box<dyn UpdateEngine<E>> {
 }
 
 /// Every [`EngineKind`] that owns a cracker column and therefore supports
-/// updates — [`EngineKind::paper_selection`] minus the `Scan`/`Sort`
-/// baselines.
+/// updates — [`EngineKind::extended_selection`] minus the `Scan`/`Sort`
+/// baselines, so the paper's zoo *and* the data-driven midpoint family.
 pub fn update_capable_kinds() -> Vec<EngineKind> {
-    EngineKind::paper_selection()
+    EngineKind::extended_selection()
         .into_iter()
         .filter(|k| !matches!(k, EngineKind::Scan | EngineKind::Sort))
         .collect()
@@ -116,6 +120,9 @@ pub fn build_update_engine<E: Element>(
         EngineKind::Dd1c => Box::new(Dd1cEngine::new(data, config)),
         EngineKind::Dd1r => Box::new(Dd1rEngine::new(data, config, seed)),
         EngineKind::Mdd1r => Box::new(Mdd1rEngine::new(data, config, seed)),
+        EngineKind::Ddm => Box::new(DdmEngine::new(data, config)),
+        EngineKind::Dd1m => Box::new(Dd1mEngine::new(data, config)),
+        EngineKind::Mdd1m => Box::new(Mdd1mEngine::new(data, config)),
         EngineKind::Progressive { swap_pct } => Box::new(ProgressiveEngine::new(
             data,
             config,

@@ -22,9 +22,9 @@
 //! |---|---|---|
 //! | [`types`] | `scrack_types` | `Element`, `QueryRange`, `Stats`, `CacheProfile` |
 //! | [`columnstore`] | `scrack_columnstore` | `Column`, `QueryOutput`, `Table` |
-//! | [`index`] | `scrack_index` | cracker index: flat directory (default) + AVL, `IndexPolicy` |
+//! | [`index`] | `scrack_index` | cracker index: flat directory (default) + AVL + radix, `IndexPolicy` |
 //! | [`partition`] | `scrack_partition` | crack-in-two/three, MDD1R split, introselect |
-//! | [`core`] | `scrack_core` | every engine: Crack, DDC/DDR, DD1C/DD1R, MDD1R, … |
+//! | [`core`] | `scrack_core` | every engine: Crack, DDC/DDR, DD1C/DD1R, MDD1R, DDM/MDD1M, … |
 //! | [`query`] | `scrack_query` | multi-column tables, predicates, aggregates |
 //! | [`workloads`] | `scrack_workloads` | Fig. 7 workload suite, SkyServer trace, data gens |
 //! | [`chooser`] | `scrack_chooser` | bandit algorithm selection (§6), self-driving config switching |
@@ -48,7 +48,8 @@ pub mod columnstore {
     pub use scrack_columnstore::*;
 }
 
-/// The cracker index, flat and AVL representations ([`scrack_index`]).
+/// The cracker index: flat, AVL and radix representations
+/// ([`scrack_index`]).
 pub mod index {
     pub use scrack_index::*;
 }
@@ -297,10 +298,10 @@ pub mod prelude {
     };
     pub use scrack_columnstore::{Column, QueryOutput, Table};
     pub use scrack_core::{
-        build_engine, CrackConfig, CrackEngine, CrackedColumn, Dd1cEngine, Dd1rEngine, DdcEngine,
-        DdrEngine, Engine, EngineKind, FaultKind, FaultPlan, IndexPolicy, KernelPolicy,
-        Mdd1rEngine, Oracle, ProgressiveEngine, ScanEngine, SelectiveEngine, SelectivePolicy,
-        SortEngine, UpdatePolicy,
+        build_engine, CrackConfig, CrackEngine, CrackedColumn, Dd1cEngine, Dd1mEngine, Dd1rEngine,
+        DdcEngine, DdmEngine, DdrEngine, Engine, EngineKind, FaultKind, FaultPlan, IndexPolicy,
+        KernelPolicy, Mdd1mEngine, Mdd1rEngine, Oracle, ProgressiveEngine, ScanEngine,
+        SelectiveEngine, SelectivePolicy, SortEngine, UpdatePolicy,
     };
     pub use scrack_hybrids::{HybridEngine, HybridKind};
     pub use scrack_parallel::{
